@@ -1,0 +1,53 @@
+//! **Figure 1** — Gaussian dataset: average/maximum error vs sketch
+//! width `s`, for `b = 100` (panels a–b) and `b = 500` (panels c–d).
+//!
+//! Paper setup: `n = 5·10^8`, `σ = 15`, six algorithms, `d = 9` (+1 for
+//! baselines). Default here: `n = 200 000` (scale with `BAS_SCALE`);
+//! the collision regime (`n/s` between 50 and 400) brackets the paper's.
+//!
+//! Expected shape (paper §5.2): `l1-S/R` and `l2-S/R` are an order of
+//! magnitude better than everything else (≤1/5 of CS, ≤1/20 of CML-CU,
+//! ≤1/50 of CM-CU, ≤1/200 of CM), and — panels c–d — their error does
+//! NOT grow when `b` goes from 100 to 500, while all baselines degrade.
+
+use bas_bench::{print_dataset_summary, print_sweep_tables, print_timing_table, scaled, trials};
+use bas_data::{GaussianGen, VectorGenerator};
+use bas_eval::claims::{check_degradation, check_dominance, check_invariance, report};
+use bas_eval::{run_width_sweep, Algorithm, SweepConfig};
+
+fn main() {
+    let n = scaled(200_000);
+    let widths = vec![500, 1_000, 2_000, 4_000];
+    let mut panels = Vec::new();
+    for (panel, b) in [("a-b", 100.0), ("c-d", 500.0)] {
+        let x = GaussianGen::new(n, b, 15.0).generate(0xF161);
+        println!("\n================ Figure 1{panel}: Gaussian b = {b} ================");
+        print_dataset_summary("Gaussian", &x, widths[0] / 4);
+        let cfg = SweepConfig {
+            widths: widths.clone(),
+            depth: 9,
+            trials: trials(),
+            seed: 0xF161,
+        };
+        let results = run_width_sweep(&x, &Algorithm::MAIN_SET, &cfg);
+        print_sweep_tables(&format!("Figure 1{panel} (b = {b})"), &results, "s");
+        print_timing_table(&format!("Figure 1{panel} (b = {b})"), &results);
+        panels.push(results);
+    }
+    // §5.2: "the errors of l1-S/R and l2-S/R are less than 1/5 of CS,
+    // 1/20 of CML-CU, 1/50 of CM-CU and 1/200 of CM"; §5.2: the value
+    // of b does not affect the bias-aware sketches but inflates all
+    // baselines.
+    let (b100, b500) = (&panels[0], &panels[1]);
+    report(&[
+        check_dominance(b100, "l2-S/R", "CS", 4.0, "Fig1 §5.2"),
+        check_dominance(b100, "l2-S/R", "CML-CU", 5.0, "Fig1 §5.2"),
+        check_dominance(b100, "l2-S/R", "CM-CU", 30.0, "Fig1 §5.2"),
+        check_dominance(b100, "l2-S/R", "CM", 100.0, "Fig1 §5.2"),
+        check_invariance(b100, b500, "l1-S/R", 0.10, "Fig1c-d"),
+        check_invariance(b100, b500, "l2-S/R", 0.10, "Fig1c-d"),
+        check_degradation(b100, b500, "CS", 2.5, "Fig1c-d"),
+        check_degradation(b100, b500, "CM", 3.0, "Fig1c-d"),
+        check_degradation(b100, b500, "CM-CU", 3.0, "Fig1c-d"),
+    ]);
+}

@@ -1,0 +1,41 @@
+//! **Figure 2** — Wiki pageviews-per-second: average/maximum error vs
+//! sketch width.
+//!
+//! Paper setup: `n = 3 513 600` seconds, ≈1.3·10^10 views (mean
+//! ≈3 700/s). Default here: the same diurnal+burst structure at
+//! `n = 300 000`, mean 40/s (`WebTrafficGen::wiki_scaled`; the paper's
+//! totals make the CML-CU unit-increment model prohibitively slow at
+//! full scale — see EXPERIMENTS.md).
+//!
+//! Expected shape (paper §5.2): `l2-S/R` best everywhere (≤1/10 of the
+//! others' average error at s = 20 000); `l1-S/R` ≈ CS on average but
+//! ~2x better on max error; CM far off the chart.
+
+use bas_bench::{print_dataset_summary, print_sweep_tables, scaled, trials};
+use bas_data::{VectorGenerator, WebTrafficGen};
+use bas_eval::claims::{check_dominance, check_monotone_improvement, report};
+use bas_eval::{run_width_sweep, Algorithm, SweepConfig};
+
+fn main() {
+    let n = scaled(300_000);
+    let x = WebTrafficGen::wiki_scaled(n, 40.0).generate(0xF162);
+    println!("================ Figure 2: Wiki ================");
+    print_dataset_summary("Wiki-like", &x, 125);
+    let cfg = SweepConfig {
+        widths: vec![500, 1_000, 2_000, 4_000],
+        depth: 9,
+        trials: trials(),
+        seed: 0xF162,
+    };
+    let results = run_width_sweep(&x, &Algorithm::MAIN_SET, &cfg);
+    print_sweep_tables("Figure 2 (Wiki)", &results, "s");
+    // §5.2: "l2-S/R always achieves the best recovery quality"; CM far
+    // worse than everything.
+    report(&[
+        check_dominance(&results, "l2-S/R", "CS", 1.0, "Fig2 §5.2"),
+        check_dominance(&results, "l2-S/R", "CM-CU", 3.0, "Fig2 §5.2"),
+        check_dominance(&results, "l2-S/R", "CM", 20.0, "Fig2 §5.2"),
+        check_monotone_improvement(&results, "l2-S/R", false, "Fig2"),
+        check_monotone_improvement(&results, "CS", false, "Fig2"),
+    ]);
+}

@@ -1,0 +1,27 @@
+//! **Figure 3** — WorldCup '98 requests-per-second: average/maximum
+//! error vs sketch width.
+//!
+//! Paper setup: `n = 86 400` (one day), ≈3.2M requests — small enough
+//! that this bench runs at full paper scale by default.
+//!
+//! Expected shape (paper §5.2): `l2-S/R` best on average error with CS
+//! and `l1-S/R` following closely; CM ~4x worse than everyone on max
+//! error; CM-CU/CML-CU trail the linear sketches on average error.
+
+use bas_bench::{print_dataset_summary, print_sweep_tables, trials};
+use bas_data::{VectorGenerator, WebTrafficGen};
+use bas_eval::{run_width_sweep, Algorithm, SweepConfig};
+
+fn main() {
+    let x = WebTrafficGen::worldcup().generate(0xF163);
+    println!("================ Figure 3: WorldCup ================");
+    print_dataset_summary("WorldCup", &x, 125);
+    let cfg = SweepConfig {
+        widths: vec![500, 1_000, 2_000, 4_000],
+        depth: 9,
+        trials: trials(),
+        seed: 0xF163,
+    };
+    let results = run_width_sweep(&x, &Algorithm::MAIN_SET, &cfg);
+    print_sweep_tables("Figure 3 (WorldCup, full scale)", &results, "s");
+}

@@ -1,0 +1,41 @@
+//! **Figure 4** — Higgs kinematic feature: average/maximum error vs
+//! sketch width.
+//!
+//! Paper setup: the 4th kinematic feature of `n = 1.1·10^7` Monte-Carlo
+//! events (non-negative, unimodal, long right tail). Default here: the
+//! gamma-mixture stand-in at `n = 600 000` (`BAS_SCALE` to grow).
+//!
+//! Expected shape (paper §5.2): `l2-S/R` smallest average error, CS
+//! second; CML-CU approaches `l2-S/R` on max error at large `s`; CM
+//! worst overall. The asymmetric (one-sided) noise is what separates
+//! `l2-S/R` from `l1-S/R` here.
+
+use bas_bench::{print_dataset_summary, print_sweep_tables, scaled, trials};
+use bas_data::{KinematicGen, VectorGenerator};
+use bas_eval::claims::{check_dominance, report};
+use bas_eval::{run_width_sweep, Algorithm, SweepConfig};
+
+fn main() {
+    let n = scaled(600_000);
+    let x = KinematicGen::new(n).generate(0xF164);
+    println!("================ Figure 4: Higgs ================");
+    print_dataset_summary("Higgs-like", &x, 125);
+    let cfg = SweepConfig {
+        widths: vec![500, 1_000, 2_000, 4_000],
+        depth: 9,
+        trials: trials(),
+        seed: 0xF164,
+    };
+    let results = run_width_sweep(&x, &Algorithm::MAIN_SET, &cfg);
+    print_sweep_tables("Figure 4 (Higgs)", &results, "s");
+    // §5.2: "for average error, l2-S/R again achieves the smallest
+    // error. The average error of CS is typically larger than that of
+    // l2-S/R and much smaller than that of other algorithms"; the
+    // asymmetric tail separates l2-S/R from l1-S/R.
+    report(&[
+        check_dominance(&results, "l2-S/R", "CS", 1.0, "Fig4 §5.2"),
+        check_dominance(&results, "CS", "CML-CU", 1.5, "Fig4 §5.2"),
+        check_dominance(&results, "l2-S/R", "l1-S/R", 3.0, "Fig4 §5.2"),
+        check_dominance(&results, "l2-S/R", "CM", 40.0, "Fig4 §5.2"),
+    ]);
+}

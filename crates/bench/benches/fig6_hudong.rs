@@ -1,0 +1,60 @@
+//! **Figure 6** — Hudong streaming experiment: (a) average error,
+//! (b) maximum error, (c) per-update time, (d) per-query time, with the
+//! sketch maintained online over the edge stream.
+//!
+//! Paper setup: 18.8M timestamped edges over 2.45M articles, `x` =
+//! out-degrees. Default here: preferential-attachment stand-in with
+//! 2.5M edges over 250k articles (`BAS_SCALE` to grow).
+//!
+//! Expected shape (paper §5.5): CS error ≥2x `l2-S/R`; the others worse
+//! still (CM-CU ≈ CML-CU ≈ `l1-S/R`); all six algorithms within small
+//! constant factors on update/query time — the Bias-Heap overhead keeps
+//! `l2-S/R` within ~2x of CS per update and `l1-S/R` within ~1.5x of CM.
+
+use bas_bench::{scale, scaled};
+use bas_data::GraphStreamGen;
+use bas_eval::{run_stream_experiment, Algorithm, ResultTable};
+
+fn main() {
+    let nodes = scaled(250_000);
+    let edges = (2_500_000.0 * scale()) as usize;
+    let gen = GraphStreamGen::hudong_scaled(nodes, edges);
+    println!("================ Figure 6: Hudong stream ================");
+    println!("stream: {edges} edges over {nodes} articles (out-degree vector)");
+    let stream = gen.stream(0xF166);
+
+    let widths = [1_000usize, 2_000, 4_000];
+    let results = run_stream_experiment(
+        &stream,
+        nodes as u64,
+        &Algorithm::MAIN_SET,
+        &widths,
+        9,
+        0xF166,
+    );
+
+    let mut acc = ResultTable::new(
+        "Figure 6a-b — accuracy after the stream",
+        &["algorithm", "s", "avg err", "max err"],
+    );
+    let mut time = ResultTable::new(
+        "Figure 6c-d — streaming cost",
+        &["algorithm", "s", "update ns", "query ns"],
+    );
+    for r in &results {
+        acc.push_row(vec![
+            r.algorithm.to_string(),
+            r.width.to_string(),
+            format!("{:.4}", r.errors.avg_err),
+            format!("{:.1}", r.errors.max_err),
+        ]);
+        time.push_row(vec![
+            r.algorithm.to_string(),
+            r.width.to_string(),
+            format!("{:.0}", r.update_ns),
+            format!("{:.0}", r.query_ns),
+        ]);
+    }
+    println!("{}", acc.to_text());
+    println!("{}", time.to_text());
+}

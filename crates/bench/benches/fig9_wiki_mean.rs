@@ -1,0 +1,33 @@
+//! **Figure 9** — Wiki dataset, paper estimators vs mean heuristics.
+//!
+//! Expected shape (paper §5.4): `l2-S/R`, `l1-mean` and `l2-mean` have
+//! similar performance and all beat `l1-S/R` — real pageview data has
+//! no adversarial outliers, so the mean is an adequate (and cheap) bias
+//! estimate there.
+
+use bas_bench::{print_dataset_summary, print_sweep_tables, scaled, trials};
+use bas_data::{VectorGenerator, WebTrafficGen};
+use bas_eval::claims::{check_dominance, report};
+use bas_eval::{run_width_sweep, Algorithm, SweepConfig};
+
+fn main() {
+    let n = scaled(300_000);
+    let x = WebTrafficGen::wiki_scaled(n, 40.0).generate(0xF169);
+    println!("================ Figure 9: Wiki, mean heuristics ================");
+    print_dataset_summary("Wiki-like", &x, 125);
+    let cfg = SweepConfig {
+        widths: vec![500, 1_000, 2_000, 4_000],
+        depth: 9,
+        trials: trials(),
+        seed: 0xF169,
+    };
+    let results = run_width_sweep(&x, &Algorithm::MEAN_SET, &cfg);
+    print_sweep_tables("Figure 9 (Wiki)", &results, "s");
+    // §5.4: "l2-S/R, l1-mean and l2-mean have similar performance and
+    // all of them outperform l1-S/R".
+    report(&[
+        check_dominance(&results, "l2-S/R", "l1-S/R", 2.0, "Fig9 §5.4"),
+        check_dominance(&results, "l2-mean", "l1-S/R", 2.0, "Fig9 §5.4"),
+        check_dominance(&results, "l1-mean", "l1-S/R", 1.5, "Fig9 §5.4"),
+    ]);
+}

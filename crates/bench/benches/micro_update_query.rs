@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: per-update and per-point-query latency
+//! for every algorithm at a fixed configuration — the quantitative
+//! backing for Figure 6c–d's "the differences ... are not significant"
+//! and "the overhead introduced by the components used to estimate the
+//! bias is fairly low" (§5.6).
+
+use bas_eval::Algorithm;
+use bas_hash::SplitMix64;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+const N: u64 = 100_000;
+const WIDTH: usize = 2_000;
+const DEPTH: usize = 9;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group.sample_size(20);
+    let mut rng = SplitMix64::new(42);
+    let updates: Vec<(u64, f64)> = (0..10_000)
+        .map(|_| (rng.next_below(N), 1.0 + (rng.next_below(9) as f64)))
+        .collect();
+    for algo in Algorithm::MAIN_SET {
+        group.bench_function(algo.label(), |b| {
+            b.iter_batched(
+                || algo.build(N, WIDTH, DEPTH, 7),
+                |mut sk| {
+                    for &(i, d) in &updates {
+                        sk.update(i, d);
+                    }
+                    sk
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query");
+    group.sample_size(20);
+    let mut rng = SplitMix64::new(43);
+    for algo in Algorithm::MAIN_SET {
+        let mut sk = algo.build(N, WIDTH, DEPTH, 7);
+        for _ in 0..200_000 {
+            sk.update(rng.next_below(N), 1.0);
+        }
+        let probes: Vec<u64> = (0..1_000).map(|_| rng.next_below(N)).collect();
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &p in &probes {
+                    acc += sk.estimate(p);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Quick per-algorithm cost profile on the WorldCup workload — a
+//! developer utility for spotting ingest/recovery regressions without
+//! running a full figure bench.
+//!
+//! Run with: `cargo run --release -p bas-bench --bin profile_algos`
+
+use bas_data::{VectorGenerator, WebTrafficGen};
+use bas_eval::{run_width_sweep, Algorithm, SweepConfig};
+use std::time::Instant;
+
+fn main() {
+    let x = WebTrafficGen::worldcup().generate(1);
+    for algo in Algorithm::MAIN_SET {
+        let t = Instant::now();
+        let cfg = SweepConfig {
+            widths: vec![2000],
+            depth: 9,
+            trials: 1,
+            seed: 1,
+        };
+        let r = run_width_sweep(&x, &[algo], &cfg);
+        println!(
+            "{:>8}: total {:?} (ingest {:.2}s recover {:.2}s, avg err {:.2})",
+            algo.label(),
+            t.elapsed(),
+            r[0].build_secs,
+            r[0].recover_secs,
+            r[0].errors.avg_err
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Orthogonal Matching Pursuit and the BOMP recovery pipeline.
+
+use crate::lstsq::solve_spd;
+use crate::matrix::DenseMatrix;
+
+/// Runs OMP on measurement `y` against the columns of `dict` (each
+/// accessed through a closure so callers can present virtual columns,
+/// e.g. BOMP's prepended bias atom) for `iters` iterations.
+///
+/// Returns the selected column indices and their least-squares
+/// coefficients.
+///
+/// `columns` provides the dictionary: `columns(j, out)` writes column
+/// `j` (length `y.len()`) into `out`; `num_cols` is the dictionary
+/// width.
+pub fn omp(
+    y: &[f64],
+    num_cols: usize,
+    mut columns: impl FnMut(usize, &mut [f64]),
+    iters: usize,
+) -> (Vec<usize>, Vec<f64>) {
+    let t = y.len();
+    let iters = iters.min(num_cols).min(t);
+    let mut residual = y.to_vec();
+    let mut selected: Vec<usize> = Vec::with_capacity(iters);
+    // Materialized selected columns, row-major (iters × t).
+    let mut basis: Vec<f64> = Vec::with_capacity(iters * t);
+    let mut col_buf = vec![0.0; t];
+    let mut coeffs: Vec<f64> = Vec::new();
+    for _ in 0..iters {
+        // Greedy step: column most correlated with the residual
+        // (normalized so unequal column norms do not skew selection).
+        let mut best = usize::MAX;
+        let mut best_score = -1.0;
+        for j in 0..num_cols {
+            if selected.contains(&j) {
+                continue;
+            }
+            columns(j, &mut col_buf);
+            let mut dot = 0.0;
+            let mut norm_sq = 0.0;
+            for (c, r) in col_buf.iter().zip(residual.iter()) {
+                dot += c * r;
+                norm_sq += c * c;
+            }
+            if norm_sq <= 1e-300 {
+                continue;
+            }
+            let score = dot.abs() / norm_sq.sqrt();
+            if score > best_score {
+                best_score = score;
+                best = j;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        selected.push(best);
+        columns(best, &mut col_buf);
+        basis.extend_from_slice(&col_buf);
+        // Least squares on the selected columns: solve (BᵀB)c = Bᵀy.
+        let m = selected.len();
+        let mut gram = vec![0.0; m * m];
+        let mut rhs = vec![0.0; m];
+        for a in 0..m {
+            let ca = &basis[a * t..(a + 1) * t];
+            rhs[a] = ca.iter().zip(y.iter()).map(|(u, v)| u * v).sum();
+            for b in a..m {
+                let cb = &basis[b * t..(b + 1) * t];
+                let g: f64 = ca.iter().zip(cb.iter()).map(|(u, v)| u * v).sum();
+                gram[a * m + b] = g;
+                gram[b * m + a] = g;
+            }
+        }
+        solve_spd(&mut gram, &mut rhs, m);
+        coeffs = rhs;
+        // Refresh the residual r = y − B·c.
+        residual.copy_from_slice(y);
+        for (a, &c) in coeffs.iter().enumerate() {
+            let ca = &basis[a * t..(a + 1) * t];
+            for (r, u) in residual.iter_mut().zip(ca.iter()) {
+                *r -= c * u;
+            }
+        }
+        // Early exit on (numerically) exact fit.
+        let res_norm: f64 = residual.iter().map(|v| v * v).sum();
+        if res_norm < 1e-18 {
+            break;
+        }
+    }
+    (selected, coeffs)
+}
+
+/// The BOMP sketch/recover pipeline of Yan et al. (paper §2): Gaussian
+/// sketching, then OMP over `[bias-atom | Φ]` for `k + 1` iterations.
+#[derive(Debug, Clone)]
+pub struct Bomp {
+    phi: DenseMatrix,
+    bias_atom: Vec<f64>,
+    n: usize,
+}
+
+impl Bomp {
+    /// Creates a BOMP instance with a `t × n` Gaussian `Φ`.
+    pub fn new(n: usize, t: usize, seed: u64) -> Self {
+        assert!(n > 0 && t > 0);
+        let phi = DenseMatrix::gaussian_sketch(t, n, seed);
+        let bias_atom = phi.bias_atom();
+        Self { phi, bias_atom, n }
+    }
+
+    /// Measurement count `t` (sketch size in words).
+    pub fn measurements(&self) -> usize {
+        self.phi.rows()
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// The sketching phase `y = Φx`. `O(t·n)` — already far costlier
+    /// than the `O(n·d)` hashing sketches.
+    pub fn sketch(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        self.phi.matvec(x)
+    }
+
+    /// The recovery phase: OMP on `y` against `Φ' = [(1/√n)Σφ | Φ]` for
+    /// `k + 1` iterations, returning the full recovered vector
+    /// `x̃ = c₀·(1/√n)·1 + Σ c_j·e_j`.
+    ///
+    /// Note what the paper critiques: there is no per-coordinate query —
+    /// this decodes everything at `O(k·t·n)` cost.
+    pub fn recover(&self, y: &[f64], k: usize) -> Vec<f64> {
+        assert_eq!(y.len(), self.phi.rows(), "measurement length mismatch");
+        let n = self.n;
+        let (selected, coeffs) = omp(
+            y,
+            n + 1,
+            |j, out| {
+                if j == 0 {
+                    out.copy_from_slice(&self.bias_atom);
+                } else {
+                    for (r, o) in out.iter_mut().enumerate() {
+                        *o = self.phi.get(r, j - 1);
+                    }
+                }
+            },
+            k + 1,
+        );
+        let mut x = vec![0.0; n];
+        let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+        for (&j, &c) in selected.iter().zip(coeffs.iter()) {
+            if j == 0 {
+                for v in x.iter_mut() {
+                    *v += c * inv_sqrt_n;
+                }
+            } else {
+                x[j - 1] += c;
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omp_recovers_sparse_support_exactly() {
+        // 3-sparse vector, t = 60 measurements over n = 200: textbook
+        // compressed-sensing regime.
+        let n = 200;
+        let t = 60;
+        let phi = DenseMatrix::gaussian_sketch(t, n, 11);
+        let mut x = vec![0.0; n];
+        x[5] = 3.0;
+        x[77] = -2.0;
+        x[150] = 5.0;
+        let y = phi.matvec(&x);
+        let (selected, coeffs) = omp(
+            &y,
+            n,
+            |j, out| {
+                for (r, o) in out.iter_mut().enumerate() {
+                    *o = phi.get(r, j);
+                }
+            },
+            3,
+        );
+        let mut rec = vec![0.0; n];
+        for (&j, &c) in selected.iter().zip(coeffs.iter()) {
+            rec[j] = c;
+        }
+        for i in 0..n {
+            assert!(
+                (rec[i] - x[i]).abs() < 1e-6,
+                "i = {i}: {} vs {}",
+                rec[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bomp_recovers_biased_sparse_vector() {
+        // The exact model BOMP targets: x = β·1 + k outliers.
+        let n = 300;
+        let k = 3;
+        let bomp = Bomp::new(n, 80, 7);
+        let mut x = vec![42.0; n];
+        x[10] = 500.0;
+        x[100] = -100.0;
+        x[250] = 900.0;
+        let y = bomp.sketch(&x);
+        let rec = bomp.recover(&y, k);
+        let max_err = rec
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-6, "max_err = {max_err}");
+    }
+
+    #[test]
+    fn bomp_handles_pure_bias() {
+        let n = 100;
+        let bomp = Bomp::new(n, 40, 9);
+        let x = vec![7.5; n];
+        let y = bomp.sketch(&x);
+        let rec = bomp.recover(&y, 2);
+        for (i, (&r, &t)) in rec.iter().zip(x.iter()).enumerate() {
+            assert!((r - t).abs() < 1e-6, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn bomp_degrades_gracefully_off_model() {
+        // Add noise around the bias (which BOMP does NOT model, unlike
+        // the bias-aware sketches): recovery error should now be
+        // noticeable, demonstrating the paper's criticism.
+        let n = 200;
+        let bomp = Bomp::new(n, 80, 13);
+        let mut x = vec![50.0; n];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += ((i % 13) as f64 - 6.0) * 0.8; // structured noise
+        }
+        x[20] = 700.0;
+        let y = bomp.sketch(&x);
+        let rec = bomp.recover(&y, 1);
+        let avg_err: f64 = rec
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / n as f64;
+        // Not exact any more, but the outlier and bias are still found.
+        assert!(avg_err > 1e-6, "off-model input should not be exact");
+        assert!((rec[20] - 700.0).abs() < 60.0, "outlier at {}", rec[20]);
+    }
+
+    #[test]
+    fn accessors() {
+        let bomp = Bomp::new(64, 16, 1);
+        assert_eq!(bomp.universe(), 64);
+        assert_eq!(bomp.measurements(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn sketch_rejects_bad_length() {
+        Bomp::new(10, 4, 0).sketch(&[1.0]);
+    }
+}

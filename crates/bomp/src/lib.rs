@@ -1,0 +1,32 @@
+//! # bas-bomp — the BOMP baseline (Yan et al., SIGMOD 2015)
+//!
+//! The paper's §2 describes BOMP, the prior attempt at bias recovery:
+//! sketch with a dense Gaussian matrix `Φ ∈ R^{t×n}` (entries i.i.d.
+//! `N(0, 1/t)`), then at recovery time prepend the column
+//! `(1/√n)·Σᵢ φᵢ` — the sketch of the normalized all-ones vector — and
+//! run Orthogonal Matching Pursuit for `k + 1` iterations. The paper
+//! criticizes it on three counts, all of which this implementation lets
+//! you verify experimentally (`ext_bomp` bench):
+//!
+//! * it only targets *biased k-sparse* vectors (exact bias + outliers),
+//!   with no guarantee for general inputs;
+//! * OMP is expensive — `O(k·t·n)` per recovery versus `O(n log n)` for
+//!   the bias-aware sketches;
+//! * it "cannot answer point query without decoding the whole vector".
+//!
+//! The linear-algebra substrate (dense matrices, Cholesky least squares)
+//! is written from scratch; dimensions in this use are small enough
+//! (`t = O(k log n)`, solves of size `≤ k+1`) that textbook algorithms
+//! are the right tool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bomp;
+mod lstsq;
+mod matrix;
+
+pub use bomp::omp;
+pub use bomp::Bomp;
+pub use lstsq::solve_spd;
+pub use matrix::DenseMatrix;

@@ -1,0 +1,115 @@
+//! Small symmetric positive-definite solves for the OMP inner loop.
+
+/// Solves `A·x = b` for symmetric positive-definite `A` (row-major,
+/// `dim × dim`) by Cholesky factorization. `A` and `b` are consumed as
+/// scratch; the solution lands in `b`.
+///
+/// OMP solves systems of size at most `k + 1`, so a dense textbook
+/// Cholesky is exactly right — `O(dim³)` with tiny constants.
+///
+/// # Panics
+/// Panics if the matrix is not positive definite (a pivot drops below
+/// `1e-12`), which for OMP means a duplicate column was selected.
+pub fn solve_spd(a: &mut [f64], b: &mut [f64], dim: usize) {
+    assert_eq!(a.len(), dim * dim, "matrix size mismatch");
+    assert_eq!(b.len(), dim, "rhs size mismatch");
+    // In-place Cholesky: A = L·Lᵀ with L in the lower triangle.
+    for j in 0..dim {
+        let mut diag = a[j * dim + j];
+        for k in 0..j {
+            diag -= a[j * dim + k] * a[j * dim + k];
+        }
+        assert!(
+            diag > 1e-12,
+            "matrix not positive definite at pivot {j} ({diag})"
+        );
+        let diag = diag.sqrt();
+        a[j * dim + j] = diag;
+        for i in (j + 1)..dim {
+            let mut v = a[i * dim + j];
+            for k in 0..j {
+                v -= a[i * dim + k] * a[j * dim + k];
+            }
+            a[i * dim + j] = v / diag;
+        }
+    }
+    // Forward solve L·y = b.
+    for i in 0..dim {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= a[i * dim + k] * b[k];
+        }
+        b[i] = v / a[i * dim + i];
+    }
+    // Backward solve Lᵀ·x = y.
+    for i in (0..dim).rev() {
+        let mut v = b[i];
+        for k in (i + 1)..dim {
+            v -= a[k * dim + i] * b[k];
+        }
+        b[i] = v / a[i * dim + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, -4.0];
+        solve_spd(&mut a, &mut b, 2);
+        assert_eq!(b, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn known_system() {
+        // A = [[4, 2], [2, 3]], b = [8, 7] -> x = [1.25, 1.5].
+        let mut a = vec![4.0, 2.0, 2.0, 3.0];
+        let mut b = vec![8.0, 7.0];
+        solve_spd(&mut a, &mut b, 2);
+        assert!((b[0] - 1.25).abs() < 1e-12);
+        assert!((b[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_spd_roundtrip() {
+        // Build A = MᵀM + I (SPD), pick x, solve for it from b = A·x.
+        let dim = 6;
+        let mut state = 777u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / u32::MAX as f64) - 0.5
+        };
+        let m: Vec<f64> = (0..dim * dim).map(|_| rng()).collect();
+        let mut a = vec![0.0; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                let mut acc = if i == j { 1.0 } else { 0.0 };
+                for k in 0..dim {
+                    acc += m[k * dim + i] * m[k * dim + j];
+                }
+                a[i * dim + j] = acc;
+            }
+        }
+        let x_true: Vec<f64> = (0..dim).map(|i| i as f64 - 2.0).collect();
+        let mut b = vec![0.0; dim];
+        for i in 0..dim {
+            b[i] = (0..dim).map(|j| a[i * dim + j] * x_true[j]).sum();
+        }
+        let mut a_scratch = a.clone();
+        solve_spd(&mut a_scratch, &mut b, dim);
+        for i in 0..dim {
+            assert!((b[i] - x_true[i]).abs() < 1e-9, "x[{i}] = {}", b[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn singular_matrix_panics() {
+        let mut a = vec![1.0, 1.0, 1.0, 1.0]; // rank 1
+        let mut b = vec![1.0, 1.0];
+        solve_spd(&mut a, &mut b, 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Minimal dense row-major matrix for the BOMP pipeline.
+
+use bas_hash::SplitMix64;
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate dimensions");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A Gaussian sketching matrix with i.i.d. `N(0, 1/rows)` entries —
+    /// BOMP's `Φ` (paper §2). Box–Muller over a seeded generator keeps
+    /// it reproducible.
+    pub fn gaussian_sketch(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        let mut rng = SplitMix64::new(seed ^ 0xB0B0_0001);
+        let std = 1.0 / (rows as f64).sqrt();
+        let mut spare: Option<f64> = None;
+        for v in m.data.iter_mut() {
+            let z = if let Some(z) = spare.take() {
+                z
+            } else {
+                loop {
+                    let u = 2.0 * ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) - 1.0;
+                    let w = 2.0 * ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) - 1.0;
+                    let s = u * u + w * w;
+                    if s > 0.0 && s < 1.0 {
+                        let f = (-2.0 * s.ln() / s).sqrt();
+                        spare = Some(w * f);
+                        break u * f;
+                    }
+                }
+            };
+            *v = z * std;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable cell access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable cell access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *out = acc;
+        }
+        y
+    }
+
+    /// Dot product of column `c` with a vector of length `rows`.
+    pub fn col_dot(&self, c: usize, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        v.iter()
+            .enumerate()
+            .map(|(r, &vr)| self.get(r, c) * vr)
+            .sum()
+    }
+
+    /// Euclidean norm of column `c`.
+    pub fn col_norm(&self, c: usize) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.rows {
+            let v = self.get(r, c);
+            acc += v * v;
+        }
+        acc.sqrt()
+    }
+
+    /// Column sums divided by `√cols` — BOMP's prepended bias atom
+    /// `(1/√n)·Σᵢ φᵢ`.
+    pub fn bias_atom(&self) -> Vec<f64> {
+        let scale = 1.0 / (self.cols as f64).sqrt();
+        (0..self.rows)
+            .map(|r| self.row(r).iter().sum::<f64>() * scale)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let mut a = DenseMatrix::zeros(2, 3);
+        // [1 2 3; 4 5 6]
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            a.set(i / 3, i % 3, *v);
+        }
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.col_dot(1, &[1.0, 1.0]), 7.0);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+    }
+
+    #[test]
+    fn gaussian_entries_have_right_moments() {
+        let m = DenseMatrix::gaussian_sketch(100, 500, 3);
+        let vals: Vec<f64> = (0..100).flat_map(|r| m.row(r).to_vec()).collect();
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.002, "mean = {mean}");
+        assert!(
+            (var - 0.01).abs() < 0.001,
+            "var = {var} (expect 1/rows = 0.01)"
+        );
+    }
+
+    #[test]
+    fn gaussian_columns_are_near_unit_norm() {
+        let m = DenseMatrix::gaussian_sketch(400, 50, 5);
+        for c in 0..50 {
+            let norm = m.col_norm(c);
+            assert!((norm - 1.0).abs() < 0.2, "col {c}: {norm}");
+        }
+    }
+
+    #[test]
+    fn bias_atom_is_scaled_column_sum() {
+        let mut a = DenseMatrix::zeros(2, 4);
+        for c in 0..4 {
+            a.set(0, c, 1.0);
+            a.set(1, c, c as f64);
+        }
+        let atom = a.bias_atom();
+        assert!((atom[0] - 4.0 / 2.0).abs() < 1e-12); // 4 / sqrt(4)
+        assert!((atom[1] - 6.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DenseMatrix::gaussian_sketch(10, 10, 42);
+        let b = DenseMatrix::gaussian_sketch(10, 10, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_length() {
+        DenseMatrix::zeros(2, 3).matvec(&[1.0]);
+    }
+}

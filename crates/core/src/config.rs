@@ -1,0 +1,268 @@
+//! Configuration types for the bias-aware sketches.
+
+use bas_hash::HashKind;
+use bas_sketch::SketchParams;
+
+/// How many rows the sampling matrix `Υ` gets (`ℓ1` sketch only).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleCount {
+    /// The paper's theoretical default `t = ⌈20·ln n⌉` (Lemma 3).
+    PaperLogN,
+    /// `t = s` extra words, matching the paper's experimental setup
+    /// (§5.1: "in our implementation we use `s` … extra words", which
+    /// also stabilizes the bias estimate).
+    #[default]
+    MatchWidth,
+    /// An explicit row count.
+    Explicit(usize),
+}
+
+impl SampleCount {
+    /// Resolves to a concrete row count.
+    pub fn resolve(&self, n: u64, width: usize) -> usize {
+        match *self {
+            SampleCount::PaperLogN => (((20.0 * (n.max(2) as f64).ln()).ceil()) as usize).max(1),
+            SampleCount::MatchWidth => width.max(1),
+            SampleCount::Explicit(t) => {
+                assert!(t > 0, "explicit sample count must be positive");
+                t
+            }
+        }
+    }
+}
+
+/// Which bias estimator a sketch uses.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BiasStrategy {
+    /// The paper's estimator: sample median for `ℓ1` (Algorithm 2 line
+    /// 1), median-bucket average for `ℓ2` (Algorithm 4 line 2).
+    #[default]
+    Paper,
+    /// The `ℓ1`-mean / `ℓ2`-mean heuristics of §5.4: use the global mean
+    /// `Σx_i / n`, maintained exactly from the update stream. No
+    /// theoretical guarantee (a single huge outlier ruins it — see
+    /// Figure 8c–d), but competitive on benign data.
+    GlobalMean,
+}
+
+/// How the `ℓ2` sketch maintains its bucket ordering for the bias.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum L2BiasMaintenance {
+    /// The paper's Bias-Heap (Algorithm 5): `O(log s)` updates, `O(1)`
+    /// bias queries. The streaming default.
+    #[default]
+    BiasHeap,
+    /// An order-statistic tree with augmented sums: same complexity,
+    /// different constants (compared in `ablation_bias_maintenance`).
+    OrderStatTree,
+    /// No incremental structure: sort the buckets at every bias query
+    /// (`O(s log s)`). This is the "post-processing" strawman the paper
+    /// rejects for real-time queries (§4.1) — kept for the ablation and
+    /// for one-shot offline recovery where it is perfectly adequate.
+    Resort,
+}
+
+/// Configuration for the `ℓ∞/ℓ1` bias-aware sketch (Algorithms 1–2).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Universe size `n`.
+    pub n: u64,
+    /// Buckets per Count-Median row (`s = c_s·k`, `c_s ≥ 4`).
+    pub width: usize,
+    /// Number of Count-Median rows (`d = Θ(log n)`; 9 in the paper's
+    /// experiments).
+    pub depth: usize,
+    /// Master seed (shared knowledge between sketching and recovery).
+    pub seed: u64,
+    /// Hash family.
+    pub hash_kind: HashKind,
+    /// Rows of the sampling matrix `Υ`.
+    pub samples: SampleCount,
+    /// Bias estimator (paper sampling vs. global-mean heuristic).
+    pub bias: BiasStrategy,
+}
+
+impl L1Config {
+    /// Creates a configuration with paper defaults.
+    pub fn new(n: u64, width: usize, depth: usize) -> Self {
+        assert!(n > 0 && width > 0 && depth > 0);
+        Self {
+            n,
+            width,
+            depth,
+            seed: 0,
+            hash_kind: HashKind::CarterWegman,
+            samples: SampleCount::default(),
+            bias: BiasStrategy::default(),
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sampling-matrix row count policy.
+    pub fn with_samples(mut self, samples: SampleCount) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Switches to the global-mean bias heuristic (`ℓ1`-mean).
+    pub fn with_bias(mut self, bias: BiasStrategy) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Sets the hash family.
+    pub fn with_hash_kind(mut self, kind: HashKind) -> Self {
+        self.hash_kind = kind;
+        self
+    }
+
+    /// The underlying Count-Median parameters.
+    pub fn sketch_params(&self) -> SketchParams {
+        SketchParams::new(self.n, self.width, self.depth)
+            .with_seed(self.seed)
+            .with_hash_kind(self.hash_kind)
+    }
+}
+
+/// Configuration for the `ℓ∞/ℓ2` bias-aware sketch (Algorithms 3–4).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Universe size `n`.
+    pub n: u64,
+    /// Buckets per row, for both `Π(g)` and the Count-Sketch rows.
+    pub width: usize,
+    /// Number of Count-Sketch rows (9 in the paper's experiments; the
+    /// `Π(g)` row group is one extra).
+    pub depth: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Hash family.
+    pub hash_kind: HashKind,
+    /// Half-width `k` of the `2k` median-bucket window; defaults to
+    /// `s/4` as in Algorithm 5 line 2 (i.e. `c_s = 4`).
+    pub k: Option<usize>,
+    /// Bias estimator (paper median buckets vs. global-mean heuristic).
+    pub bias: BiasStrategy,
+    /// Incremental structure maintaining the bucket order.
+    pub maintenance: L2BiasMaintenance,
+}
+
+impl L2Config {
+    /// Creates a configuration with paper defaults.
+    pub fn new(n: u64, width: usize, depth: usize) -> Self {
+        assert!(n > 0 && width > 0 && depth > 0);
+        Self {
+            n,
+            width,
+            depth,
+            seed: 0,
+            hash_kind: HashKind::CarterWegman,
+            k: None,
+            bias: BiasStrategy::default(),
+            maintenance: L2BiasMaintenance::default(),
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the median-window half-width `k` explicitly.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        self.k = Some(k);
+        self
+    }
+
+    /// Switches to the global-mean bias heuristic (`ℓ2`-mean).
+    pub fn with_bias(mut self, bias: BiasStrategy) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Selects the bias-maintenance structure.
+    pub fn with_maintenance(mut self, m: L2BiasMaintenance) -> Self {
+        self.maintenance = m;
+        self
+    }
+
+    /// Sets the hash family.
+    pub fn with_hash_kind(mut self, kind: HashKind) -> Self {
+        self.hash_kind = kind;
+        self
+    }
+
+    /// The effective `k` (defaults to `width / 4`, minimum 1).
+    pub fn effective_k(&self) -> usize {
+        self.k.unwrap_or((self.width / 4).max(1))
+    }
+
+    /// The underlying Count-Sketch parameters.
+    pub fn sketch_params(&self) -> SketchParams {
+        SketchParams::new(self.n, self.width, self.depth)
+            .with_seed(self.seed)
+            .with_hash_kind(self.hash_kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_count_resolution() {
+        assert_eq!(SampleCount::MatchWidth.resolve(1000, 64), 64);
+        assert_eq!(SampleCount::Explicit(7).resolve(1000, 64), 7);
+        let t = SampleCount::PaperLogN.resolve(1_000_000, 64);
+        assert!((270..285).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn explicit_zero_samples_rejected() {
+        SampleCount::Explicit(0).resolve(10, 10);
+    }
+
+    #[test]
+    fn l1_builder_roundtrip() {
+        let c = L1Config::new(100, 32, 5)
+            .with_seed(9)
+            .with_samples(SampleCount::Explicit(11))
+            .with_bias(BiasStrategy::GlobalMean);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.samples, SampleCount::Explicit(11));
+        assert_eq!(c.bias, BiasStrategy::GlobalMean);
+        let p = c.sketch_params();
+        assert_eq!((p.n, p.width, p.depth, p.seed), (100, 32, 5, 9));
+    }
+
+    #[test]
+    fn l2_effective_k_defaults_to_quarter_width() {
+        let c = L2Config::new(100, 64, 5);
+        assert_eq!(c.effective_k(), 16);
+        assert_eq!(c.with_k(5).effective_k(), 5);
+        // Tiny widths still produce a usable k.
+        assert_eq!(L2Config::new(100, 2, 1).effective_k(), 1);
+    }
+
+    #[test]
+    fn l2_builder_roundtrip() {
+        let c = L2Config::new(10, 8, 2)
+            .with_maintenance(L2BiasMaintenance::OrderStatTree)
+            .with_hash_kind(HashKind::Tabulation);
+        assert_eq!(c.maintenance, L2BiasMaintenance::OrderStatTree);
+        assert_eq!(c.hash_kind, HashKind::Tabulation);
+    }
+}

@@ -1,0 +1,501 @@
+//! The `ℓ∞/ℓ2` bias-aware sketch (paper, Algorithms 3–6, Theorem 4).
+
+use crate::config::{BiasStrategy, L2BiasMaintenance, L2Config};
+use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
+use bas_sketch::util::median_in_place;
+use bas_sketch::{CountSketch, MergeError, MergeableSketch, PointQuerySketch};
+use bas_stream::{BiasHeap, OrderStatTree};
+
+/// Computes the median-bucket average of Algorithm 4 line 2 directly by
+/// sorting: order buckets by `w_i/π_i`, take the middle `window` of the
+/// `π > 0` buckets (bottom excluded share rounding down), and return
+/// `Σw / Σπ` over that window. `O(s log s)`.
+///
+/// This is the reference the incremental maintainers (Bias-Heap, tree)
+/// must agree with, and the "re-sort at query time" strategy itself.
+pub(crate) fn median_bucket_average(w: &[f64], pi: &[u64], k: usize) -> f64 {
+    let usable: Vec<usize> = (0..pi.len()).filter(|&i| pi[i] > 0).collect();
+    let s = usable.len();
+    assert!(s > 0, "all buckets empty");
+    let window = (2 * k).max(1).min(s);
+    let n_a = (s - window) / 2;
+    let mut order = usable;
+    order.sort_by(|&a, &b| {
+        let ka = w[a] / pi[a] as f64;
+        let kb = w[b] / pi[b] as f64;
+        ka.total_cmp(&kb).then(a.cmp(&b))
+    });
+    let mut w_sum = 0.0;
+    let mut pi_sum = 0.0;
+    for &b in &order[n_a..n_a + window] {
+        w_sum += w[b];
+        pi_sum += pi[b] as f64;
+    }
+    w_sum / pi_sum
+}
+
+/// Order-statistic-tree maintainer: same `O(log s)` updates as the
+/// Bias-Heap via remove/re-insert, bias from two prefix-sum queries.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+struct TreeBias {
+    tree: OrderStatTree,
+    /// Current key (`w/π`) per dense bucket, needed to locate nodes.
+    keys: Vec<f64>,
+    w: Vec<f64>,
+    pi: Vec<f64>,
+    dense_id: Vec<u32>,
+    n_a: u64,
+    window: u64,
+}
+
+impl TreeBias {
+    fn new(pi_g: &[u64], k: usize, seed: u64) -> Self {
+        let usable: Vec<usize> = (0..pi_g.len()).filter(|&i| pi_g[i] > 0).collect();
+        let s = usable.len();
+        assert!(s > 0, "all buckets empty");
+        let window = (2 * k).max(1).min(s) as u64;
+        let n_a = (s as u64 - window) / 2;
+        let mut dense_id = vec![u32::MAX; pi_g.len()];
+        let mut tree = OrderStatTree::new(seed);
+        let mut pi = Vec::with_capacity(s);
+        for (dense, &orig) in usable.iter().enumerate() {
+            dense_id[orig] = dense as u32;
+            let p = pi_g[orig] as f64;
+            pi.push(p);
+            tree.insert(0.0, dense as u64, 1, 0.0, p);
+        }
+        Self {
+            tree,
+            keys: vec![0.0; s],
+            w: vec![0.0; s],
+            pi,
+            dense_id,
+            n_a,
+            window,
+        }
+    }
+
+    fn update(&mut self, bucket: usize, delta: f64) {
+        let id = self.dense_id[bucket];
+        assert!(id != u32::MAX, "bucket {bucket} has zero column count");
+        let idu = id as usize;
+        let removed = self.tree.remove(self.keys[idu], id as u64);
+        debug_assert!(removed);
+        self.w[idu] += delta;
+        self.keys[idu] = self.w[idu] / self.pi[idu];
+        self.tree
+            .insert(self.keys[idu], id as u64, 1, self.w[idu], self.pi[idu]);
+    }
+
+    fn bias(&self) -> f64 {
+        let (w_sum, pi_sum) = self.tree.range_sums(self.n_a, self.n_a + self.window);
+        w_sum / pi_sum
+    }
+}
+
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[allow(clippy::large_enum_variant)] // one maintainer per sketch; size is irrelevant
+enum Maintainer {
+    Heap(BiasHeap),
+    Tree(TreeBias),
+    Resort,
+}
+
+/// The `Π(g)` row group: one Count-Median row dedicated to bias
+/// estimation (Algorithm 3 line 1), plus whichever incremental structure
+/// keeps its buckets ordered.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+struct GRow {
+    g: AnyBucketHasher,
+    w: Vec<f64>,
+    pi: Vec<u64>,
+    k: usize,
+    maintainer: Maintainer,
+}
+
+impl GRow {
+    fn new(cfg: &L2Config, width: usize) -> Self {
+        let mut seeder = SplitMix64::new(cfg.seed ^ 0xB1A5_0002);
+        let mut family = HashFamily::new(cfg.hash_kind, &mut seeder, width);
+        let g = family.sample();
+        let width = family.buckets();
+        let mut pi = vec![0u64; width];
+        for j in 0..cfg.n {
+            pi[g.bucket(j)] += 1;
+        }
+        let k = cfg.effective_k();
+        let maintainer = match cfg.maintenance {
+            L2BiasMaintenance::BiasHeap => Maintainer::Heap(BiasHeap::new(&pi, k)),
+            L2BiasMaintenance::OrderStatTree => {
+                Maintainer::Tree(TreeBias::new(&pi, k, cfg.seed ^ 0xB1A5_0003))
+            }
+            L2BiasMaintenance::Resort => Maintainer::Resort,
+        };
+        Self {
+            g,
+            w: vec![0.0; width],
+            pi,
+            k,
+            maintainer,
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, item: u64, delta: f64) {
+        let b = self.g.bucket(item);
+        self.w[b] += delta;
+        match &mut self.maintainer {
+            Maintainer::Heap(h) => h.update(b, delta),
+            Maintainer::Tree(t) => t.update(b, delta),
+            Maintainer::Resort => {}
+        }
+    }
+
+    fn bias(&self) -> f64 {
+        match &self.maintainer {
+            Maintainer::Heap(h) => h.bias(),
+            Maintainer::Tree(t) => t.bias(),
+            Maintainer::Resort => median_bucket_average(&self.w, &self.pi, self.k),
+        }
+    }
+}
+
+/// `ℓ2`-S/R: bias-aware sketch-and-recover with the
+/// `‖x̂ − x‖∞ = O(1/√k)·min_β Err_2^k(x − β)` guarantee.
+///
+/// **Sketching** (Algorithm 3): one Count-Median row `w = Π(g)x` plus
+/// `d` Count-Sketch rows `y_i = Ψ(h_i, r_i)x`.
+///
+/// **Recovery** (Algorithm 4): sort buckets of `w` by their average
+/// `w_i/π_i`; `β̂` is the column-weighted average of the `2k` median
+/// buckets; de-bias the CS rows with the signed column sums `ψ_i`
+/// (`ỹ_i = y_i − β̂·ψ_i`); run Count-Sketch recovery; add `β̂` back:
+///
+/// ```text
+/// x̂_j = median_{i∈[d]} r_i(j)·( y_i[h_i(j)] − β̂·ψ_i[h_i(j)] ) + β̂
+/// ```
+///
+/// **Streaming** (Algorithms 5–6): with the default
+/// [`L2BiasMaintenance::BiasHeap`] the bucket order is maintained
+/// incrementally, so updates cost `O(log s + d)` and point queries
+/// `O(d)` — this struct *is* Algorithm 6. The
+/// [`L2BiasMaintenance::Resort`] mode is the offline variant that sorts
+/// at recovery time.
+///
+/// With [`BiasStrategy::GlobalMean`] the `Π(g)` row is dropped and the
+/// exact running mean serves as `β̂` — the `ℓ2`-mean heuristic of §5.4.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct L2SketchRecover {
+    cfg: L2Config,
+    cs: CountSketch,
+    /// Signed column sums `ψ_i[b]` — recovery-side state derived from
+    /// the shared hash functions.
+    psis: Vec<Vec<f64>>,
+    g_row: Option<GRow>,
+    running_sum: f64,
+}
+
+impl L2SketchRecover {
+    /// Creates an empty sketch.
+    pub fn new(cfg: &L2Config) -> Self {
+        let cs = CountSketch::new(&cfg.sketch_params());
+        let psis = cs.signed_column_sums();
+        let width = cs.params().width;
+        let g_row = match cfg.bias {
+            BiasStrategy::Paper => Some(GRow::new(cfg, width)),
+            BiasStrategy::GlobalMean => None,
+        };
+        Self {
+            cfg: *cfg,
+            cs,
+            psis,
+            g_row,
+            running_sum: 0.0,
+        }
+    }
+
+    /// The configuration this sketch was built with.
+    pub fn config(&self) -> &L2Config {
+        &self.cfg
+    }
+
+    /// The current bias estimate `β̂` (Algorithm 4 line 2 / Algorithm 5
+    /// line 19, depending on the maintenance mode).
+    pub fn bias(&self) -> f64 {
+        match &self.g_row {
+            Some(g) => g.bias(),
+            None => self.running_sum / self.cfg.n as f64,
+        }
+    }
+
+    fn estimate_with_bias(&self, item: u64, beta: f64, scratch: &mut Vec<f64>) -> f64 {
+        scratch.clear();
+        for row in 0..self.cfg.depth {
+            let b = self.cs.bucket_of(row, item);
+            let sign = self.cs.sign_of(row, item);
+            scratch.push(sign * (self.cs.bucket_value(row, b) - beta * self.psis[row][b]));
+        }
+        median_in_place(scratch) + beta
+    }
+}
+
+impl PointQuerySketch for L2SketchRecover {
+    fn update(&mut self, item: u64, delta: f64) {
+        debug_assert!(item < self.cfg.n, "item outside universe");
+        self.cs.update(item, delta);
+        self.running_sum += delta;
+        if let Some(g) = &mut self.g_row {
+            g.update(item, delta);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        let mut scratch = Vec::with_capacity(self.cfg.depth);
+        self.estimate_with_bias(item, self.bias(), &mut scratch)
+    }
+
+    fn universe(&self) -> u64 {
+        self.cfg.n
+    }
+
+    fn size_in_words(&self) -> usize {
+        let g_words = self.g_row.as_ref().map_or(1, |g| g.w.len());
+        self.cs.size_in_words() + g_words
+    }
+
+    fn label(&self) -> &'static str {
+        match self.cfg.bias {
+            BiasStrategy::Paper => "l2-S/R",
+            BiasStrategy::GlobalMean => "l2-mean",
+        }
+    }
+
+    fn recover_all(&self) -> Vec<f64> {
+        let beta = self.bias();
+        let mut scratch = Vec::with_capacity(self.cfg.depth);
+        (0..self.cfg.n)
+            .map(|j| self.estimate_with_bias(j, beta, &mut scratch))
+            .collect()
+    }
+}
+
+impl MergeableSketch for L2SketchRecover {
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.cfg != other.cfg {
+            return Err(MergeError::ShapeMismatch {
+                what: "configurations",
+            });
+        }
+        self.cs.merge_from(&other.cs)?;
+        self.running_sum += other.running_sum;
+        if let (Some(a), Some(b)) = (&mut self.g_row, &other.g_row) {
+            // w rows add; feed the deltas through the maintainer so its
+            // incremental state stays consistent.
+            for bucket in 0..b.w.len() {
+                let delta = b.w[bucket];
+                if delta != 0.0 {
+                    a.w[bucket] += delta;
+                    match &mut a.maintainer {
+                        Maintainer::Heap(h) => h.update(bucket, delta),
+                        Maintainer::Tree(t) => t.update(bucket, delta),
+                        Maintainer::Resort => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn biased_vector(n: usize, bias: f64, outliers: &[(usize, f64)]) -> Vec<f64> {
+        let mut x = vec![bias; n];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += ((i % 9) as f64 - 4.0) * 0.5;
+        }
+        for &(i, v) in outliers {
+            x[i] = v;
+        }
+        x
+    }
+
+    #[test]
+    fn bias_estimate_close_to_true_bias() {
+        let x = biased_vector(5000, 100.0, &[(3, 9000.0), (70, -2000.0)]);
+        let cfg = L2Config::new(5000, 200, 7).with_seed(3);
+        let mut sk = L2SketchRecover::new(&cfg);
+        sk.ingest_vector(&x);
+        let beta = sk.bias();
+        assert!((beta - 100.0).abs() < 3.0, "beta = {beta}");
+    }
+
+    #[test]
+    fn all_maintenance_modes_agree_on_bias() {
+        let n = 2000usize;
+        let x = biased_vector(n, 70.0, &[(5, 4000.0), (6, -900.0)]);
+        let mut biases = Vec::new();
+        for m in [
+            L2BiasMaintenance::BiasHeap,
+            L2BiasMaintenance::OrderStatTree,
+            L2BiasMaintenance::Resort,
+        ] {
+            let cfg = L2Config::new(n as u64, 128, 5)
+                .with_seed(7)
+                .with_maintenance(m);
+            let mut sk = L2SketchRecover::new(&cfg);
+            sk.ingest_vector(&x);
+            biases.push(sk.bias());
+        }
+        assert!(
+            (biases[0] - biases[1]).abs() < 1e-9,
+            "heap {} vs tree {}",
+            biases[0],
+            biases[1]
+        );
+        assert!(
+            (biases[0] - biases[2]).abs() < 1e-9,
+            "heap {} vs resort {}",
+            biases[0],
+            biases[2]
+        );
+    }
+
+    #[test]
+    fn recovers_outliers_on_biased_data() {
+        let n = 4000usize;
+        let x = biased_vector(n, 100.0, &[(11, 5000.0), (222, -1000.0)]);
+        let cfg = L2Config::new(n as u64, 256, 9).with_seed(5);
+        let mut sk = L2SketchRecover::new(&cfg);
+        sk.ingest_vector(&x);
+        assert!((sk.estimate(11) - 5000.0).abs() < 50.0);
+        assert!((sk.estimate(222) + 1000.0).abs() < 50.0);
+        assert!((sk.estimate(500) - x[500]).abs() < 20.0);
+    }
+
+    #[test]
+    fn error_bound_against_oracle() {
+        let n = 3000usize;
+        let x = biased_vector(n, 200.0, &[(1, 4000.0), (2, 3500.0), (3, -800.0)]);
+        let width = 256;
+        let k = width / 4;
+        let cfg = L2Config::new(n as u64, width, 9).with_seed(11);
+        let mut sk = L2SketchRecover::new(&cfg);
+        sk.ingest_vector(&x);
+        let xhat = sk.recover_all();
+        let max_err = xhat
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let debiased = oracle::min_beta_err_k2(&x, k).err;
+        let plain = oracle::err_k_p(&x, k, 2);
+        let bound = debiased / (k as f64).sqrt();
+        assert!(
+            max_err <= 20.0 * bound + 1e-9,
+            "max_err {max_err} vs bound {bound}"
+        );
+        assert!(max_err < plain / (k as f64).sqrt());
+    }
+
+    #[test]
+    fn streaming_equals_offline() {
+        let n = 600u64;
+        let cfg = L2Config::new(n, 64, 5).with_seed(9);
+        let x: Vec<f64> = (0..n).map(|i| 80.0 + (i % 4) as f64).collect();
+        let mut offline = L2SketchRecover::new(&cfg);
+        offline.ingest_vector(&x);
+        let mut streaming = L2SketchRecover::new(&cfg);
+        for i in (0..n).rev() {
+            streaming.update(i, 50.0);
+        }
+        for i in 0..n {
+            streaming.update(i, x[i as usize] - 50.0);
+        }
+        assert!((offline.bias() - streaming.bias()).abs() < 1e-9);
+        for j in (0..n).step_by(29) {
+            assert!(
+                (offline.estimate(j) - streaming.estimate(j)).abs() < 1e-6,
+                "item {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_all_modes() {
+        for m in [
+            L2BiasMaintenance::BiasHeap,
+            L2BiasMaintenance::OrderStatTree,
+            L2BiasMaintenance::Resort,
+        ] {
+            let n = 500u64;
+            let cfg = L2Config::new(n, 64, 5).with_seed(13).with_maintenance(m);
+            let mut a = L2SketchRecover::new(&cfg);
+            let mut b = L2SketchRecover::new(&cfg);
+            let mut c = L2SketchRecover::new(&cfg);
+            for i in 0..n {
+                let (va, vb) = (5.0 + (i % 11) as f64, 20.0 - (i % 3) as f64);
+                a.update(i, va);
+                b.update(i, vb);
+                c.update(i, va + vb);
+            }
+            a.merge_from(&b).unwrap();
+            assert!((a.bias() - c.bias()).abs() < 1e-9, "{m:?}");
+            for j in (0..n).step_by(41) {
+                assert!((a.estimate(j) - c.estimate(j)).abs() < 1e-6, "{m:?} {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_mean_variant() {
+        let n = 1500usize;
+        let x = biased_vector(n, 60.0, &[]);
+        let cfg = L2Config::new(n as u64, 128, 7)
+            .with_seed(2)
+            .with_bias(BiasStrategy::GlobalMean);
+        let mut sk = L2SketchRecover::new(&cfg);
+        sk.ingest_vector(&x);
+        assert_eq!(sk.label(), "l2-mean");
+        assert!((sk.bias() - 60.0).abs() < 1.0);
+        assert!((sk.estimate(700) - x[700]).abs() < 15.0);
+        // Mean variant carries no Π(g) row.
+        assert_eq!(sk.size_in_words(), 128 * 7 + 1);
+    }
+
+    #[test]
+    fn median_bucket_average_excludes_contaminated_buckets() {
+        // 12 buckets of π = 5; two carry outlier mass.
+        let pi = vec![5u64; 12];
+        let mut w: Vec<f64> = vec![50.0; 12]; // all average 10
+        w[0] = 100_000.0;
+        w[1] = -90_000.0;
+        let beta = median_bucket_average(&w, &pi, 2);
+        assert!((beta - 10.0).abs() < 1e-9, "beta = {beta}");
+    }
+
+    #[test]
+    fn turnstile_updates_supported() {
+        let cfg = L2Config::new(100, 32, 5).with_seed(1);
+        let mut sk = L2SketchRecover::new(&cfg);
+        sk.update(5, 10.0);
+        sk.update(5, -10.0);
+        for j in (0..100).step_by(7) {
+            assert!(sk.estimate(j).abs() < 1e-9, "item {j}");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let sk = L2SketchRecover::new(&L2Config::new(64, 16, 3));
+        assert_eq!(sk.bias(), 0.0);
+        assert_eq!(sk.estimate(10), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # bas-core — bias-aware sketches (the paper's contribution)
+//!
+//! Implements the two bias-aware linear sketches of *Bias-Aware Sketches*
+//! (Chen & Zhang, VLDB 2017) together with the machinery to verify their
+//! guarantees:
+//!
+//! * [`L1SketchRecover`] — Algorithms 1–2: `d` Count-Median rows plus a
+//!   random sampling matrix `Υ`; the bias `β̂` is the median of the
+//!   samples, and recovery runs Count-Median on the de-biased buckets.
+//!   Theorem 3: `‖x̂ − x‖∞ = O(1/k)·min_β Err_1^k(x − β)` w.h.p.
+//! * [`L2SketchRecover`] — Algorithms 3–4: a Count-Median row group
+//!   `Π(g)` plus `d` Count-Sketch rows; the bias is the column-weighted
+//!   average of the `2k` *median buckets* of `Π(g)x`, and recovery runs
+//!   Count-Sketch on the de-biased buckets. Theorem 4:
+//!   `‖x̂ − x‖∞ = O(1/√k)·min_β Err_2^k(x − β)` w.h.p.
+//! * [`oracle`] — exact computation of `Err_p^k(x)` and
+//!   `min_β Err_p^k(x − β)` (with the optimal `β*`), so experiments can
+//!   report measured error against the theoretical bound.
+//!
+//! Both sketches are **streaming-native**: every `update` keeps the bias
+//! estimate current (`SortedSampler` for `ℓ1`; the paper's Bias-Heap of
+//! Algorithm 5 — or an order-statistic tree, or lazy re-sorting — for
+//! `ℓ2`, selectable via [`L2BiasMaintenance`]), which is exactly the
+//! streaming implementation of the paper's §4.4 / Algorithm 6. They are
+//! also **linear**: sketches with equal configuration merge by addition,
+//! enabling the distributed protocol of §5.5.
+//!
+//! The `ℓ1`-mean / `ℓ2`-mean heuristics of §5.4 (use the global mean as
+//! the bias) are provided via [`BiasStrategy::GlobalMean`].
+//!
+//! ```
+//! use bas_core::{L2Config, L2SketchRecover};
+//! use bas_sketch::PointQuerySketch;
+//!
+//! // A heavily biased vector: everything near 100, one outlier.
+//! let n = 4096u64;
+//! let mut x = vec![100.0f64; n as usize];
+//! x[7] = 5000.0;
+//!
+//! let cfg = L2Config::new(n, 256, 7).with_seed(1);
+//! let mut sk = L2SketchRecover::new(&cfg);
+//! sk.ingest_vector(&x);
+//! assert!((sk.bias() - 100.0).abs() < 5.0);
+//! assert!((sk.estimate(7) - 5000.0).abs() < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod l1;
+mod l2;
+pub mod oracle;
+
+pub use config::{BiasStrategy, L1Config, L2BiasMaintenance, L2Config, SampleCount};
+pub use l1::L1SketchRecover;
+pub use l2::L2SketchRecover;

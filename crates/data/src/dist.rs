@@ -1,0 +1,387 @@
+//! From-scratch random samplers over [`SplitMix64`].
+//!
+//! The workspace's only approved random-number dependency is `rand`,
+//! which lacks the distributions the workloads need (`rand_distr` is a
+//! separate crate). Rather than widen the dependency set, this module
+//! implements the classical samplers directly; each is validated by
+//! moment and shape tests.
+
+use crate::special::ln_gamma;
+use bas_hash::SplitMix64;
+
+/// Uniform `f64` in `[0, 1)` with 53 random bits.
+#[inline]
+pub fn uniform(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform `f64` in `(0, 1]` (never zero — safe to take logs).
+#[inline]
+pub fn uniform_open(rng: &mut SplitMix64) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Standard normal sampler (Box–Muller, polar form), caching the spare
+/// variate.
+#[derive(Debug, Clone, Default)]
+pub struct Normal {
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples `N(0, 1)`.
+    pub fn sample_standard(&mut self, rng: &mut SplitMix64) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * uniform(rng) - 1.0;
+            let v = 2.0 * uniform(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Samples `N(mean, std²)`.
+    pub fn sample(&mut self, rng: &mut SplitMix64, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample_standard(rng)
+    }
+}
+
+/// Samples `LogNormal(mu, sigma)`: `exp(N(mu, sigma²))`.
+pub fn log_normal(rng: &mut SplitMix64, normal: &mut Normal, mu: f64, sigma: f64) -> f64 {
+    normal.sample(rng, mu, sigma).exp()
+}
+
+/// Samples `Exponential(rate)` by inversion.
+pub fn exponential(rng: &mut SplitMix64, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    -uniform_open(rng).ln() / rate
+}
+
+/// Samples `Gamma(shape, scale)` with Marsaglia–Tsang squeeze (2000);
+/// the `shape < 1` case uses the standard boosting identity
+/// `Γ(a) = Γ(a+1)·U^{1/a}`.
+pub fn gamma(rng: &mut SplitMix64, normal: &mut Normal, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "shape/scale must be positive");
+    if shape < 1.0 {
+        let boost = uniform_open(rng).powf(1.0 / shape);
+        return boost * gamma(rng, normal, shape + 1.0, scale);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let z = normal.sample_standard(rng);
+        let v = 1.0 + c * z;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = uniform_open(rng);
+        // Squeeze then full acceptance test.
+        if u < 1.0 - 0.0331 * z * z * z * z || u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
+            return scale * d * v3;
+        }
+    }
+}
+
+/// Samples `Poisson(lambda)`.
+///
+/// * `lambda < 10`: Knuth's product-of-uniforms method.
+/// * otherwise: Hörmann's transformed-rejection PTRD sampler (1993) —
+///   exact for all `lambda ≥ 10`, `O(1)` expected time.
+pub fn poisson(rng: &mut SplitMix64, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 10.0 {
+        // Knuth: count uniforms until the product drops below e^-lambda.
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut prod = uniform_open(rng);
+        while prod > limit {
+            k += 1;
+            prod *= uniform_open(rng);
+        }
+        return k;
+    }
+    // PTRD (Hörmann, "The transformed rejection method for generating
+    // Poisson random variables").
+    let smu = lambda.sqrt();
+    let b = 0.931 + 2.53 * smu;
+    let a = -0.059 + 0.02483 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let vr = 0.9277 - 3.6224 / (b - 2.0);
+    loop {
+        let u = uniform(rng) - 0.5;
+        let v = uniform_open(rng);
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + lambda + 0.43).floor();
+        if us >= 0.07 && v <= vr {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        let accept = (v * inv_alpha / (a / (us * us) + b)).ln()
+            <= k * lambda.ln() - lambda - ln_gamma(k + 1.0);
+        if accept {
+            return k as u64;
+        }
+    }
+}
+
+/// Zipf sampler over `{1, …, n}` with exponent `s > 0`, by
+/// rejection-inversion (Hörmann & Derflinger 1996). `O(1)` expected time
+/// per sample, no precomputed tables.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    c: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler for universe size `n` and exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "need a non-empty universe");
+        assert!(s > 0.0, "exponent must be positive");
+        let nf = n as f64;
+        let h = |x: f64| -> f64 {
+            // H(x) = ∫ x^-s dx (antiderivative), handling s = 1.
+            if (s - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        Self {
+            n: nf,
+            s,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(nf + 0.5),
+            c: h(1.5),
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Samples a rank in `{1, …, n}` (rank 1 is the most frequent).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let u = self.h_x1 + uniform(rng) * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            // Accept if u falls under the histogram bar of k.
+            if u >= self.h(k + 0.5) - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// `c` is kept for introspection/debugging of the envelope.
+    pub fn envelope_origin(&self) -> f64 {
+        self.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = SplitMix64::new(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| uniform(&mut rng)).collect();
+        assert!(samples.iter().all(|&u| (0.0..1.0).contains(&u)));
+        let (mean, var) = moments(&samples);
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "var = {var}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SplitMix64::new(2);
+        let mut nrm = Normal::new();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| nrm.sample(&mut rng, 100.0, 15.0))
+            .collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 100.0).abs() < 0.3, "mean = {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 0.3, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_tail_fractions() {
+        let mut rng = SplitMix64::new(3);
+        let mut nrm = Normal::new();
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| nrm.sample_standard(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "{beyond_2sigma}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SplitMix64::new(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 0.25)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = SplitMix64::new(5);
+        let mut nrm = Normal::new();
+        for &(shape, scale) in &[(0.5, 2.0), (1.0, 1.0), (9.0, 0.5), (20.0, 0.1)] {
+            let samples: Vec<f64> = (0..60_000)
+                .map(|_| gamma(&mut rng, &mut nrm, shape, scale))
+                .collect();
+            let (mean, var) = moments(&samples);
+            assert!(samples.iter().all(|&v| v > 0.0));
+            assert!(
+                (mean - shape * scale).abs() < 0.05 * (1.0 + shape * scale),
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - shape * scale * scale).abs() < 0.1 * (1.0 + shape * scale * scale),
+                "shape {shape}: var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = SplitMix64::new(6);
+        let samples: Vec<f64> = (0..60_000).map(|_| poisson(&mut rng, 3.5) as f64).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.5).abs() < 0.05, "mean = {mean}");
+        assert!((var - 3.5).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = SplitMix64::new(7);
+        for &lambda in &[15.0, 120.0, 3700.0] {
+            let samples: Vec<f64> = (0..40_000)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .collect();
+            let (mean, var) = moments(&samples);
+            assert!(
+                (mean - lambda).abs() < 0.02 * lambda,
+                "lambda {lambda}: mean {mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.06 * lambda,
+                "lambda {lambda}: var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = SplitMix64::new(8);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = SplitMix64::new(9);
+        let mut nrm = Normal::new();
+        let mut samples: Vec<f64> = (0..50_000)
+            .map(|_| log_normal(&mut rng, &mut nrm, 2.5, 0.6))
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[25_000];
+        // Median of lognormal = e^mu.
+        assert!((median - 2.5f64.exp()).abs() < 0.3, "median = {median}");
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = SplitMix64::new(10);
+        let mut counts = vec![0u64; 1001];
+        let n = 100_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!((1..=1000).contains(&r));
+            counts[r as usize] += 1;
+        }
+        // Rank 1 should dominate: expect ~ proportional to 1/H.
+        assert!(counts[1] > counts[10] && counts[10] > counts[100]);
+        // Ratio check against the power law: c1/c2 ≈ 2^1.1 ≈ 2.14.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.14).abs() < 0.4, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn zipf_exponent_one_supported() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn zipf_rejects_bad_exponent() {
+        Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut na = Normal::new();
+        let mut nb = Normal::new();
+        for _ in 0..100 {
+            assert_eq!(na.sample_standard(&mut a), nb.sample_standard(&mut b));
+        }
+        let mut a = SplitMix64::new(43);
+        let mut b = SplitMix64::new(43);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut a, 50.0), poisson(&mut b, 50.0));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Preferential-attachment edge streams, standing in for the paper's
+//! **Hudong** dataset (18.8M timestamped "related-to" links between
+//! 2.45M encyclopedia articles; the sketched vector is article
+//! out-degree and the stream is one `+1` update per edge, in edit-time
+//! order).
+
+use bas_hash::SplitMix64;
+
+/// Generates an edge stream whose per-source counts follow a power law,
+/// like wiki link insertions: each event is "article `a` adds a link",
+/// i.e. a `+1` update to coordinate `a` of the out-degree vector.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphStreamGen {
+    /// Number of articles (vector dimension).
+    pub nodes: usize,
+    /// Number of edges (stream length).
+    pub edges: usize,
+    /// Probability of choosing the source uniformly instead of
+    /// preferentially; higher values flatten the degree distribution.
+    pub uniform_mix: f64,
+}
+
+impl GraphStreamGen {
+    /// Hudong-shaped defaults at a laptop-friendly scale
+    /// (paper: 2.45M articles / 18.8M edges).
+    pub fn hudong_scaled(nodes: usize, edges: usize) -> Self {
+        assert!(nodes > 0 && edges > 0);
+        Self {
+            nodes,
+            edges,
+            uniform_mix: 0.7,
+        }
+    }
+
+    /// The stream of edge sources in arrival order. Each element is a
+    /// coordinate receiving a `+1` update.
+    ///
+    /// New articles enter on a fixed schedule (so every article exists);
+    /// otherwise the source is drawn preferentially by current
+    /// out-degree (classic rich-get-richer), mixed with uniform choices.
+    pub fn stream(&self, seed: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed ^ 0xDA7A_0006);
+        let mut sources: Vec<u32> = Vec::with_capacity(self.edges);
+        // Pool of past sources: sampling uniformly from it is
+        // preferential sampling by out-degree.
+        let mut introduced = 1usize; // node 0 exists from the start
+        for e in 0..self.edges {
+            // Introduce nodes on schedule so all `nodes` appear.
+            let due = ((e + 1) * self.nodes) / self.edges;
+            let src = if due > introduced && introduced < self.nodes {
+                let node = introduced as u32;
+                introduced += 1;
+                node
+            } else if sources.is_empty()
+                || (rng.next_below(1_000_000) as f64 / 1e6) < self.uniform_mix
+            {
+                rng.next_below(introduced as u64) as u32
+            } else {
+                sources[rng.next_below(sources.len() as u64) as usize]
+            };
+            sources.push(src);
+        }
+        sources
+    }
+
+    /// Aggregates a stream into the exact out-degree vector (ground
+    /// truth for accuracy measurements).
+    pub fn degree_vector(&self, stream: &[u32]) -> Vec<f64> {
+        let mut deg = vec![0.0f64; self.nodes];
+        for &s in stream {
+            deg[s as usize] += 1.0;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_length_and_node_range() {
+        let g = GraphStreamGen::hudong_scaled(1000, 20_000);
+        let s = g.stream(1);
+        assert_eq!(s.len(), 20_000);
+        assert!(s.iter().all(|&v| (v as usize) < 1000));
+    }
+
+    #[test]
+    fn every_node_appears() {
+        let g = GraphStreamGen::hudong_scaled(500, 10_000);
+        let s = g.stream(2);
+        let deg = g.degree_vector(&s);
+        // The introduction schedule gives every node at least one edge.
+        assert!(deg.iter().all(|&d| d >= 1.0));
+        assert_eq!(deg.iter().sum::<f64>(), 10_000.0);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = GraphStreamGen::hudong_scaled(2000, 100_000);
+        let s = g.stream(3);
+        let mut deg = g.degree_vector(&s);
+        deg.sort_by(|a, b| b.total_cmp(a));
+        let mean = 100_000.0 / 2000.0;
+        // Top article should far exceed the mean; the median should sit
+        // below it (power-law shape).
+        assert!(deg[0] > 8.0 * mean, "max degree {} vs mean {mean}", deg[0]);
+        assert!(deg[1000] < mean, "median {} vs mean {mean}", deg[1000]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = GraphStreamGen::hudong_scaled(100, 5000);
+        assert_eq!(g.stream(7), g.stream(7));
+        assert_ne!(g.stream(7), g.stream(8));
+    }
+}

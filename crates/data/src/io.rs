@@ -1,0 +1,93 @@
+//! Plain-text vector I/O, so the synthetic generators can be swapped
+//! for the paper's real datasets when those are available.
+//!
+//! Format: one `f64` per line; blank lines and lines starting with `#`
+//! are ignored. This matches the obvious export from any of the paper's
+//! sources (per-second counts, feature columns, degree dumps).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a vector, one value per line, with a leading comment header.
+pub fn save_vector(path: &Path, x: &[f64], comment: &str) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    if !comment.is_empty() {
+        writeln!(out, "# {comment}")?;
+    }
+    for v in x {
+        writeln!(out, "{v}")?;
+    }
+    out.flush()
+}
+
+/// Reads a vector written by [`save_vector`] (or any one-value-per-line
+/// file).
+///
+/// # Errors
+/// I/O errors are propagated; non-numeric lines produce
+/// `InvalidData`.
+pub fn load_vector(path: &Path) -> io::Result<Vec<f64>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let v: f64 = trimmed.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bas_data_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = temp_path("roundtrip");
+        let x = vec![1.5, -2.0, 3e9, 0.0, 42.125];
+        save_vector(&path, &x, "test vector").unwrap();
+        let back = load_vector(&path).unwrap();
+        assert_eq!(back, x);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let path = temp_path("comments");
+        std::fs::write(&path, "# header\n\n1.0\n# mid\n2.0\n\n").unwrap();
+        assert_eq!(load_vector(&path).unwrap(), vec![1.0, 2.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_line_is_invalid_data() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "1.0\nnot-a-number\n").unwrap();
+        let err = load_vector(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_vector(Path::new("/definitely/not/here.txt")).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # bas-data — workloads for the bias-aware sketch experiments
+//!
+//! The paper evaluates on one synthetic family and five real datasets
+//! (§5.1). The real ones are not redistributable, so this crate provides
+//! generators that preserve the property each experiment exercises — a
+//! strong common bias plus a small number of outliers, with the
+//! dataset's characteristic noise shape (see DESIGN.md §4 for the
+//! substitution rationale, and [`io`] for loading real data instead).
+//!
+//! | Paper dataset | Generator |
+//! |---|---|
+//! | Gaussian (`N(b, σ²)`)      | [`GaussianGen`] |
+//! | Gaussian-2 (shifted)       | [`ShiftedGaussianGen`] |
+//! | WorldCup requests/second   | [`WebTrafficGen::worldcup`] |
+//! | Wiki pageviews/second      | [`WebTrafficGen::wiki_scaled`] |
+//! | Higgs kinematic feature    | [`KinematicGen`] |
+//! | Meme lengths               | [`MemeLengthGen`] |
+//! | Hudong edge stream         | [`GraphStreamGen`] |
+//!
+//! All randomness comes from the from-scratch samplers in [`dist`]
+//! (normal, lognormal, gamma, Poisson, Zipf, …) seeded deterministically,
+//! so every experiment is reproducible from a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod graph;
+pub mod io;
+mod special;
+mod synthetic;
+
+pub use graph::GraphStreamGen;
+pub use special::ln_gamma;
+pub use synthetic::{
+    GaussianGen, KinematicGen, MemeLengthGen, ShiftedGaussianGen, VectorGenerator, WebTrafficGen,
+    ZipfFreqGen,
+};

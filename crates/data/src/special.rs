@@ -1,0 +1,77 @@
+//! Special functions needed by the samplers.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, 9 coefficients; |relative error| < 1e-13 on the positive
+/// axis). Needed by the Poisson sampler's acceptance test.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_values_match_factorials() {
+        // ln Γ(n) = ln (n−1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            let lg = ln_gamma(n as f64);
+            assert!((lg - fact.ln()).abs() < 1e-10, "n = {n}: {lg}");
+        }
+    }
+
+    #[test]
+    fn half_integer_reference() {
+        // Γ(1/2) = sqrt(pi)
+        let lg = ln_gamma(0.5);
+        assert!((lg - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+        // Γ(3/2) = sqrt(pi)/2
+        let lg = ln_gamma(1.5);
+        assert!((lg - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        for &x in &[0.3, 1.7, 5.5, 42.0, 1234.5] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = ln_gamma(x) + x.ln();
+            assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn non_positive_rejected() {
+        ln_gamma(0.0);
+    }
+}

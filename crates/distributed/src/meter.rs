@@ -1,0 +1,86 @@
+//! Communication accounting in 64-bit words.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts words sent over the site → coordinator channels, so protocols
+/// can report total communication the way the paper does ("the total
+/// communication will be the product of `t` and the dimension of `Φx`").
+#[derive(Debug, Default)]
+pub struct CommMeter {
+    words_up: AtomicU64,
+    words_down: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl CommMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a site → coordinator message of the given word count.
+    pub fn record_upload(&self, words: u64) {
+        self.words_up.fetch_add(words, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a coordinator → site message (e.g. the hash seeds).
+    pub fn record_download(&self, words: u64) {
+        self.words_down.fetch_add(words, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total words sent upstream (sketches).
+    pub fn upload_words(&self) -> u64 {
+        self.words_up.load(Ordering::Relaxed)
+    }
+
+    /// Total words sent downstream (seeds/configuration).
+    pub fn download_words(&self) -> u64 {
+        self.words_down.load(Ordering::Relaxed)
+    }
+
+    /// Total messages in both directions.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Grand total words.
+    pub fn total_words(&self) -> u64 {
+        self.upload_words() + self.download_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_both_directions() {
+        let m = CommMeter::new();
+        m.record_download(2);
+        m.record_upload(100);
+        m.record_upload(100);
+        assert_eq!(m.upload_words(), 200);
+        assert_eq!(m.download_words(), 2);
+        assert_eq!(m.total_words(), 202);
+        assert_eq!(m.messages(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let m = CommMeter::new();
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        m.record_upload(3);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.upload_words(), 8 * 1000 * 3);
+        assert_eq!(m.messages(), 8000);
+    }
+}

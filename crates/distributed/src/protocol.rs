@@ -1,0 +1,230 @@
+//! The sketch-merge protocol: sites sketch locally, the coordinator
+//! adds.
+
+use crate::meter::CommMeter;
+use bas_sketch::MergeableSketch;
+use parking_lot::Mutex;
+
+/// A site's local data: either a materialized vector shard or an update
+/// stream (both reduce to updates).
+#[derive(Debug, Clone)]
+pub struct SiteData {
+    updates: Vec<(u64, f64)>,
+}
+
+impl SiteData {
+    /// Wraps a local frequency vector `xⁱ`.
+    pub fn from_vector(x: Vec<f64>) -> Self {
+        let updates = x
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|(i, v)| (i as u64, v))
+            .collect();
+        Self { updates }
+    }
+
+    /// Wraps a local update stream.
+    pub fn from_updates(updates: Vec<(u64, f64)>) -> Self {
+        Self { updates }
+    }
+
+    /// Number of non-zero updates at this site.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the site saw no data.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// Outcome of a distributed execution.
+pub struct DistributedRun<S> {
+    /// The merged global sketch `Φx = Σ Φxⁱ`.
+    pub global: S,
+    /// Number of participating sites `t`.
+    pub sites: usize,
+    /// Words each site uploaded (the sketch size).
+    pub words_per_site: u64,
+    /// Total protocol communication in words (uploads + seed
+    /// distribution).
+    pub total_words: u64,
+    /// What the naive protocol (each site ships its dense vector) would
+    /// have cost in words.
+    pub naive_words: u64,
+}
+
+impl<S> DistributedRun<S>
+where
+    S: MergeableSketch + Send,
+{
+    /// Runs the protocol: `make_sketch` is the shared configuration
+    /// (including the seed — the "common knowledge" hash functions the
+    /// coordinator distributes); each site sketches its shard on its own
+    /// thread; the coordinator merges in site order.
+    ///
+    /// # Panics
+    /// Panics if `sites` is empty or a merge fails (which cannot happen
+    /// when every sketch comes from the same `make_sketch`).
+    pub fn execute<F>(sites: &[SiteData], make_sketch: F) -> Self
+    where
+        F: Fn() -> S + Sync,
+    {
+        assert!(!sites.is_empty(), "need at least one site");
+        let meter = CommMeter::new();
+        let n = {
+            let probe = make_sketch();
+            probe.universe()
+        };
+        // Coordinator ships the configuration/seed to each site: O(1)
+        // words per channel (paper, footnote 4).
+        for _ in 0..sites.len() {
+            meter.record_download(2);
+        }
+        let collected: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::with_capacity(sites.len()));
+        crossbeam::scope(|scope| {
+            for (idx, site) in sites.iter().enumerate() {
+                let collected = &collected;
+                let meter = &meter;
+                let make_sketch = &make_sketch;
+                scope.spawn(move |_| {
+                    let mut local = make_sketch();
+                    for &(item, delta) in &site.updates {
+                        local.update(item, delta);
+                    }
+                    meter.record_upload(local.size_in_words() as u64);
+                    collected.lock().push((idx, local));
+                });
+            }
+        })
+        .expect("site thread panicked");
+        let mut locals = collected.into_inner();
+        locals.sort_by_key(|(idx, _)| *idx);
+        let mut iter = locals.into_iter();
+        let (_, mut global) = iter.next().expect("at least one site");
+        let words_per_site = global.size_in_words() as u64;
+        for (_, local) in iter {
+            global
+                .merge_from(&local)
+                .expect("sketches share configuration");
+        }
+        Self {
+            global,
+            sites: sites.len(),
+            words_per_site,
+            total_words: meter.total_words(),
+            naive_words: n * sites.len() as u64,
+        }
+    }
+
+    /// Communication saving factor versus shipping dense vectors.
+    pub fn savings_factor(&self) -> f64 {
+        self.naive_words as f64 / self.total_words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_core::{L1Config, L1SketchRecover, L2Config, L2SketchRecover};
+    use bas_sketch::PointQuerySketch;
+    use bas_sketch::{CountSketch, SketchParams};
+
+    fn shards(n: u64, t: usize, value: f64) -> Vec<SiteData> {
+        (0..t)
+            .map(|s| {
+                SiteData::from_vector(
+                    (0..n)
+                        .map(|i| if i as usize % t == s { value } else { 0.0 })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_equals_centralized_count_sketch() {
+        let n = 2000u64;
+        let sites = shards(n, 4, 25.0);
+        let params = SketchParams::new(n, 128, 5).with_seed(3);
+        let run = DistributedRun::execute(&sites, || CountSketch::new(&params));
+        // Centralized sketch of the global vector.
+        let mut central = CountSketch::new(&params);
+        for i in 0..n {
+            central.update(i, 25.0);
+        }
+        for j in (0..n).step_by(61) {
+            assert_eq!(run.global.estimate(j), central.estimate(j), "item {j}");
+        }
+        assert_eq!(run.sites, 4);
+    }
+
+    #[test]
+    fn merged_equals_centralized_l1_and_l2() {
+        let n = 1500u64;
+        let sites = shards(n, 3, 40.0);
+        let l1_cfg = L1Config::new(n, 96, 5).with_seed(7);
+        let run1 = DistributedRun::execute(&sites, || L1SketchRecover::new(&l1_cfg));
+        let mut central1 = L1SketchRecover::new(&l1_cfg);
+        for i in 0..n {
+            central1.update(i, 40.0);
+        }
+        assert!((run1.global.bias() - central1.bias()).abs() < 1e-9);
+        for j in (0..n).step_by(113) {
+            assert!((run1.global.estimate(j) - central1.estimate(j)).abs() < 1e-6);
+        }
+
+        let l2_cfg = L2Config::new(n, 96, 5).with_seed(7);
+        let run2 = DistributedRun::execute(&sites, || L2SketchRecover::new(&l2_cfg));
+        let mut central2 = L2SketchRecover::new(&l2_cfg);
+        for i in 0..n {
+            central2.update(i, 40.0);
+        }
+        assert!((run2.global.bias() - central2.bias()).abs() < 1e-9);
+        for j in (0..n).step_by(113) {
+            assert!((run2.global.estimate(j) - central2.estimate(j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn communication_is_metered() {
+        let n = 10_000u64;
+        let sites = shards(n, 5, 1.0);
+        let params = SketchParams::new(n, 64, 4).with_seed(1);
+        let run = DistributedRun::execute(&sites, || CountSketch::new(&params));
+        // 5 uploads of 256 words + 5 seed messages of 2 words.
+        assert_eq!(run.words_per_site, 256);
+        assert_eq!(run.total_words, 5 * 256 + 5 * 2);
+        assert_eq!(run.naive_words, 5 * n);
+        assert!(run.savings_factor() > 30.0);
+    }
+
+    #[test]
+    fn empty_shard_is_fine() {
+        let n = 100u64;
+        let mut sites = shards(n, 2, 5.0);
+        sites.push(SiteData::from_updates(vec![]));
+        assert!(sites[2].is_empty());
+        let params = SketchParams::new(n, 32, 3).with_seed(2);
+        let run = DistributedRun::execute(&sites, || CountSketch::new(&params));
+        assert_eq!(run.sites, 3);
+        assert!((run.global.estimate(0) - 5.0).abs() < 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn no_sites_rejected() {
+        let params = SketchParams::new(10, 8, 2);
+        let _ = DistributedRun::execute(&[], || CountSketch::new(&params));
+    }
+
+    #[test]
+    fn site_data_constructors() {
+        let v = SiteData::from_vector(vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(v.len(), 2);
+        let u = SiteData::from_updates(vec![(1, 1.0), (3, 2.0)]);
+        assert_eq!(u.len(), 2);
+    }
+}

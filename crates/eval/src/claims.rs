@@ -1,0 +1,242 @@
+//! Machine-checked versions of the paper's qualitative claims.
+//!
+//! The reproduction target is not the paper's absolute numbers (our
+//! substrate differs) but the *shape* of each figure: who wins, by
+//! roughly what factor, and how curves respond to parameters. This
+//! module encodes those shapes as predicates over sweep results; the
+//! figure benches evaluate and print them, and EXPERIMENTS.md records
+//! the outcomes.
+
+use crate::sweep::PointQueryResult;
+
+/// Outcome of one checked claim.
+#[derive(Debug, Clone)]
+pub struct ClaimOutcome {
+    /// What the paper asserts (§ reference included).
+    pub claim: String,
+    /// Whether the measured results satisfy it.
+    pub holds: bool,
+    /// The measured quantity backing the verdict.
+    pub evidence: String,
+}
+
+impl ClaimOutcome {
+    fn new(claim: impl Into<String>, holds: bool, evidence: String) -> Self {
+        Self {
+            claim: claim.into(),
+            holds,
+            evidence,
+        }
+    }
+}
+
+/// Mean average-error of one algorithm across all measured widths.
+fn mean_avg_err(results: &[PointQueryResult], label: &str) -> Option<f64> {
+    let vals: Vec<f64> = results
+        .iter()
+        .filter(|r| r.algorithm == label)
+        .map(|r| r.errors.avg_err)
+        .collect();
+    (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// Checks `lhs` is at least `factor`× better (smaller average error)
+/// than `rhs`, averaged over the sweep.
+pub fn check_dominance(
+    results: &[PointQueryResult],
+    lhs: &str,
+    rhs: &str,
+    factor: f64,
+    section: &str,
+) -> ClaimOutcome {
+    match (mean_avg_err(results, lhs), mean_avg_err(results, rhs)) {
+        (Some(a), Some(b)) => ClaimOutcome::new(
+            format!("{section}: {lhs} ≥ {factor}x more accurate than {rhs}"),
+            a * factor <= b,
+            format!("{lhs} = {a:.3}, {rhs} = {b:.3}, ratio = {:.1}x", b / a),
+        ),
+        _ => ClaimOutcome::new(
+            format!("{section}: {lhs} vs {rhs}"),
+            false,
+            "missing algorithm in results".to_string(),
+        ),
+    }
+}
+
+/// Checks an algorithm's error is *invariant* (within `tolerance`
+/// relative difference) between two sweeps — e.g. Figure 1's b = 100 vs
+/// b = 500 panels for the bias-aware sketches.
+pub fn check_invariance(
+    a: &[PointQueryResult],
+    b: &[PointQueryResult],
+    label: &str,
+    tolerance: f64,
+    section: &str,
+) -> ClaimOutcome {
+    match (mean_avg_err(a, label), mean_avg_err(b, label)) {
+        (Some(ea), Some(eb)) => {
+            let ratio = if ea > eb { ea / eb } else { eb / ea };
+            ClaimOutcome::new(
+                format!("{section}: {label} error unchanged across conditions"),
+                ratio <= 1.0 + tolerance,
+                format!("{ea:.3} vs {eb:.3} (ratio {ratio:.2})"),
+            )
+        }
+        _ => ClaimOutcome::new(
+            format!("{section}: {label} invariance"),
+            false,
+            "missing algorithm in results".to_string(),
+        ),
+    }
+}
+
+/// Checks an algorithm's error *grows* at least `factor`× between two
+/// sweeps — the baselines' response to a bigger bias.
+pub fn check_degradation(
+    a: &[PointQueryResult],
+    b: &[PointQueryResult],
+    label: &str,
+    factor: f64,
+    section: &str,
+) -> ClaimOutcome {
+    match (mean_avg_err(a, label), mean_avg_err(b, label)) {
+        (Some(ea), Some(eb)) => ClaimOutcome::new(
+            format!("{section}: {label} error grows ≥ {factor}x"),
+            eb >= factor * ea,
+            format!("{ea:.3} -> {eb:.3} ({:.1}x)", eb / ea),
+        ),
+        _ => ClaimOutcome::new(
+            format!("{section}: {label} degradation"),
+            false,
+            "missing algorithm in results".to_string(),
+        ),
+    }
+}
+
+/// Checks that error decreases (weakly, with slack) as the x-axis
+/// grows — "increasing d will improve the accuracy" (§5.3), and the
+/// width sweeps of every figure.
+pub fn check_monotone_improvement(
+    results: &[PointQueryResult],
+    label: &str,
+    by_depth: bool,
+    section: &str,
+) -> ClaimOutcome {
+    let mut pts: Vec<(usize, f64)> = results
+        .iter()
+        .filter(|r| r.algorithm == label)
+        .map(|r| {
+            (
+                if by_depth { r.config_depth } else { r.width },
+                r.errors.avg_err,
+            )
+        })
+        .collect();
+    pts.sort_by_key(|p| p.0);
+    if pts.len() < 2 {
+        return ClaimOutcome::new(
+            format!("{section}: {label} improves with size"),
+            false,
+            "not enough points".to_string(),
+        );
+    }
+    // First vs last must improve; adjacent points may wobble ±20%.
+    let ends_improve = pts.last().unwrap().1 <= pts[0].1;
+    let no_big_regression = pts.windows(2).all(|w| w[1].1 <= w[0].1 * 1.2);
+    ClaimOutcome::new(
+        format!("{section}: {label} error shrinks along the sweep"),
+        ends_improve && no_big_regression,
+        format!(
+            "first = {:.3}, last = {:.3}",
+            pts[0].1,
+            pts.last().unwrap().1
+        ),
+    )
+}
+
+/// Prints claim outcomes as a PASS/FAIL list and returns whether all
+/// hold.
+pub fn report(outcomes: &[ClaimOutcome]) -> bool {
+    let mut all = true;
+    println!("paper-claim checks:");
+    for o in outcomes {
+        let mark = if o.holds { "PASS" } else { "FAIL" };
+        all &= o.holds;
+        println!("  [{mark}] {} — {}", o.claim, o.evidence);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ErrorReport;
+
+    fn result(algorithm: &'static str, width: usize, avg: f64) -> PointQueryResult {
+        PointQueryResult {
+            algorithm,
+            width,
+            depth: 9,
+            config_depth: 9,
+            words: width * 10,
+            errors: ErrorReport {
+                avg_err: avg,
+                max_err: avg * 3.0,
+                rmse: avg * 1.5,
+                median_err: avg * 0.8,
+                p99_err: avg * 2.0,
+            },
+            build_secs: 0.0,
+            recover_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominance_detects_winner() {
+        let res = vec![result("l2-S/R", 100, 1.0), result("CS", 100, 10.0)];
+        let c = check_dominance(&res, "l2-S/R", "CS", 5.0, "test");
+        assert!(c.holds, "{c:?}");
+        let c = check_dominance(&res, "l2-S/R", "CS", 20.0, "test");
+        assert!(!c.holds);
+    }
+
+    #[test]
+    fn dominance_missing_algorithm_fails_gracefully() {
+        let res = vec![result("CS", 100, 1.0)];
+        let c = check_dominance(&res, "l2-S/R", "CS", 2.0, "test");
+        assert!(!c.holds);
+        assert!(c.evidence.contains("missing"));
+    }
+
+    #[test]
+    fn invariance_and_degradation() {
+        let a = vec![result("l2-S/R", 100, 1.0), result("CS", 100, 2.0)];
+        let b = vec![result("l2-S/R", 100, 1.05), result("CS", 100, 9.0)];
+        assert!(check_invariance(&a, &b, "l2-S/R", 0.5, "t").holds);
+        assert!(!check_invariance(&a, &b, "CS", 0.5, "t").holds);
+        assert!(check_degradation(&a, &b, "CS", 3.0, "t").holds);
+        assert!(!check_degradation(&a, &b, "l2-S/R", 3.0, "t").holds);
+    }
+
+    #[test]
+    fn monotone_improvement() {
+        let res = vec![
+            result("CS", 100, 10.0),
+            result("CS", 200, 6.0),
+            result("CS", 400, 3.0),
+        ];
+        assert!(check_monotone_improvement(&res, "CS", false, "t").holds);
+        let bad = vec![result("CS", 100, 1.0), result("CS", 200, 5.0)];
+        assert!(!check_monotone_improvement(&bad, "CS", false, "t").holds);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let outcomes = vec![
+            ClaimOutcome::new("a", true, "x".into()),
+            ClaimOutcome::new("b", false, "y".into()),
+        ];
+        assert!(!report(&outcomes));
+        assert!(report(&outcomes[..1]));
+    }
+}

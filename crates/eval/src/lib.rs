@@ -1,0 +1,36 @@
+//! # bas-eval — experiment harness for the paper's evaluation
+//!
+//! Reproduces the measurement methodology of §5: every figure plots
+//! point-query **average error** `‖x − x̂‖₁/n` and **maximum error**
+//! `‖x − x̂‖∞` against sketch size (or depth), for a fixed set of
+//! algorithms. This crate provides:
+//!
+//! * [`Algorithm`] — the paper's comparison set (ℓ1-S/R, ℓ2-S/R, CM, CS,
+//!   CM-CU, CML-CU, ℓ1-mean, ℓ2-mean) behind one constructor, sized the
+//!   way the paper sizes them (§5.1: bias-aware sketches get depth `d`
+//!   plus `s` extra words; baselines get depth `d + 1`, so everyone uses
+//!   `(d+1)·s` words);
+//! * [`metrics`] — error reports between ground truth and recovery;
+//! * [`sweep`] — offline width/depth sweeps and the streaming
+//!   experiment (updates + real-time queries, Figure 6);
+//! * [`table`] — fixed-width/CSV/markdown rendering so benches print
+//!   the same rows the paper's figures plot;
+//! * [`claims`] — the paper's qualitative claims ("l2-S/R ≤ 1/5 of CS",
+//!   "errors unaffected by b", …) as machine-checked predicates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+pub mod claims;
+pub mod metrics;
+pub mod sweep;
+pub mod table;
+
+pub use algorithm::Algorithm;
+pub use metrics::ErrorReport;
+pub use sweep::{
+    run_depth_sweep, run_stream_experiment, run_width_sweep, PointQueryResult, StreamResult,
+    SweepConfig,
+};
+pub use table::ResultTable;

@@ -1,0 +1,106 @@
+//! Error metrics between ground truth and sketch recovery.
+
+/// The paper's two point-query measurements (§5.1) plus supporting
+/// statistics: average error `‖x − x̂‖₁/n` and maximum error
+/// `‖x − x̂‖∞`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// `‖x − x̂‖₁ / n`.
+    pub avg_err: f64,
+    /// `‖x − x̂‖∞`.
+    pub max_err: f64,
+    /// Root-mean-square error `‖x − x̂‖₂ / √n`.
+    pub rmse: f64,
+    /// Median absolute error.
+    pub median_err: f64,
+    /// 99th-percentile absolute error.
+    pub p99_err: f64,
+}
+
+impl ErrorReport {
+    /// Compares a recovered vector against ground truth.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or the vectors are empty.
+    pub fn compare(truth: &[f64], recovered: &[f64]) -> Self {
+        assert_eq!(truth.len(), recovered.len(), "length mismatch");
+        assert!(!truth.is_empty(), "empty vectors");
+        let n = truth.len();
+        let mut abs_errs: Vec<f64> = truth
+            .iter()
+            .zip(recovered.iter())
+            .map(|(t, r)| (t - r).abs())
+            .collect();
+        let sum: f64 = abs_errs.iter().sum();
+        let sq_sum: f64 = abs_errs.iter().map(|e| e * e).sum();
+        let max = abs_errs.iter().cloned().fold(0.0, f64::max);
+        abs_errs.sort_by(f64::total_cmp);
+        let median = abs_errs[n / 2];
+        let p99 = abs_errs[((n as f64 * 0.99) as usize).min(n - 1)];
+        Self {
+            avg_err: sum / n as f64,
+            max_err: max,
+            rmse: (sq_sum / n as f64).sqrt(),
+            median_err: median,
+            p99_err: p99,
+        }
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery_is_zero_error() {
+        let x = vec![1.0, 2.0, 3.0];
+        let r = ErrorReport::compare(&x, &x);
+        assert_eq!(r.avg_err, 0.0);
+        assert_eq!(r.max_err, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.p99_err, 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let truth = vec![0.0, 0.0, 0.0, 0.0];
+        let rec = vec![1.0, -1.0, 3.0, 0.0];
+        let r = ErrorReport::compare(&truth, &rec);
+        assert_eq!(r.avg_err, 1.25);
+        assert_eq!(r.max_err, 3.0);
+        assert!((r.rmse - (11.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(r.median_err, 1.0);
+    }
+
+    #[test]
+    fn avg_le_max() {
+        let truth: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let rec: Vec<f64> = truth.iter().map(|v| v + (v % 7.0)).collect();
+        let r = ErrorReport::compare(&truth, &rec);
+        assert!(r.avg_err <= r.max_err);
+        assert!(r.median_err <= r.p99_err);
+        assert!(r.p99_err <= r.max_err);
+        assert!(r.avg_err <= r.rmse + 1e-12); // Jensen
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        ErrorReport::compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

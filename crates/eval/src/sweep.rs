@@ -1,0 +1,332 @@
+//! Parameter sweeps: the measurement loops behind every figure.
+
+use crate::algorithm::Algorithm;
+use crate::metrics::ErrorReport;
+use std::time::Instant;
+
+/// Sweep configuration shared by the figures.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Widths `s` to sweep (the x-axis of Figures 1–6).
+    pub widths: Vec<usize>,
+    /// Depth `d` for the bias-aware sketches (baselines get `d + 1`);
+    /// the paper uses 9.
+    pub depth: usize,
+    /// Independent trials to average over (fresh seeds per trial).
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            widths: vec![5_000, 10_000, 20_000, 40_000],
+            depth: 9,
+            trials: 1,
+            seed: 0xBA5EBA11,
+        }
+    }
+}
+
+/// One measured point of an accuracy figure.
+#[derive(Debug, Clone)]
+pub struct PointQueryResult {
+    /// Algorithm label (paper legend name).
+    pub algorithm: &'static str,
+    /// Width `s`.
+    pub width: usize,
+    /// Depth actually used by this algorithm (baselines run `d + 1`).
+    pub depth: usize,
+    /// The configured sweep depth `d` (common x-axis for Figure 7).
+    pub config_depth: usize,
+    /// Total sketch words.
+    pub words: usize,
+    /// Errors averaged over trials.
+    pub errors: ErrorReport,
+    /// Sketching (ingest) seconds per trial.
+    pub build_secs: f64,
+    /// Full-vector recovery seconds per trial.
+    pub recover_secs: f64,
+}
+
+fn average_reports(reports: &[ErrorReport]) -> ErrorReport {
+    let n = reports.len() as f64;
+    ErrorReport {
+        avg_err: reports.iter().map(|r| r.avg_err).sum::<f64>() / n,
+        max_err: reports.iter().map(|r| r.max_err).sum::<f64>() / n,
+        rmse: reports.iter().map(|r| r.rmse).sum::<f64>() / n,
+        median_err: reports.iter().map(|r| r.median_err).sum::<f64>() / n,
+        p99_err: reports.iter().map(|r| r.p99_err).sum::<f64>() / n,
+    }
+}
+
+fn run_one(
+    x: &[f64],
+    algo: Algorithm,
+    width: usize,
+    depth: usize,
+    seed: u64,
+) -> (ErrorReport, f64, f64, usize, usize) {
+    let n = x.len() as u64;
+    let mut sk = algo.build(n, width, depth, seed);
+    let t0 = Instant::now();
+    for (i, &v) in x.iter().enumerate() {
+        let v = algo.sanitize(v);
+        if v != 0.0 {
+            sk.update(i as u64, v);
+        }
+    }
+    let build_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let recovered = sk.recover_all();
+    let recover_secs = t1.elapsed().as_secs_f64();
+    // Ground truth must match what the sketch was fed (sanitized).
+    let truth: Vec<f64> = x.iter().map(|&v| algo.sanitize(v)).collect();
+    let errors = ErrorReport::compare(&truth, &recovered);
+    let words = sk.size_in_words();
+    // §5.1 sizing: bias-aware variants run `depth` rows (+ s extra
+    // words), baselines run `depth + 1` rows.
+    let actual_depth = match algo {
+        Algorithm::L1SR | Algorithm::L2SR | Algorithm::L1Mean | Algorithm::L2Mean => depth,
+        _ => depth + 1,
+    };
+    (errors, build_secs, recover_secs, words, actual_depth)
+}
+
+/// Sweeps sketch width for a fixed dataset — the inner loop of
+/// Figures 1–5, 8, 9.
+pub fn run_width_sweep(x: &[f64], algos: &[Algorithm], cfg: &SweepConfig) -> Vec<PointQueryResult> {
+    let mut out = Vec::new();
+    for &width in &cfg.widths {
+        for &algo in algos {
+            let mut reports = Vec::with_capacity(cfg.trials);
+            let mut build = 0.0;
+            let mut recover = 0.0;
+            let mut words = 0;
+            let mut depth_used = cfg.depth;
+            for trial in 0..cfg.trials {
+                let seed = cfg
+                    .seed
+                    .wrapping_add(trial as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ width as u64;
+                let (r, b, rec, w, d) = run_one(x, algo, width, cfg.depth, seed);
+                reports.push(r);
+                build += b;
+                recover += rec;
+                words = w;
+                depth_used = d;
+            }
+            out.push(PointQueryResult {
+                algorithm: algo.label(),
+                width,
+                depth: depth_used,
+                config_depth: cfg.depth,
+                words,
+                errors: average_reports(&reports),
+                build_secs: build / cfg.trials as f64,
+                recover_secs: recover / cfg.trials as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Sweeps depth for a fixed width — Figure 7 ("effects of sketch
+/// depth": fix `s`, vary `d`).
+pub fn run_depth_sweep(
+    x: &[f64],
+    algos: &[Algorithm],
+    width: usize,
+    depths: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<PointQueryResult> {
+    let mut out = Vec::new();
+    for &depth in depths {
+        let cfg = SweepConfig {
+            widths: vec![width],
+            depth,
+            trials,
+            seed: seed ^ (depth as u64) << 32,
+        };
+        out.extend(run_width_sweep(x, algos, &cfg));
+    }
+    out
+}
+
+/// One measured point of the streaming experiment (Figure 6).
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Width `s`.
+    pub width: usize,
+    /// Errors of the full recovery after the stream is consumed.
+    pub errors: ErrorReport,
+    /// Average nanoseconds per streamed update.
+    pub update_ns: f64,
+    /// Average nanoseconds per point query.
+    pub query_ns: f64,
+}
+
+/// Streams unit updates (edge arrivals) through each sketch, then
+/// recovers the whole vector and measures point-query latency — the
+/// methodology of §5.5 / Figure 6: "We update the sketch at each step,
+/// and recover the entire x̂ after feeding in the whole dataset".
+pub fn run_stream_experiment(
+    stream: &[u32],
+    n: u64,
+    algos: &[Algorithm],
+    widths: &[usize],
+    depth: usize,
+    seed: u64,
+) -> Vec<StreamResult> {
+    // Ground truth: exact counts.
+    let mut truth = vec![0.0f64; n as usize];
+    for &s in stream {
+        truth[s as usize] += 1.0;
+    }
+    let mut out = Vec::new();
+    for &width in widths {
+        for &algo in algos {
+            let mut sk = algo.build(n, width, depth, seed ^ width as u64);
+            let t0 = Instant::now();
+            for &s in stream {
+                sk.update(s as u64, 1.0);
+            }
+            let update_ns = t0.elapsed().as_nanos() as f64 / stream.len() as f64;
+            // Query latency over a deterministic subset, then full
+            // recovery for the error measurement.
+            let probe: Vec<u64> = (0..n).step_by((n as usize / 10_000).max(1)).collect();
+            let t1 = Instant::now();
+            let mut sink = 0.0;
+            for &j in &probe {
+                sink += sk.estimate(j);
+            }
+            let query_ns = t1.elapsed().as_nanos() as f64 / probe.len() as f64;
+            std::hint::black_box(sink);
+            let recovered = sk.recover_all();
+            let errors = ErrorReport::compare(&truth, &recovered);
+            out.push(StreamResult {
+                algorithm: algo.label(),
+                width,
+                errors,
+                update_ns,
+                query_ns,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased_vector(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if i == 7 {
+                    5000.0
+                } else {
+                    100.0 + ((i % 11) as f64 - 5.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn width_sweep_produces_grid() {
+        let x = biased_vector(2000);
+        let cfg = SweepConfig {
+            widths: vec![64, 128],
+            depth: 5,
+            trials: 1,
+            seed: 3,
+        };
+        let res = run_width_sweep(&x, &[Algorithm::L2SR, Algorithm::CountSketch], &cfg);
+        assert_eq!(res.len(), 4); // 2 widths × 2 algorithms
+        for r in &res {
+            assert!(r.errors.avg_err.is_finite());
+            assert!(r.build_secs >= 0.0);
+            assert!(r.words > 0);
+        }
+    }
+
+    #[test]
+    fn bias_aware_beats_baselines_on_biased_data() {
+        // The paper's core claim, in miniature.
+        let x = biased_vector(4000);
+        let cfg = SweepConfig {
+            widths: vec![128],
+            depth: 7,
+            trials: 2,
+            seed: 9,
+        };
+        let res = run_width_sweep(
+            &x,
+            &[
+                Algorithm::L2SR,
+                Algorithm::CountMedian,
+                Algorithm::CountSketch,
+            ],
+            &cfg,
+        );
+        let err = |label: &str| {
+            res.iter()
+                .find(|r| r.algorithm == label)
+                .unwrap()
+                .errors
+                .avg_err
+        };
+        assert!(
+            err("l2-S/R") < err("CS"),
+            "l2-S/R {} vs CS {}",
+            err("l2-S/R"),
+            err("CS")
+        );
+        assert!(err("l2-S/R") < err("CM") / 10.0, "CM should be far worse");
+    }
+
+    #[test]
+    fn depth_sweep_improves_with_depth() {
+        let x = biased_vector(3000);
+        let res = run_depth_sweep(&x, &[Algorithm::L2SR], 96, &[1, 9], 2, 5);
+        assert_eq!(res.len(), 2);
+        let e_shallow = res[0].errors.max_err;
+        let e_deep = res[1].errors.max_err;
+        assert!(
+            e_deep <= e_shallow * 1.5,
+            "depth 9 ({e_deep}) should not be much worse than depth 1 ({e_shallow})"
+        );
+    }
+
+    #[test]
+    fn stream_experiment_measures_both_axes() {
+        let stream: Vec<u32> = (0..20_000u32).map(|i| i % 500).collect();
+        let res = run_stream_experiment(
+            &stream,
+            500,
+            &[Algorithm::L2SR, Algorithm::CountSketch],
+            &[64],
+            5,
+            7,
+        );
+        assert_eq!(res.len(), 2);
+        for r in &res {
+            assert!(r.update_ns > 0.0);
+            assert!(r.query_ns > 0.0);
+            assert!(r.errors.avg_err.is_finite());
+        }
+        // Uniform stream (every count = 40) is exactly the biased case:
+        // the de-biased tail is zero, so l2-S/R should be near-exact
+        // while CS carries collision noise proportional to the bias.
+        let l2 = res.iter().find(|r| r.algorithm == "l2-S/R").unwrap();
+        let cs = res.iter().find(|r| r.algorithm == "CS").unwrap();
+        assert!(l2.errors.avg_err < 5.0, "l2: {}", l2.errors.avg_err);
+        assert!(cs.errors.avg_err < 150.0, "CS: {}", cs.errors.avg_err);
+        assert!(l2.errors.avg_err < cs.errors.avg_err);
+    }
+}

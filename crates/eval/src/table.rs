@@ -1,0 +1,168 @@
+//! Fixed-width result tables for bench output.
+
+/// A simple column-aligned table: the benches print one per figure, with
+/// the same rows/series the paper plots.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width does not match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats an error value compactly (fixed for mid-range, scientific for
+/// extremes) so table columns stay readable across 6 orders of
+/// magnitude.
+pub fn fmt_err(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(0.001..100_000.0).contains(&v.abs()) {
+        format!("{v:.3e}")
+    } else if v.abs() < 10.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("Figure X", &["algo", "s", "avg"]);
+        t.push_row(vec!["l2-S/R".into(), "1000".into(), "0.12".into()]);
+        t.push_row(vec!["CS".into(), "1000".into(), "0.55".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned_and_titled() {
+        let txt = sample().to_text();
+        assert!(txt.contains("== Figure X =="));
+        assert!(txt.contains("l2-S/R"));
+        let lines: Vec<&str> = txt.lines().collect();
+        // Header, separator, two rows, plus title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_roundtrips_cells() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("algo,s,avg"));
+        assert!(csv.contains("CS,1000,0.55"));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| algo | s | avg |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = ResultTable::new("t", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_err_ranges() {
+        assert_eq!(fmt_err(0.0), "0");
+        assert_eq!(fmt_err(1.2345), "1.2345"); // changed below if needed
+        assert_eq!(fmt_err(123.456), "123.46");
+        assert!(fmt_err(1e9).contains('e'));
+        assert!(fmt_err(1e-9).contains('e'));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(ResultTable::new("e", &["x"]).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Carter–Wegman polynomial hashing over `GF(2^61 − 1)`.
+
+use crate::family::{BucketHasher, SignHasher};
+use crate::prime::{mul_mod_p61, reduce_p61, P61};
+use crate::seed::{mix64, SplitMix64};
+
+/// A 2-universal hash function `h : [n] → [s]` of the form
+/// `h(x) = ((a·x + b) mod p) mod s` with `p = 2^61 − 1`, `a ∈ [1, p)`,
+/// `b ∈ [0, p)`.
+///
+/// This is the exact family assumed by the paper for the CM/CS matrices
+/// (Definitions 1–2): for `x ≠ y`, `Pr[h(x) = h(y)] ≤ 1/s + o(1/s)`, and
+/// only pairwise independence is needed for the second-moment analyses of
+/// Theorems 1–4.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarterWegman {
+    a: u64,
+    b: u64,
+    buckets: u64,
+}
+
+impl CarterWegman {
+    /// Samples a random function with range `[0, buckets)`.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `buckets > p`.
+    pub fn sample(seeder: &mut SplitMix64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!((buckets as u128) <= P61 as u128, "range exceeds field size");
+        let a = 1 + seeder.next_below(P61 - 1); // a ∈ [1, p)
+        let b = seeder.next_below(P61); // b ∈ [0, p)
+        Self {
+            a,
+            b,
+            buckets: buckets as u64,
+        }
+    }
+
+    /// Constructs the function from explicit coefficients (used by tests
+    /// and by serialization).
+    pub fn from_parts(a: u64, b: u64, buckets: usize) -> Self {
+        assert!(buckets > 0 && (1..P61).contains(&a) && b < P61);
+        Self {
+            a,
+            b,
+            buckets: buckets as u64,
+        }
+    }
+
+    /// The raw field value `(a·mix(x) + b) mod p`, before range
+    /// reduction. Keys pass through the fixed [`mix64`] bijection first
+    /// so that consecutive indices cannot line up with the modulus (see
+    /// `mix64`'s documentation for the failure mode this prevents).
+    #[inline]
+    pub fn field_value(&self, x: u64) -> u64 {
+        let ax = mul_mod_p61(self.a, reduce_p61(mix64(x) as u128));
+        let s = ax as u128 + self.b as u128;
+        reduce_p61(s)
+    }
+}
+
+impl BucketHasher for CarterWegman {
+    #[inline]
+    fn bucket(&self, item: u64) -> usize {
+        (self.field_value(item) % self.buckets) as usize
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.buckets as usize
+    }
+}
+
+/// A `t`-wise independent hash function realized as a random degree-`t−1`
+/// polynomial over `GF(2^61 − 1)`.
+///
+/// Pairwise independence is all the paper's proofs need, but 4-wise
+/// families are useful for variance-sensitive extensions (e.g. AMS-style
+/// moment estimation on the de-biased vector) and for the hashing
+/// ablation bench.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolynomialHash {
+    /// Coefficients, lowest degree first; `coeffs.len()` = independence.
+    coeffs: Vec<u64>,
+    buckets: u64,
+}
+
+impl PolynomialHash {
+    /// Samples a `t`-wise independent function with range `[0, buckets)`.
+    ///
+    /// # Panics
+    /// Panics if `t == 0` or `buckets == 0`.
+    pub fn sample(seeder: &mut SplitMix64, t: usize, buckets: usize) -> Self {
+        assert!(t >= 1, "independence must be at least 1");
+        assert!(buckets > 0, "need at least one bucket");
+        let mut coeffs: Vec<u64> = (0..t).map(|_| seeder.next_below(P61)).collect();
+        // Leading coefficient non-zero keeps the polynomial's degree exact.
+        if let Some(last) = coeffs.last_mut() {
+            if *last == 0 {
+                *last = 1;
+            }
+        }
+        Self {
+            coeffs,
+            buckets: buckets as u64,
+        }
+    }
+
+    /// Degree of independence `t` (number of coefficients).
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Horner evaluation of the polynomial at `mix(x)`, in the field
+    /// (the same structured-key defence as [`CarterWegman`]).
+    #[inline]
+    pub fn field_value(&self, x: u64) -> u64 {
+        let x = reduce_p61(mix64(x) as u128);
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = reduce_p61(mul_mod_p61(acc, x) as u128 + c as u128);
+        }
+        acc
+    }
+}
+
+impl BucketHasher for PolynomialHash {
+    #[inline]
+    fn bucket(&self, item: u64) -> usize {
+        (self.field_value(item) % self.buckets) as usize
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.buckets as usize
+    }
+}
+
+impl SignHasher for PolynomialHash {
+    #[inline]
+    fn sign(&self, item: u64) -> i8 {
+        // Take a high-entropy bit of the field value. The low bit of a
+        // uniform residue mod a Mersenne prime is itself (1/2 ± 2^-61)
+        // uniform.
+        if self.field_value(item) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::BucketHasher;
+
+    fn chi_square_uniform(counts: &[u64], total: u64) -> f64 {
+        let s = counts.len() as f64;
+        let expect = total as f64 / s;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum()
+    }
+
+    #[test]
+    fn range_is_respected() {
+        let mut seeder = SplitMix64::new(1);
+        for buckets in [1usize, 2, 3, 17, 1024, 99_991] {
+            let h = CarterWegman::sample(&mut seeder, buckets);
+            for x in 0..1000u64 {
+                assert!(h.bucket(x) < buckets);
+            }
+            assert_eq!(h.num_buckets(), buckets);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut s1 = SplitMix64::new(5);
+        let mut s2 = SplitMix64::new(5);
+        let h1 = CarterWegman::sample(&mut s1, 64);
+        let h2 = CarterWegman::sample(&mut s2, 64);
+        for x in 0..256u64 {
+            assert_eq!(h1.bucket(x), h2.bucket(x));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut seeder = SplitMix64::new(2024);
+        let buckets = 64usize;
+        let h = CarterWegman::sample(&mut seeder, buckets);
+        let n = 64_000u64;
+        let mut counts = vec![0u64; buckets];
+        for x in 0..n {
+            counts[h.bucket(x)] += 1;
+        }
+        // 63 dof; chi^2 far below the 99.9% quantile (~103) is expected.
+        let chi = chi_square_uniform(&counts, n);
+        assert!(chi < 120.0, "chi^2 = {chi}");
+    }
+
+    #[test]
+    fn collision_probability_is_near_one_over_s() {
+        // Empirical pairwise collision rate over many sampled functions.
+        let mut seeder = SplitMix64::new(77);
+        let buckets = 32usize;
+        let trials = 4000;
+        let mut collisions = 0u64;
+        for _ in 0..trials {
+            let h = CarterWegman::sample(&mut seeder, buckets);
+            if h.bucket(123) == h.bucket(456_789) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let ideal = 1.0 / buckets as f64;
+        assert!(
+            (rate - ideal).abs() < 3.0 * (ideal / trials as f64).sqrt() + 0.01,
+            "rate = {rate}, ideal = {ideal}"
+        );
+    }
+
+    #[test]
+    fn polynomial_degree_one_matches_cw_shape() {
+        let mut seeder = SplitMix64::new(9);
+        let p = PolynomialHash::sample(&mut seeder, 2, 100);
+        assert_eq!(p.independence(), 2);
+        for x in 0..500u64 {
+            assert!(p.bucket(x) < 100);
+        }
+    }
+
+    #[test]
+    fn polynomial_horner_matches_naive() {
+        let p = PolynomialHash {
+            coeffs: vec![3, 5, 7], // 3 + 5x + 7x^2, evaluated at mix(x)
+            buckets: 1 << 20,
+        };
+        for x in [0u64, 1, 2, 10, 1_000_003] {
+            let xr = reduce_p61(mix64(x) as u128);
+            let naive = reduce_p61(
+                3u128 + mul_mod_p61(5, xr) as u128 + mul_mod_p61(7, mul_mod_p61(xr, xr)) as u128,
+            );
+            assert_eq!(p.field_value(x), naive, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn polynomial_sign_is_balanced() {
+        let mut seeder = SplitMix64::new(33);
+        let p = PolynomialHash::sample(&mut seeder, 4, 2);
+        let n = 20_000u64;
+        let pos = (0..n).filter(|&x| p.sign(x) == 1).count() as f64;
+        let frac = pos / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "positive fraction = {frac}");
+    }
+
+    #[test]
+    fn four_wise_tuples_spread() {
+        // Weak sanity check of 4-wise behaviour: the joint distribution of
+        // (h(0), h(1), h(2), h(3)) over sampled functions should cover many
+        // distinct tuples, unlike a degenerate family.
+        let mut seeder = SplitMix64::new(4096);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            let p = PolynomialHash::sample(&mut seeder, 4, 4);
+            seen.insert([p.bucket(0), p.bucket(1), p.bucket(2), p.bucket(3)]);
+        }
+        assert!(seen.len() > 200, "only {} distinct tuples", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        CarterWegman::sample(&mut SplitMix64::new(0), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Common traits and a runtime-selectable hash family.
+
+use crate::carter_wegman::CarterWegman;
+use crate::multiply_shift::MultiplyShift;
+use crate::seed::SplitMix64;
+use crate::tabulation::Tabulation;
+
+/// A hash function mapping items to buckets `[0, num_buckets)`.
+///
+/// Implementations must be pure: the same item always maps to the same
+/// bucket for the lifetime of the value. Sketches rely on this to use one
+/// function for both updates and queries.
+pub trait BucketHasher {
+    /// Maps an item to its bucket.
+    fn bucket(&self, item: u64) -> usize;
+    /// Number of buckets `s` in the range.
+    fn num_buckets(&self) -> usize;
+}
+
+/// A hash function mapping items to signs `{−1, +1}`.
+pub trait SignHasher {
+    /// Maps an item to `+1` or `−1`.
+    fn sign(&self, item: u64) -> i8;
+}
+
+/// Which concrete family a [`HashFamily`] samples from.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashKind {
+    /// Carter–Wegman `((a·x+b) mod p) mod s` — the default; matches the
+    /// paper's analysis and supports arbitrary `s`.
+    CarterWegman,
+    /// Multiply-shift; rounds `s` up to a power of two.
+    MultiplyShift,
+    /// Simple tabulation hashing.
+    Tabulation,
+}
+
+/// A runtime-dispatched bucket hash, so sketches can be configured with
+/// any of the implemented families (exercised by `ablation_hashing`).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub enum AnyBucketHasher {
+    /// Carter–Wegman instance.
+    CarterWegman(CarterWegman),
+    /// Multiply-shift instance.
+    MultiplyShift(MultiplyShift),
+    /// Tabulation instance.
+    Tabulation(Tabulation),
+}
+
+impl BucketHasher for AnyBucketHasher {
+    #[inline]
+    fn bucket(&self, item: u64) -> usize {
+        match self {
+            AnyBucketHasher::CarterWegman(h) => h.bucket(item),
+            AnyBucketHasher::MultiplyShift(h) => h.bucket(item),
+            AnyBucketHasher::Tabulation(h) => h.bucket(item),
+        }
+    }
+
+    fn num_buckets(&self) -> usize {
+        match self {
+            AnyBucketHasher::CarterWegman(h) => h.num_buckets(),
+            AnyBucketHasher::MultiplyShift(h) => h.num_buckets(),
+            AnyBucketHasher::Tabulation(h) => h.num_buckets(),
+        }
+    }
+}
+
+/// A factory that samples i.i.d. hash functions of a chosen family with a
+/// fixed bucket count — the "d independent random hash functions
+/// h_1, …, h_d" of Theorems 1 and 2.
+#[derive(Debug)]
+pub struct HashFamily {
+    kind: HashKind,
+    buckets: usize,
+    seeder: SplitMix64,
+}
+
+impl HashFamily {
+    /// Creates a Carter–Wegman family with range `[0, buckets)`.
+    pub fn carter_wegman(seeder: &mut SplitMix64, buckets: usize) -> Self {
+        Self {
+            kind: HashKind::CarterWegman,
+            buckets,
+            seeder: seeder.split(),
+        }
+    }
+
+    /// Creates a family of the given kind. Multiply-shift rounds the
+    /// bucket count up to the next power of two.
+    pub fn new(kind: HashKind, seeder: &mut SplitMix64, buckets: usize) -> Self {
+        let buckets = match kind {
+            HashKind::MultiplyShift => MultiplyShift::round_up_buckets(buckets),
+            _ => buckets,
+        };
+        Self {
+            kind,
+            buckets,
+            seeder: seeder.split(),
+        }
+    }
+
+    /// The (possibly rounded) bucket count functions of this family use.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Samples the next independent function from the family.
+    pub fn sample(&mut self) -> AnyBucketHasher {
+        match self.kind {
+            HashKind::CarterWegman => {
+                AnyBucketHasher::CarterWegman(CarterWegman::sample(&mut self.seeder, self.buckets))
+            }
+            HashKind::MultiplyShift => AnyBucketHasher::MultiplyShift(MultiplyShift::sample(
+                &mut self.seeder,
+                self.buckets,
+            )),
+            HashKind::Tabulation => {
+                AnyBucketHasher::Tabulation(Tabulation::sample(&mut self.seeder, self.buckets))
+            }
+        }
+    }
+
+    /// Samples `d` independent functions at once.
+    pub fn sample_many(&mut self, d: usize) -> Vec<AnyBucketHasher> {
+        (0..d).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_samples_independent_functions() {
+        let mut seeder = SplitMix64::new(1);
+        let mut fam = HashFamily::carter_wegman(&mut seeder, 128);
+        let hs = fam.sample_many(4);
+        assert_eq!(hs.len(), 4);
+        // Functions should disagree somewhere.
+        let disagreements = (0..1000u64)
+            .filter(|&x| hs[0].bucket(x) != hs[1].bucket(x))
+            .count();
+        assert!(disagreements > 900);
+    }
+
+    #[test]
+    fn multiply_shift_rounds_buckets() {
+        let mut seeder = SplitMix64::new(2);
+        let fam = HashFamily::new(HashKind::MultiplyShift, &mut seeder, 100);
+        assert_eq!(fam.buckets(), 128);
+    }
+
+    #[test]
+    fn all_kinds_produce_in_range_functions() {
+        let mut seeder = SplitMix64::new(3);
+        for kind in [
+            HashKind::CarterWegman,
+            HashKind::MultiplyShift,
+            HashKind::Tabulation,
+        ] {
+            let mut fam = HashFamily::new(kind, &mut seeder, 64);
+            let h = fam.sample();
+            for x in 0..500u64 {
+                assert!(h.bucket(x) < fam.buckets(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reproducible_from_equal_seeders() {
+        let mut s1 = SplitMix64::new(10);
+        let mut s2 = SplitMix64::new(10);
+        let mut f1 = HashFamily::carter_wegman(&mut s1, 32);
+        let mut f2 = HashFamily::carter_wegman(&mut s2, 32);
+        let h1 = f1.sample();
+        let h2 = f2.sample();
+        for x in 0..200u64 {
+            assert_eq!(h1.bucket(x), h2.bucket(x));
+        }
+    }
+}

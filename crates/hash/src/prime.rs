@@ -1,0 +1,128 @@
+//! Arithmetic modulo the Mersenne prime `p = 2^61 − 1`.
+//!
+//! All polynomial hash families in this crate work over `GF(p)`. The
+//! Mersenne structure lets us reduce a 122-bit product with shifts and
+//! adds instead of a hardware division, which keeps per-item hashing at a
+//! handful of cycles — important because sketch updates hash every stream
+//! element `d + 1` times.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u128` value modulo [`P61`].
+///
+/// Uses the identity `2^61 ≡ 1 (mod p)`: split the value into 61-bit
+/// limbs, sum them, and fold once more. The result is fully reduced into
+/// `[0, p)`.
+#[inline]
+pub fn reduce_p61(x: u128) -> u64 {
+    // Three limbs cover up to 183 bits; products of two values < p are
+    // at most ~122 bits so the top limb fits easily.
+    let lo = (x & (P61 as u128)) as u64;
+    let mid = ((x >> 61) & (P61 as u128)) as u64;
+    let hi = (x >> 122) as u64;
+    let mut s = lo as u128 + mid as u128 + hi as u128;
+    // s < 3 * 2^61, so one more fold plus a conditional subtract settles it.
+    s = (s & (P61 as u128)) + (s >> 61);
+    let mut r = s as u64;
+    if r >= P61 {
+        r -= P61;
+    }
+    r
+}
+
+/// Multiplies two residues modulo [`P61`].
+///
+/// Inputs need not be fully reduced as long as they are `< 2^64`; the
+/// 128-bit product is reduced with [`reduce_p61`].
+#[inline]
+pub fn mul_mod_p61(a: u64, b: u64) -> u64 {
+    reduce_p61(a as u128 * b as u128)
+}
+
+/// Adds two residues modulo [`P61`]. Inputs must already be `< p`.
+#[inline]
+pub fn add_mod_p61(a: u64, b: u64) -> u64 {
+    let s = a + b; // < 2^62, no overflow
+    if s >= P61 {
+        s - P61
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p61_is_prime_shaped() {
+        assert_eq!(P61, 2_305_843_009_213_693_951);
+        assert_eq!(P61, (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn reduce_matches_naive_mod() {
+        let samples: &[u128] = &[
+            0,
+            1,
+            P61 as u128 - 1,
+            P61 as u128,
+            P61 as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX >> 6, // ~122 bits, the largest product we ever reduce
+            (P61 as u128 - 1) * (P61 as u128 - 1),
+        ];
+        for &x in samples {
+            assert_eq!(reduce_p61(x) as u128, x % P61 as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_idempotent_on_reduced_values() {
+        for x in [0u64, 1, 12345, P61 - 1] {
+            assert_eq!(reduce_p61(x as u128), x);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive_mod() {
+        let vals = [0u64, 1, 2, 97, 1 << 32, P61 - 1, P61 - 2];
+        for &a in &vals {
+            for &b in &vals {
+                let expect = ((a as u128 * b as u128) % P61 as u128) as u64;
+                assert_eq!(mul_mod_p61(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_naive_mod() {
+        let vals = [0u64, 1, P61 / 2, P61 - 1];
+        for &a in &vals {
+            for &b in &vals {
+                let expect = ((a as u128 + b as u128) % P61 as u128) as u64;
+                assert_eq!(add_mod_p61(a, b), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_spot_check() {
+        // a^(p-1) = 1 mod p for prime p: exponentiate by squaring.
+        fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+            let mut acc = 1u64;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    acc = mul_mod_p61(acc, base);
+                }
+                base = mul_mod_p61(base, base);
+                exp >>= 1;
+            }
+            acc
+        }
+        for a in [2u64, 3, 5, 7, 1234567891011] {
+            assert_eq!(pow_mod(a, P61 - 1), 1, "a = {a}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Deterministic seeding for hash families.
+//!
+//! Sketching and recovery must agree on the hash functions (the paper
+//! treats them as "common knowledge" shared between the two phases, and
+//! in the distributed model the coordinator ships them to every site).
+//! We derive every random parameter from a single `u64` master seed with
+//! SplitMix64, the splittable generator from Steele, Lea & Flood
+//! (OOPSLA 2014). It passes BigCrush for this use and — crucially — is
+//! trivially reproducible across machines and versions.
+
+/// The SplitMix64 output finalizer: a fixed, bijective 64-bit mixer.
+///
+/// Sketch inputs are typically *consecutive* indices `0..n`. A bare
+/// Carter–Wegman hash `((a·x + b) mod p) mod s` degenerates on such
+/// inputs whenever `a·n < p` (no wrap-around): it becomes an affine map
+/// mod `s` that hits only `s / gcd(a, s)` buckets. Pre-mixing the key
+/// with a fixed public bijection destroys that structure while leaving
+/// the family's pairwise independence untouched — it is merely a
+/// relabeling of the universe, chosen before the random `(a, b)`.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Not intended as a general-purpose RNG for experiments (use the `rand`
+/// crate for workloads); this exists to expand one master seed into the
+/// `O(d)` hash-function parameters of a sketch, identically on every
+/// machine that holds the seed.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-then-fixup rejection method, so the result
+    /// is exactly uniform (no modulo bias).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = x as u128 * bound as u128;
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = x as u128 * bound as u128;
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Derives an independent child generator; children of distinct
+    /// indices are decorrelated even for adjacent master seeds.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // First outputs for seed 1234567 from the published reference
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut g = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| g.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6_457_827_717_110_365_317,
+                3_203_168_211_198_807_973,
+                9_817_491_932_198_370_423
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(0);
+        let mut b = SplitMix64::new(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut g = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = g.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_below_one_is_zero() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..10 {
+            assert_eq!(g.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn split_children_are_independent_streams() {
+        let mut parent = SplitMix64::new(42);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let overlap = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Pairwise-independent sign functions `r : [n] → {−1, +1}`.
+
+use crate::carter_wegman::CarterWegman;
+use crate::family::SignHasher;
+use crate::seed::SplitMix64;
+
+/// A pairwise-independent random sign function, as required by the
+/// CS-matrix (paper, Definition 2).
+///
+/// Implemented as a Carter–Wegman function into two buckets; pairwise
+/// independence of the underlying family carries over to the signs, which
+/// is exactly what the variance computation in Theorem 2 (and hence
+/// Theorem 4) consumes: `E[r(i)r(j)] = 0` for `i ≠ j`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignHash {
+    inner: CarterWegman,
+}
+
+impl SignHash {
+    /// Samples a random sign function.
+    pub fn sample(seeder: &mut SplitMix64) -> Self {
+        Self {
+            inner: CarterWegman::sample(seeder, 2),
+        }
+    }
+
+    /// The sign as `f64` (`+1.0` or `−1.0`), convenient for arithmetic on
+    /// bucket counters.
+    #[inline]
+    pub fn sign_f64(&self, item: u64) -> f64 {
+        self.sign(item) as f64
+    }
+}
+
+impl SignHasher for SignHash {
+    #[inline]
+    fn sign(&self, item: u64) -> i8 {
+        use crate::family::BucketHasher;
+        if self.inner.bucket(item) == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_are_plus_minus_one() {
+        let r = SignHash::sample(&mut SplitMix64::new(3));
+        for x in 0..1000u64 {
+            let s = r.sign(x);
+            assert!(s == 1 || s == -1);
+            assert_eq!(r.sign_f64(x), s as f64);
+        }
+    }
+
+    #[test]
+    fn balanced() {
+        let r = SignHash::sample(&mut SplitMix64::new(31));
+        let n = 50_000u64;
+        let sum: i64 = (0..n).map(|x| r.sign(x) as i64).sum();
+        // Mean should be 0 with sd sqrt(n) ~ 224.
+        assert!(sum.abs() < 1500, "sum = {sum}");
+    }
+
+    #[test]
+    fn pairwise_product_is_centered() {
+        // E[r(i) r(j)] should be ~0 over random functions: sample many
+        // functions and average the product for a fixed pair.
+        let mut seeder = SplitMix64::new(64);
+        let trials = 4000;
+        let sum: i64 = (0..trials)
+            .map(|_| {
+                let r = SignHash::sample(&mut seeder);
+                (r.sign(42) as i64) * (r.sign(4242) as i64)
+            })
+            .sum();
+        let mean = sum as f64 / trials as f64;
+        assert!(mean.abs() < 0.06, "mean = {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SignHash::sample(&mut SplitMix64::new(7));
+        let b = SignHash::sample(&mut SplitMix64::new(7));
+        for x in 0..256u64 {
+            assert_eq!(a.sign(x), b.sign(x));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Simple tabulation hashing.
+
+use crate::family::{BucketHasher, SignHasher};
+use crate::seed::SplitMix64;
+
+/// Simple tabulation hashing: split the 64-bit key into 8 bytes and XOR
+/// together one random table entry per byte.
+///
+/// Only 3-wise independent, but Pătraşcu–Thorup showed it behaves like a
+/// fully random function for hash tables, linear probing, and — relevant
+/// here — Count-Sketch-style estimation (it gives Chernoff-style
+/// concentration). It trades 8 cache-resident table lookups for the
+/// multiplications of the polynomial families; the `ablation_hashing`
+/// bench measures the trade on sketch updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tabulation {
+    /// 8 tables × 256 entries of 64 random bits.
+    tables: Box<[[u64; 256]; 8]>,
+    buckets: usize,
+}
+
+impl Tabulation {
+    /// Samples a random tabulation function with range `[0, buckets)`.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn sample(seeder: &mut SplitMix64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = seeder.next_u64();
+            }
+        }
+        Self { tables, buckets }
+    }
+
+    /// The full 64-bit hash before range reduction.
+    #[inline]
+    pub fn hash64(&self, item: u64) -> u64 {
+        let b = item.to_le_bytes();
+        let mut acc = 0u64;
+        for (i, table) in self.tables.iter().enumerate() {
+            acc ^= table[b[i] as usize];
+        }
+        acc
+    }
+}
+
+impl BucketHasher for Tabulation {
+    #[inline]
+    fn bucket(&self, item: u64) -> usize {
+        // Multiply-high range reduction keeps uniformity for arbitrary
+        // (non power-of-two) bucket counts.
+        ((self.hash64(item) as u128 * self.buckets as u128) >> 64) as usize
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.buckets
+    }
+}
+
+impl SignHasher for Tabulation {
+    #[inline]
+    fn sign(&self, item: u64) -> i8 {
+        if self.hash64(item) & (1 << 63) == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// Serde support: the 8x256 tables flatten to a `Vec<u64>` of length
+/// 2048 (derive cannot handle arrays this large).
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use super::Tabulation;
+    use serde::de::Error as DeError;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Wire {
+        tables: Vec<u64>,
+        buckets: usize,
+    }
+
+    impl Serialize for Tabulation {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let flat: Vec<u64> = self.tables.iter().flat_map(|t| t.iter().copied()).collect();
+            Wire {
+                tables: flat,
+                buckets: self.buckets,
+            }
+            .serialize(serializer)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Tabulation {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let wire = Wire::deserialize(deserializer)?;
+            if wire.tables.len() != 8 * 256 {
+                return Err(D::Error::custom(format!(
+                    "tabulation table must have 2048 entries, got {}",
+                    wire.tables.len()
+                )));
+            }
+            if wire.buckets == 0 {
+                return Err(D::Error::custom("bucket count must be positive"));
+            }
+            let mut tables = Box::new([[0u64; 256]; 8]);
+            for (i, chunk) in wire.tables.chunks_exact(256).enumerate() {
+                tables[i].copy_from_slice(chunk);
+            }
+            Ok(Tabulation {
+                tables,
+                buckets: wire.buckets,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_is_respected() {
+        let mut seeder = SplitMix64::new(21);
+        for buckets in [1usize, 7, 100, 4096] {
+            let h = Tabulation::sample(&mut seeder, buckets);
+            for x in 0..1000u64 {
+                assert!(h.bucket(x) < buckets);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h1 = Tabulation::sample(&mut SplitMix64::new(13), 512);
+        let h2 = Tabulation::sample(&mut SplitMix64::new(13), 512);
+        for x in 0..512u64 {
+            assert_eq!(h1.bucket(x), h2.bucket(x));
+            assert_eq!(h1.sign(x), h2.sign(x));
+        }
+    }
+
+    #[test]
+    fn single_byte_change_flips_hash() {
+        let h = Tabulation::sample(&mut SplitMix64::new(5), 1 << 30);
+        // Keys differing in exactly one byte XOR in exactly one table
+        // difference, which is a uniformly random 64-bit value: the
+        // resulting buckets should almost never match.
+        let mut same = 0;
+        for x in 0..1000u64 {
+            if h.bucket(x) == h.bucket(x ^ 0xFF00) {
+                same += 1;
+            }
+        }
+        assert!(same <= 2, "{same} unexpected collisions");
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let h = Tabulation::sample(&mut SplitMix64::new(17), 2);
+        let n = 20_000u64;
+        let pos = (0..n).filter(|&x| h.sign(x) == 1).count() as f64;
+        let frac = pos / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "positive fraction = {frac}");
+    }
+
+    #[test]
+    fn uniform_across_odd_bucket_count() {
+        let buckets = 97usize;
+        let h = Tabulation::sample(&mut SplitMix64::new(29), buckets);
+        let n = 97_000u64;
+        let mut counts = vec![0u64; buckets];
+        for x in 0..n {
+            counts[h.bucket(x)] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "bucket {i}: {c} vs expected {expect}"
+            );
+        }
+    }
+}

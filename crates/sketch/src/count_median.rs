@@ -1,0 +1,262 @@
+//! Count-Median: CM-matrix sketching with median recovery.
+
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
+use crate::util::{median_in_place, CounterGrid};
+use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
+
+/// The Count-Median sketch of Cormode & Muthukrishnan (paper, Theorem 1).
+///
+/// `d` independent CM-matrices `Π(h_1), …, Π(h_d)` (Definition 1) are
+/// applied to the input vector; a point query returns the **median** of
+/// the `d` bucket sums the item hashes into:
+///
+/// ```text
+/// x̂_j = median_{i ∈ [d]} ( Π(h_i)·x )_{h_i(j)}
+/// ```
+///
+/// With `s = Θ(k/α)` and `d = Θ(log n)` this guarantees
+/// `‖x̂ − x‖∞ ≤ α/k · Err_1^k(x)` with probability `1 − 1/n`. It is fully
+/// linear (supports turnstile updates and merging) — and it is the
+/// component the bias-aware `ℓ1`-S/R de-biases.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct CountMedian {
+    params: SketchParams,
+    grid: CounterGrid,
+    hashers: Vec<AnyBucketHasher>,
+}
+
+impl CountMedian {
+    /// Creates an empty Count-Median sketch.
+    pub fn new(params: &SketchParams) -> Self {
+        let mut seeder = SplitMix64::new(params.seed ^ 0xC0DE_0001);
+        let mut family = HashFamily::new(params.hash_kind, &mut seeder, params.width);
+        let hashers = family.sample_many(params.depth);
+        let width = family.buckets();
+        let mut params = *params;
+        params.width = width; // multiply-shift may round up
+        Self {
+            params,
+            grid: CounterGrid::new(width, params.depth),
+            hashers,
+        }
+    }
+
+    /// The parameters the sketch was built with (width may have been
+    /// rounded up by the hash family).
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// Raw bucket sum `(Π(h_row)·x)[bucket]` — exposed because the
+    /// bias-aware recovery needs direct access to de-bias buckets.
+    #[inline]
+    pub fn bucket_value(&self, row: usize, bucket: usize) -> f64 {
+        self.grid.get(row, bucket)
+    }
+
+    /// The bucket the item hashes to in a given row.
+    #[inline]
+    pub fn bucket_of(&self, row: usize, item: u64) -> usize {
+        self.hashers[row].bucket(item)
+    }
+
+    /// A full row of bucket sums.
+    pub fn row(&self, row: usize) -> &[f64] {
+        self.grid.row(row)
+    }
+
+    /// Per-bucket column counts `π_i` of each CM-matrix: `π_i[b]` is the
+    /// number of universe elements hashed to bucket `b` in row `i`
+    /// (paper, Algorithm 2 line 2). Costs `O(n·d)`; the caller caches it.
+    pub fn column_counts(&self) -> Vec<Vec<u64>> {
+        let mut pis = vec![vec![0u64; self.params.width]; self.params.depth];
+        for j in 0..self.params.n {
+            for (row, h) in self.hashers.iter().enumerate() {
+                pis[row][h.bucket(j)] += 1;
+            }
+        }
+        pis
+    }
+}
+
+impl PointQuerySketch for CountMedian {
+    #[inline]
+    fn update(&mut self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        for (row, h) in self.hashers.iter().enumerate() {
+            self.grid.add(row, h.bucket(item), delta);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        let mut vals: Vec<f64> = self
+            .hashers
+            .iter()
+            .enumerate()
+            .map(|(row, h)| self.grid.get(row, h.bucket(item)))
+            .collect();
+        median_in_place(&mut vals)
+    }
+
+    fn universe(&self) -> u64 {
+        self.params.n
+    }
+
+    fn size_in_words(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn label(&self) -> &'static str {
+        "CM"
+    }
+}
+
+impl MergeableSketch for CountMedian {
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.params.width != other.params.width || self.params.depth != other.params.depth {
+            return Err(MergeError::ShapeMismatch {
+                what: "widths/depths",
+            });
+        }
+        if self.params.n != other.params.n {
+            return Err(MergeError::ShapeMismatch { what: "universes" });
+        }
+        if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
+        {
+            return Err(MergeError::SeedMismatch);
+        }
+        self.grid.add_grid(&other.grid);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u64, w: usize, d: usize) -> SketchParams {
+        SketchParams::new(n, w, d).with_seed(42)
+    }
+
+    #[test]
+    fn exact_on_sparse_vectors() {
+        // A 1-sparse vector collides with nothing: recovery is exact up
+        // to hash collisions, which the median across rows suppresses.
+        let p = params(1000, 256, 7);
+        let mut cm = CountMedian::new(&p);
+        cm.update(17, 5.0);
+        assert_eq!(cm.estimate(17), 5.0);
+        // Untouched items should estimate ~0 (possibly exactly 0).
+        let zero_est = cm.estimate(900);
+        assert!(zero_est.abs() <= 5.0);
+    }
+
+    #[test]
+    fn turnstile_updates_cancel() {
+        let p = params(100, 64, 5);
+        let mut cm = CountMedian::new(&p);
+        cm.update(3, 10.0);
+        cm.update(3, -10.0);
+        for j in 0..100 {
+            assert_eq!(cm.estimate(j), 0.0, "item {j}");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_theorem_1_shape() {
+        // x has k=2 heavy entries and small tail; Count-Median error
+        // should be O(Err_1^k / k), far below the heavy values.
+        let n = 2000u64;
+        let p = params(n, 200, 9);
+        let mut cm = CountMedian::new(&p);
+        let mut x = vec![0.0f64; n as usize];
+        x[10] = 1000.0;
+        x[20] = -800.0;
+        for (i, v) in x.iter_mut().enumerate() {
+            if i != 10 && i != 20 {
+                *v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            }
+        }
+        cm.ingest_vector(&x);
+        let tail: f64 = x
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 10 && *i != 20)
+            .map(|(_, v)| v.abs())
+            .sum();
+        // Generous bound: per-item error below tail/ (width/..) scale.
+        for j in [10u64, 20, 30, 999] {
+            let err = (cm.estimate(j) - x[j as usize]).abs();
+            assert!(err <= tail * 10.0 / 200.0, "item {j}: err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let p = params(500, 64, 5);
+        let mut a = CountMedian::new(&p);
+        let mut b = CountMedian::new(&p);
+        let mut combined = CountMedian::new(&p);
+        for i in 0..250u64 {
+            a.update(i, i as f64);
+            combined.update(i, i as f64);
+        }
+        for i in 250..500u64 {
+            b.update(i, 2.0 * i as f64);
+            combined.update(i, 2.0 * i as f64);
+        }
+        a.merge_from(&b).unwrap();
+        for j in (0..500u64).step_by(17) {
+            assert_eq!(a.estimate(j), combined.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = CountMedian::new(&params(10, 8, 2));
+        let b = CountMedian::new(&SketchParams::new(10, 8, 2).with_seed(43));
+        assert_eq!(a.merge_from(&b), Err(MergeError::SeedMismatch));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shape() {
+        let mut a = CountMedian::new(&params(10, 8, 2));
+        let b = CountMedian::new(&params(10, 16, 2));
+        assert!(matches!(
+            a.merge_from(&b),
+            Err(MergeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn column_counts_sum_to_n() {
+        let p = params(300, 32, 4);
+        let cm = CountMedian::new(&p);
+        let pis = cm.column_counts();
+        assert_eq!(pis.len(), 4);
+        for pi in &pis {
+            assert_eq!(pi.iter().sum::<u64>(), 300);
+        }
+    }
+
+    #[test]
+    fn bucket_value_consistent_with_update() {
+        let p = params(50, 16, 3);
+        let mut cm = CountMedian::new(&p);
+        cm.update(7, 4.0);
+        for row in 0..3 {
+            let b = cm.bucket_of(row, 7);
+            assert_eq!(cm.bucket_value(row, b), 4.0);
+            assert_eq!(cm.row(row)[b], 4.0);
+        }
+    }
+
+    #[test]
+    fn size_in_words_is_grid_size() {
+        let cm = CountMedian::new(&params(100, 32, 6));
+        assert_eq!(cm.size_in_words(), 32 * 6);
+        assert_eq!(cm.label(), "CM");
+        assert_eq!(cm.universe(), 100);
+    }
+}

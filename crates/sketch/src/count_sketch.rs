@@ -1,0 +1,332 @@
+//! Count-Sketch: CS-matrix sketching with signed median recovery.
+
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
+use crate::util::{median_in_place, CounterGrid};
+use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SignHash, SignHasher, SplitMix64};
+
+/// The Count-Sketch of Charikar, Chen & Farach-Colton (paper, Theorem 2).
+///
+/// Each row pairs a bucket hash `h_i` with a pairwise-independent sign
+/// `r_i : [n] → {−1, +1}` (the CS-matrix of Definition 2); a point query
+/// returns
+///
+/// ```text
+/// x̂_j = median_{i ∈ [d]} r_i(j)·( Ψ(h_i, r_i)·x )_{h_i(j)}
+/// ```
+///
+/// With `s = Θ(k/α)`, `d = Θ(log n)` this achieves
+/// `‖x̂ − x‖∞ ≤ α/√k · Err_2^k(x)` w.p. `1 − 1/n` — the `ℓ∞/ℓ2` guarantee
+/// that the bias-aware `ℓ2`-S/R strictly improves on biased inputs.
+/// Linear, so it merges and works in the distributed model.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    params: SketchParams,
+    grid: CounterGrid,
+    hashers: Vec<AnyBucketHasher>,
+    signs: Vec<SignHash>,
+}
+
+impl CountSketch {
+    /// Creates an empty Count-Sketch.
+    pub fn new(params: &SketchParams) -> Self {
+        let mut seeder = SplitMix64::new(params.seed ^ 0xC0DE_0002);
+        let mut family = HashFamily::new(params.hash_kind, &mut seeder, params.width);
+        let hashers = family.sample_many(params.depth);
+        let signs = (0..params.depth)
+            .map(|_| SignHash::sample(&mut seeder))
+            .collect();
+        let width = family.buckets();
+        let mut params = *params;
+        params.width = width;
+        Self {
+            params,
+            grid: CounterGrid::new(width, params.depth),
+            hashers,
+            signs,
+        }
+    }
+
+    /// The parameters the sketch was built with.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// Raw signed bucket sum `(Ψ(h_row, r_row)·x)[bucket]`.
+    #[inline]
+    pub fn bucket_value(&self, row: usize, bucket: usize) -> f64 {
+        self.grid.get(row, bucket)
+    }
+
+    /// The bucket the item hashes to in a given row.
+    #[inline]
+    pub fn bucket_of(&self, row: usize, item: u64) -> usize {
+        self.hashers[row].bucket(item)
+    }
+
+    /// The sign the item carries in a given row.
+    #[inline]
+    pub fn sign_of(&self, row: usize, item: u64) -> f64 {
+        self.signs[row].sign_f64(item)
+    }
+
+    /// Estimates the inner product `⟨x, y⟩` from two Count-Sketches of
+    /// `x` and `y` built with identical parameters: each row's dot
+    /// product `Σ_b A_i[b]·B_i[b]` is an unbiased estimator (the random
+    /// signs cancel cross terms), and the median over rows concentrates
+    /// it — the join-size / correlation application of sketches.
+    ///
+    /// # Errors
+    /// Returns a [`MergeError`] when the sketches are not compatible.
+    pub fn inner_product(&self, other: &Self) -> Result<f64, MergeError> {
+        if self.params.width != other.params.width || self.params.depth != other.params.depth {
+            return Err(MergeError::ShapeMismatch {
+                what: "widths/depths",
+            });
+        }
+        if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
+        {
+            return Err(MergeError::SeedMismatch);
+        }
+        let mut per_row: Vec<f64> = (0..self.params.depth)
+            .map(|row| {
+                self.grid
+                    .row(row)
+                    .iter()
+                    .zip(other.grid.row(row).iter())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect();
+        Ok(median_in_place(&mut per_row))
+    }
+
+    /// Per-bucket **signed** column sums `ψ_i` of each CS-matrix:
+    /// `ψ_i[b] = Σ_{j : h_i(j)=b} r_i(j)` (paper, Algorithm 4 line 3).
+    /// Needed by the `ℓ2` bias-aware recovery to de-bias buckets. Costs
+    /// `O(n·d)`; the caller caches it.
+    pub fn signed_column_sums(&self) -> Vec<Vec<f64>> {
+        let mut psis = vec![vec![0.0f64; self.params.width]; self.params.depth];
+        for j in 0..self.params.n {
+            for (row, h) in self.hashers.iter().enumerate() {
+                psis[row][h.bucket(j)] += self.signs[row].sign_f64(j);
+            }
+        }
+        psis
+    }
+}
+
+impl PointQuerySketch for CountSketch {
+    #[inline]
+    fn update(&mut self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        for row in 0..self.params.depth {
+            let b = self.hashers[row].bucket(item);
+            let s = self.signs[row].sign(item) as f64;
+            self.grid.add(row, b, s * delta);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> f64 {
+        let mut vals: Vec<f64> = (0..self.params.depth)
+            .map(|row| {
+                let b = self.hashers[row].bucket(item);
+                self.signs[row].sign(item) as f64 * self.grid.get(row, b)
+            })
+            .collect();
+        median_in_place(&mut vals)
+    }
+
+    fn universe(&self) -> u64 {
+        self.params.n
+    }
+
+    fn size_in_words(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn label(&self) -> &'static str {
+        "CS"
+    }
+}
+
+impl MergeableSketch for CountSketch {
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.params.width != other.params.width || self.params.depth != other.params.depth {
+            return Err(MergeError::ShapeMismatch {
+                what: "widths/depths",
+            });
+        }
+        if self.params.n != other.params.n {
+            return Err(MergeError::ShapeMismatch { what: "universes" });
+        }
+        if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
+        {
+            return Err(MergeError::SeedMismatch);
+        }
+        self.grid.add_grid(&other.grid);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u64, w: usize, d: usize) -> SketchParams {
+        SketchParams::new(n, w, d).with_seed(7)
+    }
+
+    #[test]
+    fn single_item_recovers_exactly() {
+        let mut cs = CountSketch::new(&params(1000, 128, 7));
+        cs.update(42, 9.0);
+        assert_eq!(cs.estimate(42), 9.0);
+    }
+
+    #[test]
+    fn turnstile_updates_cancel() {
+        let mut cs = CountSketch::new(&params(200, 64, 5));
+        cs.update(5, 3.0);
+        cs.update(5, -1.0);
+        cs.update(5, -2.0);
+        for j in 0..200 {
+            assert_eq!(cs.estimate(j), 0.0, "item {j}");
+        }
+    }
+
+    #[test]
+    fn estimator_is_unbiased_empirically() {
+        // Across many seeds, the mean estimate of a fixed coordinate
+        // should converge to its true value even with heavy collisions.
+        let n = 64u64;
+        let mut x = vec![1.0f64; n as usize];
+        x[0] = 10.0;
+        let trials = 300;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut cs = CountSketch::new(&SketchParams::new(n, 4, 1).with_seed(seed));
+            cs.ingest_vector(&x);
+            sum += cs.estimate(0);
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 10.0).abs() < 1.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let p = params(300, 32, 5);
+        let mut a = CountSketch::new(&p);
+        let mut b = CountSketch::new(&p);
+        let mut combined = CountSketch::new(&p);
+        for i in 0..300u64 {
+            let (va, vb) = ((i % 7) as f64, (i % 3) as f64);
+            a.update(i, va);
+            b.update(i, vb);
+            combined.update(i, va + vb);
+        }
+        a.merge_from(&b).unwrap();
+        for j in (0..300u64).step_by(13) {
+            assert!((a.estimate(j) - combined.estimate(j)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_hash_kind_mismatch() {
+        use bas_hash::HashKind;
+        let mut a = CountSketch::new(&params(10, 8, 2));
+        let b = CountSketch::new(
+            &SketchParams::new(10, 8, 2)
+                .with_seed(7)
+                .with_hash_kind(HashKind::Tabulation),
+        );
+        assert_eq!(a.merge_from(&b), Err(MergeError::SeedMismatch));
+    }
+
+    #[test]
+    fn signed_column_sums_match_brute_force() {
+        let p = params(100, 16, 3);
+        let cs = CountSketch::new(&p);
+        let psis = cs.signed_column_sums();
+        for row in 0..3 {
+            let mut expect = vec![0.0f64; 16];
+            for j in 0..100u64 {
+                expect[cs.bucket_of(row, j)] += cs.sign_of(row, j);
+            }
+            assert_eq!(psis[row], expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn beats_count_median_on_l2_friendly_tails() {
+        // Long-tail input: CS (l2 guarantee) should have smaller average
+        // error than CM (l1 guarantee) for equal space.
+        use crate::count_median::CountMedian;
+        let n = 5000u64;
+        let mut x = vec![0.0f64; n as usize];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = 1000.0 / (i + 1) as f64; // Zipf-ish tail
+        }
+        let p = SketchParams::new(n, 100, 9).with_seed(3);
+        let mut cs = CountSketch::new(&p);
+        let mut cm = CountMedian::new(&p);
+        cs.ingest_vector(&x);
+        cm.ingest_vector(&x);
+        let err = |est: &dyn Fn(u64) -> f64| -> f64 {
+            (0..n).map(|j| (est(j) - x[j as usize]).abs()).sum::<f64>() / n as f64
+        };
+        let cs_err = err(&|j| cs.estimate(j));
+        let cm_err = err(&|j| cm.estimate(j));
+        assert!(
+            cs_err < cm_err,
+            "CS avg err {cs_err} should beat CM avg err {cm_err}"
+        );
+    }
+
+    #[test]
+    fn inner_product_estimates_dot() {
+        let n = 500u64;
+        let p = params(n, 256, 9);
+        let mut a = CountSketch::new(&p);
+        let mut b = CountSketch::new(&p);
+        // Sparse disjoint + overlapping support.
+        a.update(3, 10.0);
+        a.update(7, 4.0);
+        a.update(100, -2.0);
+        b.update(3, 5.0);
+        b.update(100, 6.0);
+        b.update(200, 9.0);
+        // True <x, y> = 10*5 + (-2)*6 = 38.
+        let est = a.inner_product(&b).unwrap();
+        assert!((est - 38.0).abs() < 8.0, "est = {est}");
+    }
+
+    #[test]
+    fn inner_product_self_is_l2_norm_squared() {
+        let n = 300u64;
+        let p = params(n, 512, 9);
+        let mut a = CountSketch::new(&p);
+        for i in 0..20u64 {
+            a.update(i, (i + 1) as f64);
+        }
+        let truth: f64 = (1..=20u64).map(|v| (v * v) as f64).sum();
+        let est = a.inner_product(&a).unwrap();
+        // Self inner product overestimates slightly (collision squares
+        // add), but should be close for sparse input.
+        assert!((est - truth).abs() < 0.15 * truth, "est = {est} vs {truth}");
+    }
+
+    #[test]
+    fn inner_product_rejects_mismatch() {
+        let a = CountSketch::new(&params(10, 8, 2));
+        let b = CountSketch::new(&SketchParams::new(10, 8, 2).with_seed(99));
+        assert!(a.inner_product(&b).is_err());
+    }
+
+    #[test]
+    fn label_and_size() {
+        let cs = CountSketch::new(&params(10, 8, 2));
+        assert_eq!(cs.label(), "CS");
+        assert_eq!(cs.size_in_words(), 16);
+    }
+}

@@ -1,0 +1,170 @@
+//! Heavy-hitter tracking on top of any point-query sketch.
+//!
+//! "Frequent elements" is the first application the paper's introduction
+//! lists for point-queryable sketches. The standard construction keeps a
+//! small candidate set alongside the sketch: every update refreshes the
+//! updated item's estimate, and items whose estimate clears the threshold
+//! stay in the set.
+
+use crate::traits::PointQuerySketch;
+use std::collections::HashMap;
+
+/// A reported heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitter {
+    /// Item identifier.
+    pub item: u64,
+    /// Sketch estimate of its frequency at report time.
+    pub estimate: f64,
+}
+
+/// Tracks items whose estimated frequency exceeds `phi · total` where
+/// `total` is the running sum of all deltas.
+///
+/// Works with any [`PointQuerySketch`]; pairing it with a bias-aware
+/// sketch makes it find items that are heavy *relative to the bias*,
+/// which is the interesting notion on biased data (e.g. seconds with
+/// unusually many requests, not seconds with ≈average traffic).
+#[derive(Debug)]
+pub struct HeavyHitters<S: PointQuerySketch> {
+    sketch: S,
+    phi: f64,
+    total: f64,
+    candidates: HashMap<u64, f64>,
+}
+
+impl<S: PointQuerySketch> HeavyHitters<S> {
+    /// Wraps a sketch with a heavy-hitter threshold `phi ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < phi < 1`.
+    pub fn new(sketch: S, phi: f64) -> Self {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
+        Self {
+            sketch,
+            phi,
+            total: 0.0,
+            candidates: HashMap::new(),
+        }
+    }
+
+    /// Feeds an update through the sketch and refreshes the candidate
+    /// set.
+    pub fn update(&mut self, item: u64, delta: f64) {
+        self.sketch.update(item, delta);
+        self.total += delta;
+        let est = self.sketch.estimate(item);
+        if est >= self.threshold() {
+            self.candidates.insert(item, est);
+        } else {
+            self.candidates.remove(&item);
+        }
+    }
+
+    /// Current absolute threshold `phi · total`.
+    pub fn threshold(&self) -> f64 {
+        self.phi * self.total
+    }
+
+    /// Running total of all deltas (`‖x‖₁` for cash-register streams).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Returns the current heavy hitters, re-validated against the
+    /// latest estimates and sorted by decreasing estimate.
+    pub fn heavy_hitters(&mut self) -> Vec<HeavyHitter> {
+        let threshold = self.threshold();
+        // Re-validate: totals grow, so old candidates may have fallen
+        // below threshold.
+        let sketch = &self.sketch;
+        self.candidates.retain(|&item, est| {
+            *est = sketch.estimate(item);
+            *est >= threshold
+        });
+        let mut out: Vec<HeavyHitter> = self
+            .candidates
+            .iter()
+            .map(|(&item, &estimate)| HeavyHitter { item, estimate })
+            .collect();
+        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.item.cmp(&b.item)));
+        out
+    }
+
+    /// Borrow the underlying sketch (e.g. for point queries).
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_sketch::CountSketch;
+    use crate::traits::SketchParams;
+
+    fn tracker(phi: f64) -> HeavyHitters<CountSketch> {
+        let params = SketchParams::new(10_000, 512, 7).with_seed(5);
+        HeavyHitters::new(CountSketch::new(&params), phi)
+    }
+
+    #[test]
+    fn finds_planted_heavy_items() {
+        let mut hh = tracker(0.05);
+        // 2 heavy items carrying 30% each, the rest spread thin.
+        for _ in 0..3000 {
+            hh.update(1, 1.0);
+            hh.update(2, 1.0);
+        }
+        for i in 100..4100u64 {
+            hh.update(i, 1.0);
+        }
+        let found = hh.heavy_hitters();
+        let items: Vec<u64> = found.iter().map(|h| h.item).collect();
+        assert!(items.contains(&1), "items = {items:?}");
+        assert!(items.contains(&2), "items = {items:?}");
+        assert!(items.len() <= 10, "too many false positives: {items:?}");
+    }
+
+    #[test]
+    fn results_sorted_by_estimate() {
+        let mut hh = tracker(0.01);
+        for (item, count) in [(1u64, 500), (2, 300), (3, 200)] {
+            for _ in 0..count {
+                hh.update(item, 1.0);
+            }
+        }
+        let found = hh.heavy_hitters();
+        for w in found.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+    }
+
+    #[test]
+    fn threshold_tracks_total() {
+        let mut hh = tracker(0.1);
+        hh.update(1, 10.0);
+        assert_eq!(hh.total(), 10.0);
+        assert!((hh.threshold() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_candidates_evicted_as_total_grows() {
+        let mut hh = tracker(0.2);
+        for _ in 0..10 {
+            hh.update(7, 1.0); // 100% of stream so far
+        }
+        assert_eq!(hh.heavy_hitters().len(), 1);
+        for i in 1000..1200u64 {
+            hh.update(i, 1.0); // dilute item 7 below 20%
+        }
+        let found = hh.heavy_hitters();
+        assert!(found.iter().all(|h| h.item != 7), "{found:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in (0,1)")]
+    fn invalid_phi_rejected() {
+        tracker(1.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! # bas-sketch — classical linear and non-linear sketch baselines
+//!
+//! The substrate under the bias-aware sketches and the comparison set for
+//! every experiment in *Bias-Aware Sketches* (Chen & Zhang, VLDB 2017,
+//! §5.1):
+//!
+//! * [`CountMedian`] — the CM-matrix sketch of Cormode & Muthukrishnan
+//!   with median recovery (`ℓ∞/ℓ1` guarantee, Theorem 1). Linear; the
+//!   building block of the paper's `ℓ1`-S/R and of the `ℓ2` bias
+//!   estimator.
+//! * [`CountSketch`] — Charikar–Chen–Farach-Colton with pairwise random
+//!   signs (`ℓ∞/ℓ2` guarantee, Theorem 2). Linear; the recovery engine of
+//!   `ℓ2`-S/R.
+//! * [`CountMin`] — min-recovery sketch for non-negative vectors, with an
+//!   optional **conservative update** mode (CM-CU, Estan–Varghese) that
+//!   the paper uses as an improved baseline. Not linear in CU mode.
+//! * [`CountMinLog`] — Count-Min-Log with conservative update (CML-CU,
+//!   Pitel & Fouquier), log-scale probabilistic counters with the paper's
+//!   base of 1.00025. Not linear.
+//! * [`HeavyHitters`] — a sketch-plus-candidate-set tracker for the
+//!   frequent-elements application the paper's introduction motivates.
+//! * [`RangeSumSketch`] — dyadic decomposition over Count-Median levels
+//!   answering range-sum queries, the intro's "range query" application.
+//!
+//! All sketches share the [`PointQuerySketch`] trait; the linear ones
+//! also implement [`MergeableSketch`], which is what makes them usable in
+//! the distributed model (sketch locally, add sketches at the
+//! coordinator).
+//!
+//! ```
+//! use bas_sketch::{CountSketch, PointQuerySketch, SketchParams};
+//!
+//! let params = SketchParams::new(1_000, 64, 5).with_seed(7);
+//! let mut cs = CountSketch::new(&params);
+//! cs.update(3, 10.0);
+//! cs.update(3, 5.0);
+//! cs.update(9, -2.0); // turnstile updates are fine
+//! let est = cs.estimate(3);
+//! assert!((est - 15.0).abs() < 1e-9 || est != 15.0); // estimate, not exact
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count_median;
+mod count_min;
+mod count_min_log;
+mod count_sketch;
+mod heavy_hitters;
+mod range_sum;
+mod traits;
+pub mod util;
+
+pub use count_median::CountMedian;
+pub use count_min::{CountMin, UpdatePolicy};
+pub use count_min_log::CountMinLog;
+pub use count_sketch::CountSketch;
+pub use heavy_hitters::{HeavyHitter, HeavyHitters};
+pub use range_sum::RangeSumSketch;
+pub use traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};

@@ -1,0 +1,321 @@
+//! Dyadic range-sum queries over stacked Count-Median sketches.
+//!
+//! "Range query" is among the applications the paper's introduction
+//! motivates for point-queryable linear sketches. The textbook reduction
+//! (Cormode & Muthukrishnan) keeps one sketch per dyadic level; any range
+//! `[a, b]` decomposes into `O(log n)` dyadic intervals, each of which is
+//! a single point query at its level.
+
+use crate::count_median::CountMedian;
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
+
+/// A turnstile range-sum sketch: `query(a, b) ≈ Σ_{a ≤ i ≤ b} x_i`.
+///
+/// Level `ℓ` sketches the aggregated vector `x^(ℓ)[j] = Σ x_i` over the
+/// block `i >> ℓ == j`, so an update touches one counter set per level
+/// (`O(log n · d)` work) and a range query sums at most two point
+/// estimates per level. Built on [`CountMedian`], hence fully linear.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct RangeSumSketch {
+    n: u64,
+    levels: Vec<CountMedian>,
+}
+
+impl RangeSumSketch {
+    /// Creates a range-sum sketch over `[0, params.n)`. Each dyadic level
+    /// gets its own Count-Median sketch of the given width/depth (coarser
+    /// levels have fewer distinct blocks but reuse the same width for
+    /// simplicity; memory is `O(log n · s · d)`).
+    pub fn new(params: &SketchParams) -> Self {
+        let n = params.n;
+        let num_levels = 64 - (n.max(2) - 1).leading_zeros() as usize + 1; // ceil(log2 n) + 1
+        let levels = (0..num_levels)
+            .map(|l| {
+                let blocks = ((n + (1u64 << l) - 1) >> l).max(1);
+                let mut p = *params;
+                p.n = blocks;
+                p.seed = params.seed.wrapping_add(0x9E37 * (l as u64 + 1));
+                CountMedian::new(&p)
+            })
+            .collect();
+        Self { n, levels }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of dyadic levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Applies `x_item ← x_item + delta`.
+    pub fn update(&mut self, item: u64, delta: f64) {
+        assert!(item < self.n, "item outside universe");
+        for (l, sketch) in self.levels.iter_mut().enumerate() {
+            sketch.update(item >> l, delta);
+        }
+    }
+
+    /// Estimates `Σ_{a ≤ i ≤ b} x_i` (inclusive bounds).
+    ///
+    /// # Panics
+    /// Panics if `a > b` or `b ≥ n`.
+    pub fn query(&self, a: u64, b: u64) -> f64 {
+        assert!(a <= b && b < self.n, "invalid range [{a}, {b}]");
+        // Standard dyadic decomposition: greedily take the largest
+        // aligned block starting at `lo` that stays within `hi`.
+        let mut lo = a;
+        let hi = b;
+        let mut sum = 0.0;
+        while lo <= hi {
+            // Largest level where `lo` is block-aligned and the block fits.
+            let align = if lo == 0 {
+                63
+            } else {
+                lo.trailing_zeros() as usize
+            };
+            let mut l = align.min(self.levels.len() - 1);
+            while l > 0 && lo + (1u64 << l) - 1 > hi {
+                l -= 1;
+            }
+            sum += self.levels[l].estimate(lo >> l);
+            let step = 1u64 << l;
+            if lo > hi - (step - 1) {
+                break;
+            }
+            lo += step;
+            if lo == 0 {
+                break; // overflow guard (cannot trigger for b < n <= u64::MAX)
+            }
+        }
+        sum
+    }
+
+    /// Estimates the rank of `v`: `Σ_{i ≤ v} x_i` — the prefix mass up
+    /// to coordinate `v`. For cash-register streams this is the
+    /// empirical CDF scaled by the total mass.
+    pub fn rank(&self, v: u64) -> f64 {
+        self.query(0, v)
+    }
+
+    /// Estimates the `phi`-quantile coordinate: the smallest `v` with
+    /// `rank(v) ≥ phi · total_mass`, by binary search over prefix sums
+    /// (`O(log² n)` point estimates). Intended for non-negative streams
+    /// — the "quantile / range query" applications of the paper's
+    /// introduction.
+    ///
+    /// # Panics
+    /// Panics unless `0 < phi ≤ 1`.
+    pub fn quantile(&self, phi: f64) -> u64 {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0,1], got {phi}");
+        let total = self.query(0, self.n - 1);
+        let target = phi * total;
+        let (mut lo, mut hi) = (0u64, self.n - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.rank(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Total size in words across all levels.
+    pub fn size_in_words(&self) -> usize {
+        self.levels.iter().map(|s| s.size_in_words()).sum()
+    }
+
+    /// Merges another range-sum sketch built with identical parameters.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.n != other.n || self.levels.len() != other.levels.len() {
+            return Err(MergeError::ShapeMismatch { what: "universes" });
+        }
+        for (a, b) in self.levels.iter_mut().zip(other.levels.iter()) {
+            a.merge_from(b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sparse vector: sketch error is proportional to tail mass, so a
+    /// k-sparse input (tail ≈ 0) makes range queries near-exact and the
+    /// test deterministic in spirit.
+    fn build_sparse(n: u64) -> (RangeSumSketch, Vec<f64>) {
+        let params = SketchParams::new(n, 256, 7).with_seed(11);
+        let mut rs = RangeSumSketch::new(&params);
+        let mut x = vec![0.0f64; n as usize];
+        for i in (0..n).step_by((n as usize / 16).max(1)) {
+            x[i as usize] = 10.0 + (i % 7) as f64;
+        }
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                rs.update(i as u64, v);
+            }
+        }
+        (rs, x)
+    }
+
+    #[test]
+    fn point_ranges_match_point_values() {
+        let (rs, x) = build_sparse(512);
+        for i in (0..512u64).step_by(11) {
+            let est = rs.query(i, i);
+            assert!(
+                (est - x[i as usize]).abs() < 2.0,
+                "i = {i}: {est} vs {}",
+                x[i as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn full_range_matches_total() {
+        let (rs, x) = build_sparse(256);
+        let total: f64 = x.iter().sum();
+        let est = rs.query(0, 255);
+        assert!(
+            (est - total).abs() <= 0.05 * total + 5.0,
+            "est {est} vs total {total}"
+        );
+    }
+
+    #[test]
+    fn arbitrary_ranges_close_to_truth() {
+        let (rs, x) = build_sparse(512);
+        for (a, b) in [(0u64, 10u64), (13, 200), (250, 511), (100, 101), (7, 7)] {
+            let truth: f64 = x[a as usize..=b as usize].iter().sum();
+            let est = rs.query(a, b);
+            assert!(
+                (est - truth).abs() <= 0.10 * truth.max(30.0),
+                "range [{a},{b}]: est {est}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_vector_error_within_theory() {
+        // Dense inputs have large tail mass; the estimate error per
+        // dyadic block is O(tail/k), so just check a generous bound.
+        let n = 200u64;
+        let params = SketchParams::new(n, 256, 7).with_seed(11);
+        let mut rs = RangeSumSketch::new(&params);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64).collect();
+        for (i, &v) in x.iter().enumerate() {
+            rs.update(i as u64, v);
+        }
+        let total: f64 = x.iter().sum();
+        for (a, b) in [(0u64, 199u64), (20, 120)] {
+            let truth: f64 = x[a as usize..=b as usize].iter().sum();
+            let est = rs.query(a, b);
+            assert!(
+                (est - truth).abs() <= 0.25 * total,
+                "range [{a},{b}]: est {est}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn turnstile_deletions_supported() {
+        let params = SketchParams::new(64, 64, 5).with_seed(2);
+        let mut rs = RangeSumSketch::new(&params);
+        rs.update(10, 5.0);
+        rs.update(20, 3.0);
+        rs.update(10, -5.0);
+        let est = rs.query(0, 63);
+        assert!((est - 3.0).abs() < 0.5, "est = {est}");
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let params = SketchParams::new(128, 64, 5).with_seed(9);
+        let mut a = RangeSumSketch::new(&params);
+        let mut b = RangeSumSketch::new(&params);
+        let mut c = RangeSumSketch::new(&params);
+        for i in 0..128u64 {
+            a.update(i, 1.0);
+            b.update(i, (i % 3) as f64);
+            c.update(i, 1.0 + (i % 3) as f64);
+        }
+        a.merge_from(&b).unwrap();
+        for (lo, hi) in [(0u64, 127u64), (5, 60), (64, 100)] {
+            assert!((a.query(lo, hi) - c.query(lo, hi)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn reversed_range_panics() {
+        let (rs, _) = build_sparse(32);
+        rs.query(10, 5);
+    }
+
+    #[test]
+    fn rank_is_monotone_prefix_mass() {
+        let (rs, x) = build_sparse(256);
+        let mut prev = f64::NEG_INFINITY;
+        for v in (0..256u64).step_by(32) {
+            let r = rs.rank(v);
+            let truth: f64 = x[..=v as usize].iter().sum();
+            assert!((r - truth).abs() <= 0.1 * truth.max(30.0), "v = {v}");
+            assert!(r >= prev - 1.0, "rank should be ~monotone at v = {v}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn quantiles_land_near_true_quantiles() {
+        // Mass concentrated on known coordinates -> quantiles must land
+        // on/near them.
+        let params = SketchParams::new(1024, 256, 7).with_seed(21);
+        let mut rs = RangeSumSketch::new(&params);
+        rs.update(100, 400.0); // 40% of the mass
+        rs.update(500, 400.0); // cumulative 80%
+        rs.update(900, 200.0); // cumulative 100%
+        let q25 = rs.quantile(0.25);
+        let q60 = rs.quantile(0.60);
+        let q95 = rs.quantile(0.95);
+        assert!((90..=110).contains(&q25), "q25 = {q25}");
+        assert!((490..=510).contains(&q60), "q60 = {q60}");
+        assert!((890..=910).contains(&q95), "q95 = {q95}");
+    }
+
+    #[test]
+    fn median_of_uniform_mass_is_central() {
+        let params = SketchParams::new(512, 256, 7).with_seed(3);
+        let mut rs = RangeSumSketch::new(&params);
+        for i in 0..512u64 {
+            rs.update(i, 1.0);
+        }
+        let med = rs.quantile(0.5);
+        assert!(
+            (180..=330).contains(&med),
+            "median {med} should be near 256"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in")]
+    fn quantile_rejects_bad_phi() {
+        let (rs, _) = build_sparse(32);
+        rs.quantile(0.0);
+    }
+
+    #[test]
+    fn num_levels_is_log_n() {
+        let params = SketchParams::new(1024, 16, 2).with_seed(0);
+        let rs = RangeSumSketch::new(&params);
+        assert_eq!(rs.num_levels(), 11); // log2(1024) + 1
+        assert_eq!(rs.universe(), 1024);
+        assert!(rs.size_in_words() >= 11 * 16 * 2 / 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared configuration, traits and errors for all sketches.
+
+use bas_hash::HashKind;
+
+/// Configuration shared by every sketch in the workspace.
+///
+/// Mirrors the paper's parameterization: a universe size `n`, a width `s`
+/// (buckets per row — `s = c_s·k` for the trade-off parameter `k`), and a
+/// depth `d` (number of independent rows — `Θ(log n)` in the theorems,
+/// 9–10 in the paper's experiments).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchParams {
+    /// Universe size: items are indices in `[0, n)`.
+    pub n: u64,
+    /// Width `s`: number of buckets per row.
+    pub width: usize,
+    /// Depth `d`: number of independent rows.
+    pub depth: usize,
+    /// Master seed; equal seeds produce identical hash functions, which
+    /// is required for merging and for distributed use.
+    pub seed: u64,
+    /// Hash family used for bucket (and sign) functions.
+    pub hash_kind: HashKind,
+}
+
+impl SketchParams {
+    /// Creates parameters with the default seed (0) and the
+    /// Carter–Wegman hash family.
+    pub fn new(n: u64, width: usize, depth: usize) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        assert!(width > 0, "width must be positive");
+        assert!(depth > 0, "depth must be positive");
+        Self {
+            n,
+            width,
+            depth,
+            seed: 0,
+            hash_kind: HashKind::CarterWegman,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the hash family.
+    pub fn with_hash_kind(mut self, kind: HashKind) -> Self {
+        self.hash_kind = kind;
+        self
+    }
+
+    /// Width and depth as used by the paper's sizing discussions:
+    /// total counter words `s·d`.
+    pub fn counter_words(&self) -> usize {
+        self.width * self.depth
+    }
+}
+
+/// A frequency sketch answering point queries: "what is `x_i`?".
+///
+/// `update` follows the streaming model of the paper's §1: an update
+/// `(i, Δ)` performs `x ← x + Δ·e_i`. Linear sketches accept any real
+/// `Δ` (the turnstile model); the conservative-update baselines only
+/// accept `Δ ≥ 0` (the cash-register model) and say so in their docs.
+pub trait PointQuerySketch {
+    /// Applies the update `x_item ← x_item + delta`.
+    fn update(&mut self, item: u64, delta: f64);
+
+    /// Estimates the current value of `x_item`.
+    fn estimate(&self, item: u64) -> f64;
+
+    /// Universe size `n`.
+    fn universe(&self) -> u64;
+
+    /// Total size of the sketch in 64-bit words, the unit the paper uses
+    /// when comparing sketch sizes ("all algorithms use `10s` words").
+    fn size_in_words(&self) -> usize;
+
+    /// Short algorithm label used in experiment tables (e.g. `"CS"`).
+    fn label(&self) -> &'static str;
+
+    /// Recovers an estimate of the whole vector — the recovery phase
+    /// `x̂ = R(Φx)` of the paper.
+    fn recover_all(&self) -> Vec<f64> {
+        (0..self.universe()).map(|i| self.estimate(i)).collect()
+    }
+
+    /// Feeds an entire frequency vector through the sketch, one update
+    /// per non-zero coordinate (the offline "sketching phase" `Φx`).
+    fn ingest_vector(&mut self, x: &[f64]) {
+        assert!(
+            x.len() as u64 <= self.universe(),
+            "vector longer than the universe"
+        );
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                self.update(i as u64, v);
+            }
+        }
+    }
+}
+
+/// Error returned when two sketches cannot be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// Widths, depths, or universes differ.
+    ShapeMismatch {
+        /// Human-readable description of the differing dimension.
+        what: &'static str,
+    },
+    /// Seeds differ, so the sketches used different hash functions and
+    /// their counters are not addressable by the same indices.
+    SeedMismatch,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::ShapeMismatch { what } => {
+                write!(f, "cannot merge sketches: {what} differ")
+            }
+            MergeError::SeedMismatch => write!(
+                f,
+                "cannot merge sketches built with different seeds (hash functions differ)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A sketch that can absorb another sketch of the *same configuration*,
+/// yielding the sketch of the summed input vectors.
+///
+/// This is the linearity property `Φx = Φx¹ + … + Φxᵗ` the paper's
+/// distributed protocol relies on (§1, §5.5). Non-linear baselines
+/// (CM-CU, CML-CU) deliberately do not implement it — the paper calls out
+/// that they "cannot be directly used in the distributed setting" (§2).
+pub trait MergeableSketch: PointQuerySketch {
+    /// Adds `other`'s counters into `self`.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_builder() {
+        let p = SketchParams::new(100, 8, 3)
+            .with_seed(9)
+            .with_hash_kind(HashKind::Tabulation);
+        assert_eq!(p.n, 100);
+        assert_eq!(p.width, 8);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.hash_kind, HashKind::Tabulation);
+        assert_eq!(p.counter_words(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        SketchParams::new(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        SketchParams::new(10, 1, 0);
+    }
+
+    #[test]
+    fn merge_error_messages() {
+        let e = MergeError::ShapeMismatch { what: "widths" };
+        assert!(e.to_string().contains("widths"));
+        assert!(MergeError::SeedMismatch.to_string().contains("seeds"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Small numeric helpers shared by the sketches: medians and counter
+//! grids.
+
+/// Returns the median of a slice, averaging the two central elements for
+/// even lengths — the `median(x)` of the paper's notation table.
+///
+/// The slice is reordered in place (selection, not full sort), so the
+/// caller passes a scratch buffer it owns.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn median_in_place(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let n = values.len();
+    let mid = n / 2;
+    let (_, m, _) = values.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let upper = *m;
+    if n % 2 == 1 {
+        upper
+    } else {
+        // Lower middle = max of the left partition after selection.
+        let lower = values[..mid]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lower + upper)
+    }
+}
+
+/// Median of a borrowed slice, copying into a scratch `Vec`.
+pub fn median(values: &[f64]) -> f64 {
+    let mut buf = values.to_vec();
+    median_in_place(&mut buf)
+}
+
+/// A dense `depth × width` grid of `f64` counters stored row-major.
+///
+/// All linear sketches are a counter grid plus hash functions; keeping
+/// the storage in one flat allocation keeps updates cache-friendly and
+/// makes merging a single vectorizable loop.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterGrid {
+    cells: Vec<f64>,
+    width: usize,
+    depth: usize,
+}
+
+impl CounterGrid {
+    /// Creates a zeroed grid.
+    pub fn new(width: usize, depth: usize) -> Self {
+        Self {
+            cells: vec![0.0; width * depth],
+            width,
+            depth,
+        }
+    }
+
+    /// Grid width (buckets per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid depth (number of rows).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Immutable access to a cell.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.depth && col < self.width);
+        self.cells[row * self.width + col]
+    }
+
+    /// Adds `delta` to a cell.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, delta: f64) {
+        debug_assert!(row < self.depth && col < self.width);
+        self.cells[row * self.width + col] += delta;
+    }
+
+    /// Overwrites a cell (used by conservative update).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.depth && col < self.width);
+        self.cells[row * self.width + col] = value;
+    }
+
+    /// A full row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.cells[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Element-wise addition of another grid of identical shape.
+    pub fn add_grid(&mut self, other: &CounterGrid) {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.depth, other.depth);
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Number of counter cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells (never true for valid params).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        let mut v = vec![5.0, 1.0, 3.0];
+        assert_eq!(median_in_place(&mut v), 3.0);
+    }
+
+    #[test]
+    fn median_even_averages_middle_two() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_in_place(&mut v), 2.5);
+    }
+
+    #[test]
+    fn median_single() {
+        assert_eq!(median(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        assert_eq!(median(&[2.0, 2.0, 2.0, 9.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn median_negative_values() {
+        assert_eq!(median(&[-5.0, -1.0, -3.0]), -3.0);
+        assert_eq!(median(&[-4.0, -2.0, 2.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn median_matches_sort_based_reference() {
+        // Cross-check the selection-based implementation on many sizes.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for len in 1..40usize {
+            let v: Vec<f64> = (0..len).map(|_| next()).collect();
+            let mut sorted = v.clone();
+            sorted.sort_by(f64::total_cmp);
+            let expect = if len % 2 == 1 {
+                sorted[len / 2]
+            } else {
+                0.5 * (sorted[len / 2 - 1] + sorted[len / 2])
+            };
+            assert!((median(&v) - expect).abs() < 1e-12, "len = {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn median_empty_panics() {
+        median_in_place(&mut []);
+    }
+
+    #[test]
+    fn grid_accessors() {
+        let mut g = CounterGrid::new(4, 2);
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        g.add(1, 3, 2.5);
+        g.add(1, 3, 0.5);
+        assert_eq!(g.get(1, 3), 3.0);
+        g.set(0, 0, -1.0);
+        assert_eq!(g.row(0), &[-1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn grid_addition_is_elementwise() {
+        let mut a = CounterGrid::new(3, 2);
+        let mut b = CounterGrid::new(3, 2);
+        a.add(0, 1, 1.0);
+        b.add(0, 1, 2.0);
+        b.add(1, 2, 5.0);
+        a.add_grid(&b);
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_addition_shape_mismatch_panics() {
+        let mut a = CounterGrid::new(3, 2);
+        let b = CounterGrid::new(2, 3);
+        a.add_grid(&b);
+    }
+}

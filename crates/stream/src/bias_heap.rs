@@ -1,0 +1,368 @@
+//! The Bias-Heap of the paper's Algorithm 5.
+
+use crate::indexed_heap::{HeapOrder, IndexedHeap};
+
+/// Maintains the `ℓ2` bias estimate of Algorithm 4 under streaming
+/// updates (paper, Algorithm 5).
+///
+/// The structure tracks `s` buckets with fixed column counts `π_i` and
+/// streaming sums `w_i`, ordered by average `key_i = w_i / π_i`. Let the
+/// *middle window* be the `2k` buckets around the median of that order.
+/// The bias query returns
+///
+/// ```text
+/// β̂ = (Σ_total w − Σ_A w − Σ_C w) / (Σ_total π − Σ_A π − Σ_C π)
+/// ```
+///
+/// where `A` is the bottom set and `C` the top set outside the window —
+/// line 19 of Algorithm 5. Updates run in `O(log s)`, queries in `O(1)`.
+///
+/// Implementation note: the published pseudocode pairs its four heaps as
+/// (min A, max B) and (max C, min D), which cannot detect boundary
+/// violations (a min-heap over the bottom set exposes the wrong end).
+/// We keep the intended invariant — `max(A) ≤ min(rest)` and
+/// `min(C) ≥ max(rest)` — by giving each boundary the polarity that
+/// exposes it: `A` is a max-heap against a min-heap of its complement,
+/// and `C` is a min-heap against a max-heap of its complement. Each
+/// bucket therefore lives in exactly two heaps, as in the paper.
+///
+/// Buckets with `π_i = 0` (no universe element hashes there) carry no
+/// information about the bias and are excluded up front.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct BiasHeap {
+    /// Fixed per-bucket column counts (only `π > 0` buckets retained).
+    pi: Vec<f64>,
+    /// Streaming per-bucket sums.
+    w: Vec<f64>,
+    /// Map from caller bucket index to dense internal id (`u32::MAX` if
+    /// the bucket was excluded for `π = 0`).
+    dense_id: Vec<u32>,
+    in_a: Vec<bool>,
+    in_c: Vec<bool>,
+    /// Bottom partition: `a_max` holds A (top = largest in A), `b_min`
+    /// holds the complement (top = smallest outside A).
+    a_max: IndexedHeap,
+    b_min: IndexedHeap,
+    /// Top partition: `c_min` holds C (top = smallest in C), `d_max`
+    /// holds the complement (top = largest outside C).
+    c_min: IndexedHeap,
+    d_max: IndexedHeap,
+    w_a: f64,
+    pi_a: f64,
+    w_c: f64,
+    pi_c: f64,
+    w_total: f64,
+    pi_total: f64,
+}
+
+impl BiasHeap {
+    /// Builds the structure for buckets with column counts `pi`,
+    /// keeping a middle window of `2k` buckets.
+    ///
+    /// The window is clamped to the number of usable buckets, matching
+    /// the other bias maintainers (a tiny sketch simply averages all of
+    /// its buckets).
+    ///
+    /// # Panics
+    /// Panics if no bucket has `π > 0`.
+    pub fn new(pi: &[u64], k: usize) -> Self {
+        let usable: Vec<usize> = (0..pi.len()).filter(|&i| pi[i] > 0).collect();
+        let s = usable.len();
+        assert!(s > 0, "all buckets have zero column count");
+        let window = (2 * k).max(1).min(s);
+        // Split the out-of-window buckets as evenly as the paper's
+        // (s/2−k−1, s/2−k+1) split: bottom gets the smaller half.
+        let n_a = (s - window) / 2;
+        let n_c = s - window - n_a;
+
+        let mut dense_id = vec![u32::MAX; pi.len()];
+        let mut dense_pi = Vec::with_capacity(s);
+        for (dense, &orig) in usable.iter().enumerate() {
+            dense_id[orig] = dense as u32;
+            dense_pi.push(pi[orig] as f64);
+        }
+        let pi_total: f64 = dense_pi.iter().sum();
+
+        // All keys start at 0/π = 0; membership is decided by the
+        // deterministic (key, id) order, so the initial bottom set is
+        // simply the lowest ids.
+        let mut a_max = IndexedHeap::new(HeapOrder::Max, s);
+        let mut b_min = IndexedHeap::new(HeapOrder::Min, s);
+        let mut c_min = IndexedHeap::new(HeapOrder::Min, s);
+        let mut d_max = IndexedHeap::new(HeapOrder::Max, s);
+        let mut in_a = vec![false; s];
+        let mut in_c = vec![false; s];
+        // All w start at zero, so the boundary sums of w start at zero.
+        let (w_a, w_c) = (0.0, 0.0);
+        let mut pi_a = 0.0;
+        let mut pi_c = 0.0;
+        for id in 0..s {
+            if id < n_a {
+                in_a[id] = true;
+                a_max.insert(id as u32, 0.0);
+                pi_a += dense_pi[id];
+            } else {
+                b_min.insert(id as u32, 0.0);
+            }
+            if id >= s - n_c {
+                in_c[id] = true;
+                c_min.insert(id as u32, 0.0);
+                pi_c += dense_pi[id];
+            } else {
+                d_max.insert(id as u32, 0.0);
+            }
+        }
+        Self {
+            pi: dense_pi,
+            w: vec![0.0; s],
+            dense_id,
+            in_a,
+            in_c,
+            a_max,
+            b_min,
+            c_min,
+            d_max,
+            w_a,
+            pi_a,
+            w_c,
+            pi_c,
+            w_total: 0.0,
+            pi_total,
+        }
+    }
+
+    /// Number of buckets tracked (those with `π > 0`).
+    pub fn num_buckets(&self) -> usize {
+        self.pi.len()
+    }
+
+    #[inline]
+    fn key(&self, id: usize) -> f64 {
+        self.w[id] / self.pi[id]
+    }
+
+    /// Applies a streaming delta to the given (caller-indexed) bucket.
+    pub fn update(&mut self, bucket: usize, delta: f64) {
+        let id = self.dense_id[bucket];
+        assert!(
+            id != u32::MAX,
+            "bucket {bucket} has zero column count and receives no items"
+        );
+        let idu = id as usize;
+        self.w[idu] += delta;
+        self.w_total += delta;
+        let key = self.key(idu);
+        if self.in_a[idu] {
+            self.w_a += delta;
+            self.a_max.update_key(id, key);
+        } else {
+            self.b_min.update_key(id, key);
+        }
+        if self.in_c[idu] {
+            self.w_c += delta;
+            self.c_min.update_key(id, key);
+        } else {
+            self.d_max.update_key(id, key);
+        }
+        self.rebalance_bottom();
+        self.rebalance_top();
+    }
+
+    /// Restores `max(A) ≤ min(complement of A)` by swapping boundary
+    /// elements (paper, lines 13–14).
+    fn rebalance_bottom(&mut self) {
+        loop {
+            let (Some((ka, ida)), Some((kb, idb))) = (self.a_max.peek(), self.b_min.peek()) else {
+                return;
+            };
+            // Strict comparison with id tiebreak mirrors the heap order.
+            let out_of_order = match ka.total_cmp(&kb) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => ida > idb,
+                std::cmp::Ordering::Less => false,
+            };
+            if !out_of_order {
+                return;
+            }
+            self.a_max.remove(ida);
+            self.b_min.remove(idb);
+            self.a_max.insert(idb, kb);
+            self.b_min.insert(ida, ka);
+            self.in_a[ida as usize] = false;
+            self.in_a[idb as usize] = true;
+            self.w_a += self.w[idb as usize] - self.w[ida as usize];
+            self.pi_a += self.pi[idb as usize] - self.pi[ida as usize];
+        }
+    }
+
+    /// Restores `min(C) ≥ max(complement of C)` (paper, lines 15–16).
+    fn rebalance_top(&mut self) {
+        loop {
+            let (Some((kc, idc)), Some((kd, idd))) = (self.c_min.peek(), self.d_max.peek()) else {
+                return;
+            };
+            let out_of_order = match kc.total_cmp(&kd) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => idc < idd,
+                std::cmp::Ordering::Greater => false,
+            };
+            if !out_of_order {
+                return;
+            }
+            self.c_min.remove(idc);
+            self.d_max.remove(idd);
+            self.c_min.insert(idd, kd);
+            self.d_max.insert(idc, kc);
+            self.in_c[idc as usize] = false;
+            self.in_c[idd as usize] = true;
+            self.w_c += self.w[idd as usize] - self.w[idc as usize];
+            self.pi_c += self.pi[idd as usize] - self.pi[idc as usize];
+        }
+    }
+
+    /// The current bias estimate `β̂` (paper, Algorithm 5 line 19).
+    pub fn bias(&self) -> f64 {
+        let denom = self.pi_total - self.pi_a - self.pi_c;
+        debug_assert!(denom > 0.0, "middle window has zero column mass");
+        (self.w_total - self.w_a - self.w_c) / denom
+    }
+
+    /// Reference computation: sort buckets by `w/π` and average the
+    /// middle window directly. `O(s log s)`; used by tests and by the
+    /// ablation bench as the "naive re-sort" strategy.
+    pub fn bias_by_sorting(&self) -> f64 {
+        let s = self.pi.len();
+        let mut order: Vec<usize> = (0..s).collect();
+        order.sort_by(|&a, &b| self.key(a).total_cmp(&self.key(b)).then(a.cmp(&b)));
+        let n_a = self.a_max.len();
+        let n_c = self.c_min.len();
+        let mut w_sum = 0.0;
+        let mut pi_sum = 0.0;
+        for &id in &order[n_a..s - n_c] {
+            w_sum += self.w[id];
+            pi_sum += self.pi[id];
+        }
+        w_sum / pi_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64, msg: &str) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{msg}: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn uniform_buckets_estimate_common_value() {
+        // 8 buckets, each with π = 10 columns, all carrying w = 10·β.
+        let pi = vec![10u64; 8];
+        let mut bh = BiasHeap::new(&pi, 2);
+        for b in 0..8 {
+            bh.update(b, 500.0); // every bucket averages 50
+        }
+        assert_close(bh.bias(), 50.0, 1e-12, "uniform bias");
+    }
+
+    #[test]
+    fn outliers_in_extreme_buckets_are_excluded() {
+        let pi = vec![10u64; 8];
+        let mut bh = BiasHeap::new(&pi, 2); // window = 4, excludes 2+2
+        for b in 0..8 {
+            bh.update(b, 100.0); // all average 10
+        }
+        // Pollute two buckets massively (outliers) and two negatively.
+        bh.update(0, 1_000_000.0);
+        bh.update(1, 900_000.0);
+        bh.update(2, -500_000.0);
+        bh.update(3, -400_000.0);
+        // The middle window holds the 4 clean buckets averaging 10.
+        assert_close(bh.bias(), 10.0, 1e-9, "outliers excluded");
+    }
+
+    #[test]
+    fn matches_sort_reference_under_random_updates() {
+        let pi: Vec<u64> = (0..33).map(|i| 1 + (i % 7)).collect();
+        let mut bh = BiasHeap::new(&pi, 5);
+        let mut state = 42u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5000 {
+            let bucket = (rng() % 33) as usize;
+            let delta = ((rng() % 2001) as f64 - 1000.0) / 10.0;
+            bh.update(bucket, delta);
+            if step % 97 == 0 {
+                assert_close(
+                    bh.bias(),
+                    bh.bias_by_sorting(),
+                    1e-9,
+                    &format!("step {step}"),
+                );
+            }
+        }
+        assert_close(bh.bias(), bh.bias_by_sorting(), 1e-9, "final");
+    }
+
+    #[test]
+    fn zero_pi_buckets_excluded() {
+        let pi = vec![0u64, 5, 5, 0, 5, 5, 5, 5];
+        let bh = BiasHeap::new(&pi, 2);
+        assert_eq!(bh.num_buckets(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero column count and receives no items")]
+    fn updating_zero_pi_bucket_panics() {
+        let pi = vec![0u64, 5, 5, 5, 5];
+        let mut bh = BiasHeap::new(&pi, 2);
+        bh.update(0, 1.0);
+    }
+
+    #[test]
+    fn oversized_window_clamps_to_all_buckets() {
+        let mut bh = BiasHeap::new(&[1, 1, 1], 4);
+        bh.update(0, 3.0);
+        bh.update(1, 6.0);
+        bh.update(2, 9.0);
+        // Window clamped to 3 buckets: global average 18/3.
+        assert!((bh.bias() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_equals_all_buckets_uses_everything() {
+        let pi = vec![2u64; 4];
+        let mut bh = BiasHeap::new(&pi, 2); // window 4 == s: A and C empty
+        bh.update(0, 4.0);
+        bh.update(1, 8.0);
+        bh.update(2, 12.0);
+        bh.update(3, 16.0);
+        // Global average = 40 / 8 columns = 5.
+        assert_close(bh.bias(), 5.0, 1e-12, "global average");
+    }
+
+    #[test]
+    fn weighted_buckets_average_by_columns() {
+        // Two middle buckets with different π must be combined as
+        // Σw / Σπ, not as a mean of averages.
+        let pi = vec![1u64, 1, 4, 1, 1];
+        let mut bh = BiasHeap::new(&pi, 1); // window 2, A has 1, C has 2
+                                            // Keys after updates: b0=-100, b1=2, b2=3 (12/4), b3=50, b4=60.
+        bh.update(0, -100.0);
+        bh.update(1, 2.0);
+        bh.update(2, 12.0);
+        bh.update(3, 50.0);
+        bh.update(4, 60.0);
+        // Middle window by key: ranks 1..3 → buckets 1 and 2.
+        assert_close(bh.bias(), (2.0 + 12.0) / 5.0, 1e-12, "weighted");
+        assert_close(bh.bias_by_sorting(), (2.0 + 12.0) / 5.0, 1e-12, "sorted");
+    }
+}

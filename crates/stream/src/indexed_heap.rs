@@ -1,0 +1,325 @@
+//! A binary heap with handle-based key updates.
+
+/// Heap polarity.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapOrder {
+    /// The top is the smallest key.
+    Min,
+    /// The top is the largest key.
+    Max,
+}
+
+/// Total order on `(f64 key, u32 id)` pairs; ids break ties so the heap
+/// is deterministic regardless of insertion order.
+#[inline]
+fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// A binary heap over externally-identified elements (`id ∈ [0, capacity)`),
+/// supporting `O(log n)` insert/remove/update-key and `O(1)` peek.
+///
+/// The Bias-Heap of the paper's Algorithm 5 needs exactly this: when a
+/// stream update changes one bucket's average `w_i/π_i`, the bucket's key
+/// must be adjusted inside whichever heap currently holds it ("find node
+/// with id j … update its `w_j` … maintain the heap properties").
+/// Standard library heaps have no decrease-key, so we implement a
+/// position-tracked heap.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct IndexedHeap {
+    order: HeapOrder,
+    /// Heap array of (key, id).
+    data: Vec<(f64, u32)>,
+    /// `pos[id]` = index in `data`, or `NONE`.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl IndexedHeap {
+    /// Creates an empty heap able to hold ids `0..capacity`.
+    pub fn new(order: HeapOrder, capacity: usize) -> Self {
+        assert!(capacity < NONE as usize, "capacity too large");
+        Self {
+            order,
+            data: Vec::new(),
+            pos: vec![NONE; capacity],
+        }
+    }
+
+    /// Number of elements currently in the heap.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether the given id is currently in the heap.
+    pub fn contains(&self, id: u32) -> bool {
+        self.pos[id as usize] != NONE
+    }
+
+    /// The top element `(key, id)` without removing it.
+    pub fn peek(&self) -> Option<(f64, u32)> {
+        self.data.first().copied()
+    }
+
+    /// The key currently stored for `id`, if present.
+    pub fn key_of(&self, id: u32) -> Option<f64> {
+        let p = self.pos[id as usize];
+        (p != NONE).then(|| self.data[p as usize].0)
+    }
+
+    /// True when `a` should be closer to the top than `b`.
+    #[inline]
+    fn before(&self, a: (f64, u32), b: (f64, u32)) -> bool {
+        match self.order {
+            HeapOrder::Min => less(a, b),
+            HeapOrder::Max => less(b, a),
+        }
+    }
+
+    /// Inserts a new element.
+    ///
+    /// # Panics
+    /// Panics if the id is already present.
+    pub fn insert(&mut self, id: u32, key: f64) {
+        assert!(!self.contains(id), "id {id} already in heap");
+        let idx = self.data.len();
+        self.data.push((key, id));
+        self.pos[id as usize] = idx as u32;
+        self.sift_up(idx);
+    }
+
+    /// Removes an element by id, returning its key.
+    ///
+    /// # Panics
+    /// Panics if the id is absent.
+    pub fn remove(&mut self, id: u32) -> f64 {
+        let idx = self.pos[id as usize];
+        assert!(idx != NONE, "id {id} not in heap");
+        let idx = idx as usize;
+        let key = self.data[idx].0;
+        let last = self.data.len() - 1;
+        self.swap(idx, last);
+        self.data.pop();
+        self.pos[id as usize] = NONE;
+        if idx < self.data.len() {
+            // The displaced element may need to move either direction.
+            self.sift_down(idx);
+            self.sift_up(idx);
+        }
+        key
+    }
+
+    /// Changes the key of an existing element.
+    ///
+    /// # Panics
+    /// Panics if the id is absent.
+    pub fn update_key(&mut self, id: u32, key: f64) {
+        let idx = self.pos[id as usize];
+        assert!(idx != NONE, "id {id} not in heap");
+        let idx = idx as usize;
+        self.data[idx].0 = key;
+        self.sift_down(idx);
+        self.sift_up(idx);
+    }
+
+    /// Removes and returns the top element.
+    pub fn pop(&mut self) -> Option<(f64, u32)> {
+        let top = self.peek()?;
+        self.remove(top.1);
+        Some(top)
+    }
+
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.data.swap(a, b);
+        self.pos[self.data[a].1 as usize] = a as u32;
+        self.pos[self.data[b].1 as usize] = b as u32;
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.before(self.data[idx], self.data[parent]) {
+                self.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        loop {
+            let l = 2 * idx + 1;
+            let r = 2 * idx + 2;
+            let mut best = idx;
+            if l < self.data.len() && self.before(self.data[l], self.data[best]) {
+                best = l;
+            }
+            if r < self.data.len() && self.before(self.data[r], self.data[best]) {
+                best = r;
+            }
+            if best == idx {
+                break;
+            }
+            self.swap(idx, best);
+            idx = best;
+        }
+    }
+
+    /// Debug-only validation of the heap property and position map.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (i, &(k, id)) in self.data.iter().enumerate() {
+            assert_eq!(self.pos[id as usize] as usize, i, "pos map broken");
+            if i > 0 {
+                let parent = self.data[(i - 1) / 2];
+                assert!(
+                    !self.before((k, id), parent) || parent == (k, id),
+                    "heap property violated at {i}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_heap_pops_sorted() {
+        let mut h = IndexedHeap::new(HeapOrder::Min, 16);
+        for (id, key) in [(3u32, 5.0), (1, 2.0), (7, 9.0), (0, 2.0), (4, -1.0)] {
+            h.insert(id, key);
+            h.check_invariants();
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.pop() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![-1.0, 2.0, 2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn max_heap_pops_reverse_sorted() {
+        let mut h = IndexedHeap::new(HeapOrder::Max, 8);
+        for (id, key) in [(0u32, 1.0), (1, 3.0), (2, 2.0)] {
+            h.insert(id, key);
+        }
+        assert_eq!(h.pop().unwrap().0, 3.0);
+        assert_eq!(h.pop().unwrap().0, 2.0);
+        assert_eq!(h.pop().unwrap().0, 1.0);
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn update_key_moves_elements() {
+        let mut h = IndexedHeap::new(HeapOrder::Min, 8);
+        h.insert(0, 10.0);
+        h.insert(1, 20.0);
+        h.insert(2, 30.0);
+        h.update_key(2, 1.0);
+        h.check_invariants();
+        assert_eq!(h.peek(), Some((1.0, 2)));
+        h.update_key(2, 100.0);
+        h.check_invariants();
+        assert_eq!(h.peek(), Some((10.0, 0)));
+        assert_eq!(h.key_of(2), Some(100.0));
+    }
+
+    #[test]
+    fn remove_middle_element() {
+        let mut h = IndexedHeap::new(HeapOrder::Min, 8);
+        for id in 0..6u32 {
+            h.insert(id, (6 - id) as f64);
+        }
+        let removed = h.remove(3);
+        assert_eq!(removed, 3.0);
+        assert!(!h.contains(3));
+        h.check_invariants();
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let mut h = IndexedHeap::new(HeapOrder::Min, 8);
+        h.insert(5, 1.0);
+        h.insert(2, 1.0);
+        h.insert(7, 1.0);
+        assert_eq!(h.peek(), Some((1.0, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in heap")]
+    fn duplicate_insert_panics() {
+        let mut h = IndexedHeap::new(HeapOrder::Min, 4);
+        h.insert(1, 1.0);
+        h.insert(1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in heap")]
+    fn remove_absent_panics() {
+        let mut h = IndexedHeap::new(HeapOrder::Min, 4);
+        h.remove(0);
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        // Random interleaving of inserts/removes/updates, cross-checked
+        // against a sorted-vec reference.
+        let mut h = IndexedHeap::new(HeapOrder::Min, 64);
+        let mut reference: Vec<(f64, u32)> = Vec::new();
+        let mut state = 987654321u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..2000 {
+            let op = rng() % 3;
+            let id = (rng() % 64) as u32;
+            let key = (rng() % 1000) as f64 / 10.0;
+            let present = reference.iter().any(|&(_, i)| i == id);
+            match op {
+                0 if !present => {
+                    h.insert(id, key);
+                    reference.push((key, id));
+                }
+                1 if present => {
+                    h.remove(id);
+                    reference.retain(|&(_, i)| i != id);
+                }
+                2 if present => {
+                    h.update_key(id, key);
+                    for e in reference.iter_mut() {
+                        if e.1 == id {
+                            e.0 = key;
+                        }
+                    }
+                }
+                _ => continue,
+            }
+            h.check_invariants();
+            let expect = reference
+                .iter()
+                .copied()
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert_eq!(h.peek(), expect, "step {step}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # bas-stream — streaming substrate for bias-aware sketches
+//!
+//! The paper's §4.4 shows how to maintain the bias estimate `β̂` under
+//! streaming updates so individual point queries stay fast:
+//!
+//! * for the `ℓ∞/ℓ1` sketch, keep the `Θ(log n)` sampled coordinates
+//!   in an order-maintaining structure and read off their median;
+//! * for the `ℓ∞/ℓ2` sketch, keep the `s` buckets of `Π(g)x` ordered by
+//!   their average `w_i/π_i` and track the sums of `w`/`π` over the
+//!   middle `2k` buckets — the **Bias-Heap** of Algorithm 5.
+//!
+//! This crate provides those structures, built from scratch:
+//!
+//! * [`IndexedHeap`] — a binary heap with handle-based `update_key`,
+//!   the primitive under the Bias-Heap.
+//! * [`BiasHeap`] — Algorithm 5: `O(log s)` per update, `O(1)` bias
+//!   queries.
+//! * [`OrderStatTree`] — a treap with augmented subtree sums; an
+//!   alternative bias maintainer (same interface, used in the
+//!   `ablation_bias_maintenance` bench) and the median tracker for the
+//!   streaming `ℓ1` sampler.
+//! * [`SortedSampler`] — the streaming view of the sampling matrix `Υ`:
+//!   fixed random coordinates whose running median is the `ℓ1` bias.
+//! * [`ReservoirSampler`] — classic reservoir sampling, used by
+//!   workload tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bias_heap;
+mod indexed_heap;
+mod ostree;
+mod reservoir;
+mod sampler;
+mod update;
+
+pub use bias_heap::BiasHeap;
+pub use indexed_heap::{HeapOrder, IndexedHeap};
+pub use ostree::OrderStatTree;
+pub use reservoir::ReservoirSampler;
+pub use sampler::SortedSampler;
+pub use update::StreamUpdate;

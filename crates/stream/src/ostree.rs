@@ -1,0 +1,481 @@
+//! An order-statistic treap with augmented subtree sums.
+//!
+//! One structure serves two of the paper's streaming needs (§4.4):
+//!
+//! * **Streaming `ℓ1` bias**: the sampled coordinates live here keyed by
+//!   value; the median is a weighted-rank selection.
+//! * **Streaming `ℓ2` bias** (alternative to the Bias-Heap): buckets live
+//!   here keyed by `w_i/π_i` with auxiliary values `(w_i, π_i)`; the sums
+//!   over the middle `2k` ranks come from two prefix-sum queries. The
+//!   `ablation_bias_maintenance` bench compares the two maintainers.
+//!
+//! Nodes carry an integer `weight` (multiplicity): the `ℓ1` sampler may
+//! sample the same coordinate several times, and all those sample slots
+//! always share one value, so they compress into a single weighted node.
+
+use bas_hash::SplitMix64;
+
+const NIL: u32 = u32::MAX;
+
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+struct Node {
+    key: f64,
+    id: u64,
+    prio: u64,
+    left: u32,
+    right: u32,
+    /// Multiplicity of this entry (≥ 1). Rank queries count units.
+    weight: u64,
+    /// Auxiliary per-unit values summed over subtrees (e.g. `w_i`, `π_i`).
+    aux_a: f64,
+    aux_b: f64,
+    /// Subtree aggregates (including this node, times weight).
+    sub_units: u64,
+    sub_a: f64,
+    sub_b: f64,
+}
+
+/// A balanced (treap) search tree over `(key, id)` pairs with subtree
+/// counts and two auxiliary sums, supporting:
+///
+/// * `insert` / `remove` in `O(log n)` expected;
+/// * `select(rank)` — the entry containing the given unit rank;
+/// * `prefix_sums(rank)` — `(Σ aux_a, Σ aux_b)` over the first `rank`
+///   units in key order.
+///
+/// Keys are `f64` compared by `total_cmp`, with `id` breaking ties, so
+/// the order is deterministic.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct OrderStatTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    rng: SplitMix64,
+}
+
+impl OrderStatTree {
+    /// Creates an empty tree. The seed only affects internal balance.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            rng: SplitMix64::new(seed ^ 0x7EA9_0001),
+        }
+    }
+
+    /// Total number of units (sum of weights).
+    pub fn total_units(&self) -> u64 {
+        self.subtree_units(self.root)
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Whether the tree has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn subtree_units(&self, idx: u32) -> u64 {
+        if idx == NIL {
+            0
+        } else {
+            self.nodes[idx as usize].sub_units
+        }
+    }
+
+    #[inline]
+    fn subtree_a(&self, idx: u32) -> f64 {
+        if idx == NIL {
+            0.0
+        } else {
+            self.nodes[idx as usize].sub_a
+        }
+    }
+
+    #[inline]
+    fn subtree_b(&self, idx: u32) -> f64 {
+        if idx == NIL {
+            0.0
+        } else {
+            self.nodes[idx as usize].sub_b
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, idx: u32) {
+        let (l, r) = {
+            let n = &self.nodes[idx as usize];
+            (n.left, n.right)
+        };
+        let units = self.subtree_units(l) + self.subtree_units(r) + self.nodes[idx as usize].weight;
+        let a = self.subtree_a(l)
+            + self.subtree_a(r)
+            + self.nodes[idx as usize].aux_a * self.nodes[idx as usize].weight as f64;
+        let b = self.subtree_b(l)
+            + self.subtree_b(r)
+            + self.nodes[idx as usize].aux_b * self.nodes[idx as usize].weight as f64;
+        let n = &mut self.nodes[idx as usize];
+        n.sub_units = units;
+        n.sub_a = a;
+        n.sub_b = b;
+    }
+
+    #[inline]
+    fn key_less(a_key: f64, a_id: u64, b_key: f64, b_id: u64) -> bool {
+        match a_key.total_cmp(&b_key) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a_id < b_id,
+        }
+    }
+
+    fn alloc(&mut self, key: f64, id: u64, weight: u64, aux_a: f64, aux_b: f64) -> u32 {
+        let prio = self.rng.next_u64();
+        let node = Node {
+            key,
+            id,
+            prio,
+            left: NIL,
+            right: NIL,
+            weight,
+            aux_a,
+            aux_b,
+            sub_units: weight,
+            sub_a: aux_a * weight as f64,
+            sub_b: aux_b * weight as f64,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Splits `t` into `(< (key,id), ≥ (key,id))`.
+    fn split(&mut self, t: u32, key: f64, id: u64) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        let (t_key, t_id) = {
+            let n = &self.nodes[t as usize];
+            (n.key, n.id)
+        };
+        if Self::key_less(t_key, t_id, key, id) {
+            let right = self.nodes[t as usize].right;
+            let (a, b) = self.split(right, key, id);
+            self.nodes[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let left = self.nodes[t as usize].left;
+            let (a, b) = self.split(left, key, id);
+            self.nodes[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio >= self.nodes[b as usize].prio {
+            let ar = self.nodes[a as usize].right;
+            let merged = self.merge(ar, b);
+            self.nodes[a as usize].right = merged;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let merged = self.merge(a, bl);
+            self.nodes[b as usize].left = merged;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Inserts an entry. `(key, id)` pairs must be unique.
+    pub fn insert(&mut self, key: f64, id: u64, weight: u64, aux_a: f64, aux_b: f64) {
+        assert!(weight >= 1, "weight must be at least 1");
+        let node = self.alloc(key, id, weight, aux_a, aux_b);
+        let (a, b) = self.split(self.root, key, id);
+        let ab = self.merge(a, node);
+        self.root = self.merge(ab, b);
+    }
+
+    /// Removes the entry with exactly this `(key, id)`. Returns `true`
+    /// if it was present.
+    pub fn remove(&mut self, key: f64, id: u64) -> bool {
+        let (a, rest) = self.split(self.root, key, id);
+        // `rest` starts at (key,id); split off the single node by the
+        // successor boundary (key, id+1) — ids are unique per key.
+        let (target, b) = self.split(rest, key, id.wrapping_add(1));
+        let found = target != NIL;
+        if found {
+            debug_assert_eq!(self.nodes[target as usize].id, id);
+            debug_assert_eq!(self.nodes[target as usize].left, NIL);
+            debug_assert_eq!(self.nodes[target as usize].right, NIL);
+            self.free.push(target);
+        }
+        self.root = self.merge(a, b);
+        found
+    }
+
+    /// Returns `(key, id, weight)` of the entry containing unit `rank`
+    /// (0-indexed over `total_units()` units, in key order).
+    pub fn select(&self, rank: u64) -> Option<(f64, u64, u64)> {
+        if rank >= self.total_units() {
+            return None;
+        }
+        let mut idx = self.root;
+        let mut rank = rank;
+        loop {
+            let n = &self.nodes[idx as usize];
+            let left_units = self.subtree_units(n.left);
+            if rank < left_units {
+                idx = n.left;
+            } else if rank < left_units + n.weight {
+                return Some((n.key, n.id, n.weight));
+            } else {
+                rank -= left_units + n.weight;
+                idx = n.right;
+            }
+        }
+    }
+
+    /// Sums `(Σ aux_a, Σ aux_b)` over the first `rank` units in key
+    /// order. A node split by the boundary contributes proportionally to
+    /// the number of its units inside the prefix.
+    pub fn prefix_sums(&self, rank: u64) -> (f64, f64) {
+        let mut rank = rank.min(self.total_units());
+        let mut idx = self.root;
+        let mut acc_a = 0.0;
+        let mut acc_b = 0.0;
+        while idx != NIL && rank > 0 {
+            let n = &self.nodes[idx as usize];
+            let left_units = self.subtree_units(n.left);
+            if rank <= left_units {
+                idx = n.left;
+            } else {
+                acc_a += self.subtree_a(n.left);
+                acc_b += self.subtree_b(n.left);
+                let in_node = (rank - left_units).min(n.weight);
+                acc_a += n.aux_a * in_node as f64;
+                acc_b += n.aux_b * in_node as f64;
+                rank -= left_units + in_node;
+                idx = n.right;
+            }
+        }
+        (acc_a, acc_b)
+    }
+
+    /// Sums over the unit-rank window `[lo, hi)`.
+    pub fn range_sums(&self, lo: u64, hi: u64) -> (f64, f64) {
+        assert!(lo <= hi, "invalid rank window");
+        let (ha, hb) = self.prefix_sums(hi);
+        let (la, lb) = self.prefix_sums(lo);
+        (ha - la, hb - lb)
+    }
+
+    /// The weighted median key: unit rank `total/2` (lower median for
+    /// even totals averaged with the next unit's key, matching the
+    /// paper's `median(x)` convention).
+    pub fn median_key(&self) -> Option<f64> {
+        let total = self.total_units();
+        if total == 0 {
+            return None;
+        }
+        if total % 2 == 1 {
+            self.select(total / 2).map(|(k, _, _)| k)
+        } else {
+            let hi = self.select(total / 2)?.0;
+            let lo = self.select(total / 2 - 1)?.0;
+            Some(0.5 * (lo + hi))
+        }
+    }
+
+    /// In-order `(key, id, weight)` listing — test support.
+    pub fn to_sorted_vec(&self) -> Vec<(f64, u64, u64)> {
+        fn walk(tree: &OrderStatTree, idx: u32, out: &mut Vec<(f64, u64, u64)>) {
+            if idx == NIL {
+                return;
+            }
+            let n = &tree.nodes[idx as usize];
+            walk(tree, n.left, out);
+            out.push((n.key, n.id, n.weight));
+            walk(tree, n.right, out);
+        }
+        let mut out = Vec::with_capacity(self.len());
+        walk(self, self.root, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut t = OrderStatTree::new(1);
+        for (k, id) in [(5.0, 0u64), (1.0, 1), (3.0, 2), (3.0, 3), (-2.0, 4)] {
+            t.insert(k, id, 1, 0.0, 0.0);
+        }
+        let keys: Vec<f64> = t.to_sorted_vec().iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![-2.0, 1.0, 3.0, 3.0, 5.0]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.total_units(), 5);
+    }
+
+    #[test]
+    fn select_matches_sorted_position() {
+        let mut t = OrderStatTree::new(2);
+        let keys = [9.0, 2.0, 7.0, 4.0, 4.0, 11.0];
+        for (id, &k) in keys.iter().enumerate() {
+            t.insert(k, id as u64, 1, 0.0, 0.0);
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for (r, &expect) in sorted.iter().enumerate() {
+            assert_eq!(t.select(r as u64).unwrap().0, expect, "rank {r}");
+        }
+        assert!(t.select(6).is_none());
+    }
+
+    #[test]
+    fn weighted_select_counts_units() {
+        let mut t = OrderStatTree::new(3);
+        t.insert(1.0, 0, 3, 0.0, 0.0); // units 0..3
+        t.insert(2.0, 1, 2, 0.0, 0.0); // units 3..5
+        assert_eq!(t.total_units(), 5);
+        for r in 0..3 {
+            assert_eq!(t.select(r).unwrap().0, 1.0);
+        }
+        for r in 3..5 {
+            assert_eq!(t.select(r).unwrap().0, 2.0);
+        }
+    }
+
+    #[test]
+    fn remove_restores_structure() {
+        let mut t = OrderStatTree::new(4);
+        for id in 0..20u64 {
+            t.insert((id % 5) as f64, id, 1, 1.0, 2.0);
+        }
+        assert!(t.remove(2.0, 7));
+        assert!(!t.remove(2.0, 7), "double remove must fail");
+        assert!(!t.remove(99.0, 0));
+        assert_eq!(t.len(), 19);
+        let v = t.to_sorted_vec();
+        assert!(v.iter().all(|&(_, id, _)| id != 7));
+        // Sums reflect the removal.
+        let (a, b) = t.prefix_sums(19);
+        assert_eq!(a, 19.0);
+        assert_eq!(b, 38.0);
+    }
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let mut t = OrderStatTree::new(5);
+        let entries = [
+            (3.0, 0u64, 1u64, 10.0, 1.0),
+            (1.0, 1, 1, 20.0, 2.0),
+            (2.0, 2, 1, 30.0, 3.0),
+            (5.0, 3, 1, 40.0, 4.0),
+        ];
+        for &(k, id, w, a, b) in &entries {
+            t.insert(k, id, w, a, b);
+        }
+        // Sorted by key: ids 1, 2, 0, 3 with aux_a 20, 30, 10, 40.
+        let expect_a = [0.0, 20.0, 50.0, 60.0, 100.0];
+        for (r, &ea) in expect_a.iter().enumerate() {
+            let (a, _) = t.prefix_sums(r as u64);
+            assert_eq!(a, ea, "rank {r}");
+        }
+        let (a, b) = t.range_sums(1, 3);
+        assert_eq!(a, 40.0); // ids 2 and 0
+        assert_eq!(b, 4.0);
+    }
+
+    #[test]
+    fn weighted_prefix_sums_split_nodes() {
+        let mut t = OrderStatTree::new(6);
+        t.insert(1.0, 0, 4, 2.5, 1.0); // 4 units of (2.5, 1.0)
+        let (a, b) = t.prefix_sums(3);
+        assert_eq!(a, 7.5);
+        assert_eq!(b, 3.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut t = OrderStatTree::new(7);
+        assert_eq!(t.median_key(), None);
+        t.insert(1.0, 0, 1, 0.0, 0.0);
+        t.insert(5.0, 1, 1, 0.0, 0.0);
+        t.insert(3.0, 2, 1, 0.0, 0.0);
+        assert_eq!(t.median_key(), Some(3.0));
+        t.insert(7.0, 3, 1, 0.0, 0.0);
+        assert_eq!(t.median_key(), Some(4.0)); // (3+5)/2
+    }
+
+    #[test]
+    fn key_update_via_remove_reinsert() {
+        let mut t = OrderStatTree::new(8);
+        for id in 0..10u64 {
+            t.insert(id as f64, id, 1, id as f64, 0.0);
+        }
+        // Move id 0's key from 0.0 to 100.0.
+        assert!(t.remove(0.0, 0));
+        t.insert(100.0, 0, 1, 0.0, 0.0);
+        assert_eq!(t.select(9).unwrap().1, 0); // now the largest
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn randomized_against_sorted_vec() {
+        let mut t = OrderStatTree::new(9);
+        let mut reference: Vec<(f64, u64, f64)> = Vec::new(); // (key, id, aux_a)
+        let mut state = 5577u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..1500 {
+            let op = rng() % 2;
+            if op == 0 || reference.is_empty() {
+                let id = step as u64;
+                let key = (rng() % 100) as f64;
+                let aux = (rng() % 10) as f64;
+                t.insert(key, id, 1, aux, 0.0);
+                reference.push((key, id, aux));
+            } else {
+                let pick = (rng() as usize) % reference.len();
+                let (key, id, _) = reference.swap_remove(pick);
+                assert!(t.remove(key, id));
+            }
+            reference.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert_eq!(t.total_units(), reference.len() as u64);
+            if !reference.is_empty() {
+                let r = (rng() as usize) % reference.len();
+                assert_eq!(t.select(r as u64).unwrap().0, reference[r].0, "step {step}");
+                let prefix: f64 = reference[..r].iter().map(|e| e.2).sum();
+                let (a, _) = t.prefix_sums(r as u64);
+                assert!((a - prefix).abs() < 1e-9, "step {step} rank {r}");
+            }
+        }
+    }
+}

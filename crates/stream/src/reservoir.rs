@@ -1,0 +1,125 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+
+use bas_hash::SplitMix64;
+
+/// Uniform sample of `k` items from a stream of unknown length.
+///
+/// Used by workload tooling (e.g. sampling update streams for
+/// inspection) and handy for users estimating stream statistics next to
+/// a sketch.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+    rng: SplitMix64,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Creates a sampler keeping at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+            rng: SplitMix64::new(seed ^ 0x9E5E_4701),
+        }
+    }
+
+    /// Offers an item to the reservoir.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the sampler, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let mut r = ReservoirSampler::new(10, 1);
+        for i in 0..5 {
+            r.offer(i);
+        }
+        assert_eq!(r.sample(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut r = ReservoirSampler::new(8, 2);
+        for i in 0..1000 {
+            r.offer(i);
+        }
+        assert_eq!(r.sample().len(), 8);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Each item of a 100-long stream should appear in the 10-slot
+        // reservoir with probability 1/10; count over many seeds.
+        let trials = 2000;
+        let mut hits_item_0 = 0;
+        let mut hits_item_99 = 0;
+        for seed in 0..trials {
+            let mut r = ReservoirSampler::new(10, seed);
+            for i in 0..100 {
+                r.offer(i);
+            }
+            if r.sample().contains(&0) {
+                hits_item_0 += 1;
+            }
+            if r.sample().contains(&99) {
+                hits_item_99 += 1;
+            }
+        }
+        let p0 = hits_item_0 as f64 / trials as f64;
+        let p99 = hits_item_99 as f64 / trials as f64;
+        assert!((p0 - 0.1).abs() < 0.03, "p0 = {p0}");
+        assert!((p99 - 0.1).abs() < 0.03, "p99 = {p99}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ReservoirSampler::<u32>::new(0, 0);
+    }
+
+    #[test]
+    fn into_sample_returns_items() {
+        let mut r = ReservoirSampler::new(3, 5);
+        for i in 0..3 {
+            r.offer(i * 2);
+        }
+        assert_eq!(r.into_sample(), vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Stream update types shared across the workspace.
+
+/// A single turnstile stream update `x_item ← x_item + delta`
+/// (paper §1: "a new incoming item `i ∈ [n]` corresponds to updating the
+/// input vector `x ← x + e_i`"; the general form carries a real delta).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamUpdate {
+    /// Coordinate being updated.
+    pub item: u64,
+    /// Signed change to the coordinate.
+    pub delta: f64,
+}
+
+impl StreamUpdate {
+    /// A unit insertion of `item` — the paper's arrival model.
+    pub fn arrival(item: u64) -> Self {
+        Self { item, delta: 1.0 }
+    }
+
+    /// An arbitrary turnstile update.
+    pub fn new(item: u64, delta: f64) -> Self {
+        Self { item, delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_is_unit_delta() {
+        let u = StreamUpdate::arrival(42);
+        assert_eq!(u.item, 42);
+        assert_eq!(u.delta, 1.0);
+    }
+
+    #[test]
+    fn new_carries_delta() {
+        let u = StreamUpdate::new(7, -2.5);
+        assert_eq!(
+            u,
+            StreamUpdate {
+                item: 7,
+                delta: -2.5
+            }
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Network telemetry: sketch a day of per-second request counts
+//! (WorldCup-like traffic) and answer the operator questions the
+//! paper's introduction motivates — point queries, burst detection
+//! (heavy hitters *above the bias*), and range sums.
+//!
+//! Run with: `cargo run --release --example network_telemetry`
+
+use bias_aware_sketches::data::{VectorGenerator, WebTrafficGen};
+use bias_aware_sketches::prelude::*;
+
+fn main() {
+    let gen = WebTrafficGen::worldcup();
+    let traffic = gen.generate(2024);
+    let n = traffic.len() as u64;
+    let total: f64 = traffic.iter().sum();
+    println!(
+        "one day of traffic: {n} seconds, {:.2}M requests, mean {:.1}/s",
+        total / 1e6,
+        total / n as f64
+    );
+
+    // --- Point queries through a bias-aware sketch -------------------
+    let cfg = L2Config::new(n, 4_096, 9).with_seed(7);
+    let mut sketch = L2SketchRecover::new(&cfg);
+    sketch.ingest_vector(&traffic);
+    println!(
+        "sketch: {} words ({:.1}% of the raw vector), estimated base rate {:.1}/s\n",
+        sketch.size_in_words(),
+        100.0 * sketch.size_in_words() as f64 / n as f64,
+        sketch.bias()
+    );
+
+    // Busiest true second vs sketch's view of it.
+    let (busiest, &peak) = traffic
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    println!(
+        "busiest second {:02}:{:02}:{:02}: true {peak:.0} req, sketch {:.0} req",
+        busiest / 3600,
+        (busiest % 3600) / 60,
+        busiest % 60,
+        sketch.estimate(busiest as u64)
+    );
+
+    // --- Burst detection: find seconds far above the bias ------------
+    let recovered = sketch.recover_all();
+    let beta = sketch.bias();
+    let mut bursts: Vec<(usize, f64)> = recovered
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > 5.0 * beta)
+        .map(|(i, &v)| (i, v))
+        .collect();
+    bursts.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let true_bursts: usize = traffic.iter().filter(|&&v| v > 5.0 * beta).count();
+    println!(
+        "\nburst seconds (> 5x base rate): sketch flags {}, truth has {true_bursts}",
+        bursts.len()
+    );
+    for (sec, est) in bursts.iter().take(5) {
+        println!(
+            "  {:02}:{:02}:{:02}  est {est:>7.0}  true {:>7.0}",
+            sec / 3600,
+            (sec % 3600) / 60,
+            sec % 60,
+            traffic[*sec]
+        );
+    }
+
+    // --- Heavy hitters over a live stream -----------------------------
+    // Re-play the day as a stream of (second, count) updates and track
+    // the top seconds online.
+    // A single second holds at most ~1e-4 of a whole day's traffic, so
+    // the heavy-hitter share must sit below that.
+    let hh_params = SketchParams::new(n, 4_096, 9).with_seed(9);
+    let mut tracker = HeavyHitters::new(CountSketch::new(&hh_params), 0.000_2);
+    for (i, &v) in traffic.iter().enumerate() {
+        if v > 0.0 {
+            tracker.update(i as u64, v);
+        }
+    }
+    let hot = tracker.heavy_hitters();
+    println!("\ntop seconds by online heavy-hitter tracking:");
+    for h in hot.iter().take(3) {
+        println!(
+            "  second {:>6}  est {:>8.0}  true {:>8.0}",
+            h.item, h.estimate, traffic[h.item as usize]
+        );
+    }
+
+    // --- Range queries: hourly request volumes ------------------------
+    let rs_params = SketchParams::new(n, 2_048, 7).with_seed(11);
+    let mut ranges = RangeSumSketch::new(&rs_params);
+    for (i, &v) in traffic.iter().enumerate() {
+        if v > 0.0 {
+            ranges.update(i as u64, v);
+        }
+    }
+    println!("\nhourly volumes (sketch vs truth):");
+    for hour in (0..24).step_by(6) {
+        let (lo, hi) = (hour * 3600, hour * 3600 + 3599);
+        let truth: f64 = traffic[lo as usize..=hi as usize].iter().sum();
+        let est = ranges.query(lo, hi);
+        println!(
+            "  {hour:02}:00-{:02}:59  est {est:>10.0}  true {truth:>10.0}  ({:+.1}%)",
+            hour + 5,
+            100.0 * (est - truth) / truth
+        );
+    }
+}

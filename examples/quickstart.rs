@@ -1,0 +1,94 @@
+//! Quickstart: the paper's §1 worked example, then a realistic-sized
+//! demo of why bias-awareness matters.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bias_aware_sketches::data::{GaussianGen, VectorGenerator};
+use bias_aware_sketches::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Part 1 — the paper's worked example (§1).
+    // x has a strong bias around 100; coordinates 0 and 3 are outliers.
+    // ------------------------------------------------------------------
+    let x = vec![
+        3.0, 100.0, 101.0, 500.0, 102.0, 98.0, 97.0, 100.0, 99.0, 103.0,
+    ];
+    let k = 2;
+
+    println!("paper example: x = {x:?}, k = {k}");
+    println!(
+        "  Err_1^k(x)                = {:>10.2}",
+        oracle::err_k_p(&x, k, 1)
+    );
+    println!(
+        "  Err_2^k(x)                = {:>10.2}",
+        oracle::err_k_p(&x, k, 2)
+    );
+    let t1 = oracle::min_beta_err_k1(&x, k);
+    let t2 = oracle::min_beta_err_k2(&x, k);
+    println!(
+        "  min_b Err_1^k(x - b)      = {:>10.2}   at b = {}",
+        t1.err, t1.beta
+    );
+    println!(
+        "  min_b Err_2^k(x - b)      = {:>10.2}   at b = {}",
+        t2.err, t2.beta
+    );
+    println!("  (the paper reports 700, 263.49, 12 and 5.29 at b = 100)\n");
+
+    // ------------------------------------------------------------------
+    // Part 2 — sketch a biased vector and point-query it.
+    // ------------------------------------------------------------------
+    let n = 200_000u64;
+    let mut data = GaussianGen::new(n as usize, 100.0, 15.0).generate(7);
+    // Plant a few anomalies we will want to find again.
+    data[123] = 9_999.0;
+    data[45_678] = 7_500.0;
+    data[199_999] = -2_000.0;
+
+    let cfg = L2Config::new(n, 4_096, 9).with_seed(1);
+    let mut bias_aware = L2SketchRecover::new(&cfg);
+    bias_aware.ingest_vector(&data);
+
+    let cs_params = SketchParams::new(n, 4_096, 10).with_seed(1);
+    let mut count_sketch = CountSketch::new(&cs_params);
+    count_sketch.ingest_vector(&data);
+
+    println!(
+        "sketched n = {n} coordinates into {} words (l2-S/R) / {} words (CS)",
+        bias_aware.size_in_words(),
+        count_sketch.size_in_words()
+    );
+    println!(
+        "estimated bias = {:.2} (true bias = 100)\n",
+        bias_aware.bias()
+    );
+
+    println!("point queries (truth vs l2-S/R vs Count-Sketch):");
+    for probe in [123u64, 45_678, 199_999, 500, 77_777] {
+        println!(
+            "  x[{probe:>6}] = {:>8.1}   l2-S/R: {:>8.1}   CS: {:>8.1}",
+            data[probe as usize],
+            bias_aware.estimate(probe),
+            count_sketch.estimate(probe)
+        );
+    }
+
+    // Average error over everything.
+    let rec_ba = bias_aware.recover_all();
+    let rec_cs = count_sketch.recover_all();
+    let avg = |rec: &[f64]| -> f64 {
+        rec.iter()
+            .zip(data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / n as f64
+    };
+    println!(
+        "\naverage error: l2-S/R = {:.3}, Count-Sketch = {:.3} ({}x better)",
+        avg(&rec_ba),
+        avg(&rec_cs),
+        (avg(&rec_cs) / avg(&rec_ba)).round()
+    );
+}

@@ -1,0 +1,202 @@
+//! Adversarial and boundary-condition integration tests: degenerate
+//! dimensions, extreme magnitudes, hostile bias configurations — the
+//! inputs a production deployment will eventually see.
+
+use bias_aware_sketches::core::{oracle, L1Config, L1SketchRecover, L2Config, L2SketchRecover};
+use bias_aware_sketches::prelude::*;
+
+#[test]
+fn single_element_universe() {
+    let l1 = &mut L1SketchRecover::new(&L1Config::new(1, 4, 3).with_seed(1));
+    let l2 = &mut L2SketchRecover::new(&L2Config::new(1, 4, 3).with_seed(1));
+    l1.update(0, 123.0);
+    l2.update(0, 123.0);
+    // One coordinate hashed into ≥1 bucket: recovery is exact.
+    assert!((l1.estimate(0) - 123.0).abs() < 1e-9);
+    assert!((l2.estimate(0) - 123.0).abs() < 1e-9);
+}
+
+#[test]
+fn width_one_sketch_still_answers() {
+    // Everything collides in one bucket: the estimate degenerates to
+    // bias-only, but nothing panics and results stay finite.
+    let cfg = L2Config::new(100, 1, 3).with_seed(2);
+    let mut sk = L2SketchRecover::new(&cfg);
+    for i in 0..100u64 {
+        sk.update(i, 10.0);
+    }
+    assert!(sk.bias().is_finite());
+    assert!(sk.estimate(5).is_finite());
+    // With a constant vector the bias alone reconstructs it.
+    assert!((sk.estimate(5) - 10.0).abs() < 1e-6);
+}
+
+#[test]
+fn depth_one_has_no_median_protection_but_works() {
+    let cfg = L1Config::new(1000, 128, 1).with_seed(3);
+    let mut sk = L1SketchRecover::new(&cfg);
+    for i in 0..1000u64 {
+        sk.update(i, 50.0);
+    }
+    assert!((sk.estimate(7) - 50.0).abs() < 10.0);
+}
+
+#[test]
+fn huge_magnitudes_do_not_overflow() {
+    let cfg = L2Config::new(500, 64, 5).with_seed(4);
+    let mut sk = L2SketchRecover::new(&cfg);
+    for i in 0..500u64 {
+        sk.update(i, 1e15);
+    }
+    sk.update(3, 1e18);
+    let est = sk.estimate(3);
+    assert!(est.is_finite());
+    assert!((est - (1e15 + 1e18)).abs() < 1e13, "est = {est}");
+    assert!((sk.bias() - 1e15).abs() < 1e12);
+}
+
+#[test]
+fn negative_bias_is_a_bias_too() {
+    // Nothing in the theory requires β > 0.
+    let n = 2000usize;
+    let mut x = vec![-400.0f64; n];
+    x[10] = 900.0;
+    let t = oracle::min_beta_err_k2(&x, 8);
+    assert!((t.beta + 400.0).abs() < 1e-9);
+    let cfg = L2Config::new(n as u64, 128, 7).with_seed(5);
+    let mut sk = L2SketchRecover::new(&cfg);
+    sk.ingest_vector(&x);
+    assert!((sk.bias() + 400.0).abs() < 2.0, "bias = {}", sk.bias());
+    assert!((sk.estimate(10) - 900.0).abs() < 20.0);
+    assert!((sk.estimate(500) + 400.0).abs() < 20.0);
+}
+
+#[test]
+fn alternating_extreme_signs_around_zero_bias() {
+    // Symmetric ±v coordinates: the best bias is 0 and the de-biased
+    // tail equals the plain tail — the bias-aware sketch must not be
+    // *worse* than its underlying sketch.
+    let n = 2000usize;
+    let x: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 300.0 } else { -300.0 })
+        .collect();
+    let t = oracle::min_beta_err_k1(&x, 100);
+    assert!(t.beta.abs() <= 300.0);
+    let cfg = L2Config::new(n as u64, 256, 9).with_seed(6);
+    let mut sk = L2SketchRecover::new(&cfg);
+    sk.ingest_vector(&x);
+    let params = SketchParams::new(n as u64, 256, 10).with_seed(6);
+    let mut cs = CountSketch::new(&params);
+    cs.ingest_vector(&x);
+    let avg = |est: &dyn Fn(u64) -> f64| {
+        (0..n as u64)
+            .map(|j| (est(j) - x[j as usize]).abs())
+            .sum::<f64>()
+            / n as f64
+    };
+    let bias_aware = avg(&|j| sk.estimate(j));
+    let baseline = avg(&|j| cs.estimate(j));
+    assert!(
+        bias_aware <= baseline * 1.5 + 1.0,
+        "bias-aware {bias_aware} should not lose to CS {baseline} when the best bias is ~0"
+    );
+}
+
+#[test]
+fn all_mass_in_one_coordinate() {
+    // n−1 zeros + one spike: bias ≈ 0, spike recovered exactly.
+    let cfg = L1Config::new(10_000, 256, 7).with_seed(7);
+    let mut sk = L1SketchRecover::new(&cfg);
+    sk.update(1234, 1e6);
+    assert!(sk.bias().abs() < 1.0);
+    assert!((sk.estimate(1234) - 1e6).abs() < 1.0);
+    assert!(sk.estimate(999).abs() < 1.0);
+}
+
+#[test]
+fn dense_updates_to_one_bucket_cannot_poison_the_window() {
+    // Stream a colossal count into a few coordinates mapping near each
+    // other; the 2k-median-bucket estimator must shrug it off.
+    let n = 5000u64;
+    let cfg = L2Config::new(n, 128, 7).with_seed(8);
+    let mut sk = L2SketchRecover::new(&cfg);
+    for i in 0..n {
+        sk.update(i, 20.0);
+    }
+    for round in 0..50 {
+        sk.update(round % 5, 1e9);
+    }
+    assert!(
+        (sk.bias() - 20.0).abs() < 2.0,
+        "bias {} should ignore 5 contaminated coordinates",
+        sk.bias()
+    );
+}
+
+#[test]
+fn oracle_handles_constant_vectors() {
+    let x = vec![7.0; 100];
+    for p in [1u32, 2] {
+        let t = oracle::min_beta_err(&x, 3, p);
+        assert_eq!(t.beta, 7.0);
+        assert_eq!(t.err, 0.0);
+    }
+    assert_eq!(oracle::err_k_p(&x, 0, 1), 700.0);
+}
+
+#[test]
+fn oracle_handles_two_point_masses() {
+    // Half at 0, half at 1000: best k=0 bias is the median/mean; the
+    // error is huge either way, and the sketch degrades gracefully.
+    let n = 1000usize;
+    let x: Vec<f64> = (0..n)
+        .map(|i| if i < n / 2 { 0.0 } else { 1000.0 })
+        .collect();
+    let t1 = oracle::min_beta_err_k1(&x, 0);
+    assert_eq!(t1.err, 500.0 * n as f64);
+    let cfg = L2Config::new(n as u64, 64, 7).with_seed(9);
+    let mut sk = L2SketchRecover::new(&cfg);
+    sk.ingest_vector(&x);
+    assert!(sk.estimate(0).is_finite());
+    assert!(sk.estimate((n - 1) as u64).is_finite());
+}
+
+#[test]
+fn repeated_identical_updates_accumulate_exactly() {
+    let cfg = L1Config::new(64, 32, 5).with_seed(10);
+    let mut sk = L1SketchRecover::new(&cfg);
+    for _ in 0..10_000 {
+        sk.update(7, 0.5);
+    }
+    assert!((sk.estimate(7) - 5000.0).abs() < 5.0);
+}
+
+#[test]
+fn interleaved_insert_delete_storm() {
+    // Heavy turnstile churn must leave the sketch exactly at the net
+    // state (integer deltas keep float sums exact).
+    let n = 256u64;
+    let cfg = L2Config::new(n, 64, 5).with_seed(11);
+    let mut sk = L2SketchRecover::new(&cfg);
+    let mut truth = vec![0.0f64; n as usize];
+    let mut state = 7u64;
+    for _ in 0..50_000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let item = state % n;
+        let delta = ((state >> 8) % 21) as f64 - 10.0;
+        sk.update(item, delta);
+        truth[item as usize] += delta;
+    }
+    // Drain everything back to zero.
+    for (i, v) in truth.iter().enumerate() {
+        if *v != 0.0 {
+            sk.update(i as u64, -v);
+        }
+    }
+    for j in (0..n).step_by(7) {
+        assert!(sk.estimate(j).abs() < 1e-9, "item {j}");
+    }
+    assert!(sk.bias().abs() < 1e-9);
+}

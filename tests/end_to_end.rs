@@ -1,0 +1,200 @@
+//! End-to-end runs of the experiment harness on each workload family,
+//! asserting the *shape* of the paper's results (who wins, by roughly
+//! what factor) at test-sized scales.
+
+use bias_aware_sketches::data::{
+    GaussianGen, GraphStreamGen, KinematicGen, ShiftedGaussianGen, VectorGenerator, WebTrafficGen,
+};
+use bias_aware_sketches::eval::{
+    run_stream_experiment, run_width_sweep, Algorithm, ResultTable, SweepConfig,
+};
+
+fn err_of<'a>(
+    results: &'a [bias_aware_sketches::eval::PointQueryResult],
+    label: &str,
+) -> &'a bias_aware_sketches::eval::PointQueryResult {
+    results
+        .iter()
+        .find(|r| r.algorithm == label)
+        .unwrap_or_else(|| panic!("missing {label}"))
+}
+
+/// Figure 1 shape: on Gaussian data the bias-aware sketches dominate
+/// every baseline, and CM is worst by a wide margin.
+#[test]
+fn gaussian_ranking_matches_figure_1() {
+    let x = GaussianGen::new(40_000, 100.0, 15.0).generate(42);
+    let cfg = SweepConfig {
+        widths: vec![2_000],
+        depth: 9,
+        trials: 1,
+        seed: 7,
+    };
+    let res = run_width_sweep(&x, &Algorithm::MAIN_SET, &cfg);
+    let l1 = err_of(&res, "l1-S/R").errors.avg_err;
+    let l2 = err_of(&res, "l2-S/R").errors.avg_err;
+    let cm = err_of(&res, "CM").errors.avg_err;
+    let cs = err_of(&res, "CS").errors.avg_err;
+    let cmcu = err_of(&res, "CM-CU").errors.avg_err;
+
+    // Paper §5.2: "the errors of l1-S/R and l2-S/R are less than 1/5 of
+    // CS, 1/50 of CM-CU and 1/200 of CM".
+    assert!(l2 < cs / 3.0, "l2 {l2} vs CS {cs}");
+    assert!(l1 < cs / 3.0, "l1 {l1} vs CS {cs}");
+    assert!(l2 < cmcu / 10.0, "l2 {l2} vs CM-CU {cmcu}");
+    assert!(l2 < cm / 50.0, "l2 {l2} vs CM {cm}");
+    assert!(cm > cs, "CM should be the worst baseline");
+}
+
+/// Figure 1c–d shape: raising the bias from 100 to 500 leaves the
+/// bias-aware errors unchanged but inflates every baseline.
+#[test]
+fn gaussian_bias_invariance_matches_figure_1cd() {
+    let cfg = SweepConfig {
+        widths: vec![2_000],
+        depth: 9,
+        trials: 1,
+        seed: 13,
+    };
+    let x100 = GaussianGen::new(40_000, 100.0, 15.0).generate(1);
+    let x500 = GaussianGen::new(40_000, 500.0, 15.0).generate(1);
+    let algos = [Algorithm::L2SR, Algorithm::CountSketch];
+    let r100 = run_width_sweep(&x100, &algos, &cfg);
+    let r500 = run_width_sweep(&x500, &algos, &cfg);
+    let l2_ratio = err_of(&r500, "l2-S/R").errors.avg_err / err_of(&r100, "l2-S/R").errors.avg_err;
+    let cs_ratio = err_of(&r500, "CS").errors.avg_err / err_of(&r100, "CS").errors.avg_err;
+    assert!(
+        (0.5..2.0).contains(&l2_ratio),
+        "l2-S/R error should not scale with b: ratio {l2_ratio}"
+    );
+    assert!(
+        cs_ratio > 2.5,
+        "CS error should grow with b: ratio {cs_ratio}"
+    );
+}
+
+/// Figure 8 shape: without shifted entries the mean heuristics match
+/// the sampled/median estimators; with 500 entries shifted by 1e5 the
+/// mean heuristics blow up.
+#[test]
+fn mean_heuristics_match_figure_8() {
+    let cfg = SweepConfig {
+        widths: vec![2_000],
+        depth: 9,
+        trials: 1,
+        seed: 3,
+    };
+    // 200 of 40k entries shifted by 1e5 drags the global mean by 500 —
+    // same mechanism as the paper's 500-of-5M at this test's scale.
+    let clean = ShiftedGaussianGen::new(40_000, 0, 100_000.0).generate(2);
+    let dirty = ShiftedGaussianGen::new(40_000, 200, 100_000.0).generate(2);
+
+    let r_clean = run_width_sweep(&clean, &Algorithm::MEAN_SET, &cfg);
+    let clean_l2 = err_of(&r_clean, "l2-S/R").errors.avg_err;
+    let clean_mean = err_of(&r_clean, "l2-mean").errors.avg_err;
+    assert!(
+        clean_mean < 2.0 * clean_l2 + 1.0,
+        "clean data: mean heuristic {clean_mean} should track l2-S/R {clean_l2}"
+    );
+
+    let r_dirty = run_width_sweep(&dirty, &Algorithm::MEAN_SET, &cfg);
+    let dirty_l2 = err_of(&r_dirty, "l2-S/R").errors.avg_err;
+    let dirty_mean = err_of(&r_dirty, "l2-mean").errors.avg_err;
+    let dirty_l1mean = err_of(&r_dirty, "l1-mean").errors.avg_err;
+    assert!(
+        dirty_mean > 10.0 * dirty_l2,
+        "shifted data: l2-mean {dirty_mean} should collapse vs l2-S/R {dirty_l2}"
+    );
+    assert!(dirty_l1mean > 10.0 * dirty_l2);
+}
+
+/// WorldCup-like and Higgs-like workloads: l2-S/R achieves the best
+/// average error (Figures 3–4).
+#[test]
+fn real_dataset_shapes() {
+    let cfg = SweepConfig {
+        widths: vec![2_000],
+        depth: 9,
+        trials: 1,
+        seed: 5,
+    };
+    for x in [
+        WebTrafficGen::worldcup().generate(3),
+        KinematicGen::new(60_000).generate(3),
+    ] {
+        let res = run_width_sweep(
+            &x,
+            &[
+                Algorithm::L2SR,
+                Algorithm::CountSketch,
+                Algorithm::CountMedian,
+            ],
+            &cfg,
+        );
+        let l2 = err_of(&res, "l2-S/R").errors.avg_err;
+        let cs = err_of(&res, "CS").errors.avg_err;
+        let cm = err_of(&res, "CM").errors.avg_err;
+        assert!(l2 <= cs * 1.05, "l2 {l2} should beat or match CS {cs}");
+        assert!(l2 < cm, "l2 {l2} should beat CM {cm}");
+    }
+}
+
+/// Figure 6 shape: streaming accuracy + the bias-aware overhead stays
+/// within the factor the paper reports (l2-S/R within ~2× of CS per
+/// update).
+#[test]
+fn streaming_experiment_shape() {
+    let gen = GraphStreamGen::hudong_scaled(20_000, 400_000);
+    let stream = gen.stream(11);
+    let res = run_stream_experiment(
+        &stream,
+        gen.nodes as u64,
+        &[Algorithm::L2SR, Algorithm::CountSketch],
+        &[2_000],
+        9,
+        17,
+    );
+    let l2 = res.iter().find(|r| r.algorithm == "l2-S/R").unwrap();
+    let cs = res.iter().find(|r| r.algorithm == "CS").unwrap();
+    assert!(
+        l2.errors.avg_err <= cs.errors.avg_err * 1.1,
+        "l2 {} vs CS {}",
+        l2.errors.avg_err,
+        cs.errors.avg_err
+    );
+    // Update overhead within a small factor (paper: within 2x; allow
+    // slack for tiny absolute numbers).
+    assert!(
+        l2.update_ns < cs.update_ns * 8.0,
+        "l2 update {}ns vs CS {}ns",
+        l2.update_ns,
+        cs.update_ns
+    );
+    assert!(l2.query_ns > 0.0 && cs.query_ns > 0.0);
+}
+
+/// The table renderer produces one row per (algorithm, width).
+#[test]
+fn tables_render_every_row() {
+    let x = GaussianGen::new(5_000, 100.0, 15.0).generate(9);
+    let cfg = SweepConfig {
+        widths: vec![256, 512],
+        depth: 5,
+        trials: 1,
+        seed: 1,
+    };
+    let res = run_width_sweep(&x, &[Algorithm::L2SR, Algorithm::CountSketch], &cfg);
+    let mut table = ResultTable::new("demo", &["algo", "s", "avg", "max"]);
+    for r in &res {
+        table.push_row(vec![
+            r.algorithm.to_string(),
+            r.width.to_string(),
+            format!("{:.3}", r.errors.avg_err),
+            format!("{:.3}", r.errors.max_err),
+        ]);
+    }
+    assert_eq!(table.len(), 4);
+    let text = table.to_text();
+    assert!(text.contains("l2-S/R"));
+    assert!(text.contains("CS"));
+}

@@ -1,0 +1,175 @@
+//! Empirical verification of the paper's error guarantees
+//! (Theorems 3 and 4) across random seeds.
+
+use bias_aware_sketches::prelude::*;
+
+/// Builds a biased vector: base level `bias` with small structured
+/// noise, plus planted outliers.
+fn biased_vector(n: usize, bias: f64, outliers: &[(usize, f64)]) -> Vec<f64> {
+    let mut x = vec![bias; n];
+    for (i, v) in x.iter_mut().enumerate() {
+        *v += ((i % 13) as f64 - 6.0) * 0.4;
+    }
+    for &(i, v) in outliers {
+        x[i] = v;
+    }
+    x
+}
+
+fn linf(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Theorem 3: `‖x̂ − x‖∞ ≤ C₁/k · min_β Err_1^k(x − β)` with probability
+/// `1 − C₂/n`. We check that over many seeds the bound (with a generous
+/// constant) holds in the vast majority of runs, and that the *median*
+/// run is far below the un-debiased Count-Median bound.
+#[test]
+fn theorem_3_l1_guarantee_holds_across_seeds() {
+    let n = 2000usize;
+    let width = 200usize;
+    let k = width / 4;
+    let x = biased_vector(n, 150.0, &[(7, 3000.0), (100, -500.0), (1500, 900.0)]);
+    let debiased_bound = oracle::min_beta_err_k1(&x, k).err / k as f64;
+    let plain_bound = oracle::err_k_p(&x, k, 1) / k as f64;
+    assert!(
+        debiased_bound * 20.0 < plain_bound,
+        "test vector must actually be biased"
+    );
+
+    let trials = 30;
+    let mut within = 0;
+    for seed in 0..trials {
+        let cfg = L1Config::new(n as u64, width, 9).with_seed(seed);
+        let mut sk = L1SketchRecover::new(&cfg);
+        sk.ingest_vector(&x);
+        let err = linf(&sk.recover_all(), &x);
+        if err <= 25.0 * debiased_bound {
+            within += 1;
+        }
+        // Every run must still beat the un-debiased bound comfortably.
+        assert!(
+            err < plain_bound,
+            "seed {seed}: err {err} above plain bound {plain_bound}"
+        );
+    }
+    assert!(
+        within >= trials * 9 / 10,
+        "only {within}/{trials} runs within the debiased bound"
+    );
+}
+
+/// Theorem 4: `‖x̂ − x‖∞ ≤ C₁/√k · min_β Err_2^k(x − β)` w.h.p.
+#[test]
+fn theorem_4_l2_guarantee_holds_across_seeds() {
+    let n = 2000usize;
+    let width = 200usize;
+    let k = width / 4;
+    let x = biased_vector(n, 150.0, &[(7, 3000.0), (100, -500.0), (1500, 900.0)]);
+    let debiased_bound = oracle::min_beta_err_k2(&x, k).err / (k as f64).sqrt();
+    let plain_bound = oracle::err_k_p(&x, k, 2) / (k as f64).sqrt();
+    assert!(debiased_bound * 10.0 < plain_bound);
+
+    let trials = 30;
+    let mut within = 0;
+    for seed in 0..trials {
+        let cfg = L2Config::new(n as u64, width, 9).with_seed(seed);
+        let mut sk = L2SketchRecover::new(&cfg);
+        sk.ingest_vector(&x);
+        let err = linf(&sk.recover_all(), &x);
+        if err <= 25.0 * debiased_bound {
+            within += 1;
+        }
+        assert!(
+            err < plain_bound,
+            "seed {seed}: err {err} above plain bound {plain_bound}"
+        );
+    }
+    assert!(
+        within >= trials * 9 / 10,
+        "only {within}/{trials} runs within the debiased bound"
+    );
+}
+
+/// Corollaries 1–2: the `ℓp/ℓp` guarantees — whole-vector error is
+/// `O(1)·min_β Err_p^k(x − β)`.
+#[test]
+fn corollaries_whole_vector_error() {
+    let n = 2000usize;
+    let width = 200usize;
+    let k = width / 4;
+    let x = biased_vector(n, 90.0, &[(0, 2500.0), (999, -400.0)]);
+
+    let cfg1 = L1Config::new(n as u64, width, 9).with_seed(5);
+    let mut sk1 = L1SketchRecover::new(&cfg1);
+    sk1.ingest_vector(&x);
+    let rec1 = sk1.recover_all();
+    let l1_err: f64 = rec1.iter().zip(x.iter()).map(|(a, b)| (a - b).abs()).sum();
+    let bound1 = oracle::min_beta_err_k1(&x, k).err;
+    assert!(l1_err <= 30.0 * bound1, "l1/l1: {l1_err} vs {bound1}");
+
+    let cfg2 = L2Config::new(n as u64, width, 9).with_seed(5);
+    let mut sk2 = L2SketchRecover::new(&cfg2);
+    sk2.ingest_vector(&x);
+    let rec2 = sk2.recover_all();
+    let l2_err: f64 = rec2
+        .iter()
+        .zip(x.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let bound2 = oracle::min_beta_err_k2(&x, k).err;
+    assert!(l2_err <= 30.0 * bound2, "l2/l2: {l2_err} vs {bound2}");
+}
+
+/// The bias estimators should land near the oracle `β*` of Equation (5).
+#[test]
+fn bias_estimates_near_oracle_beta() {
+    let n = 3000usize;
+    let x = biased_vector(n, 250.0, &[(3, 50_000.0), (4, 40_000.0)]);
+    let k = 64;
+    let beta1 = oracle::min_beta_err_k1(&x, k).beta;
+    let beta2 = oracle::min_beta_err_k2(&x, k).beta;
+    assert!((beta1 - 250.0).abs() < 3.0);
+    assert!((beta2 - 250.0).abs() < 3.0);
+
+    let cfg1 = L1Config::new(n as u64, 256, 9).with_seed(8);
+    let mut sk1 = L1SketchRecover::new(&cfg1);
+    sk1.ingest_vector(&x);
+    assert!((sk1.bias() - beta1).abs() < 5.0, "l1 beta {}", sk1.bias());
+
+    let cfg2 = L2Config::new(n as u64, 256, 9).with_seed(8);
+    let mut sk2 = L2SketchRecover::new(&cfg2);
+    sk2.ingest_vector(&x);
+    assert!((sk2.bias() - beta2).abs() < 5.0, "l2 beta {}", sk2.bias());
+}
+
+/// A k-sparse-after-debias vector is recovered (nearly) exactly — the
+/// `Err = 0` corner of the guarantee.
+#[test]
+fn exact_recovery_when_debiased_vector_is_sparse() {
+    let n = 1000usize;
+    let mut x = vec![77.0; n];
+    x[10] = 1000.0;
+    x[20] = -333.0;
+    for (p, seed) in [(1u32, 3u64), (2, 4)] {
+        let err = oracle::min_beta_err(&x, 2, p).err;
+        assert!(err.abs() < 1e-9);
+        let rec = if p == 1 {
+            let cfg = L1Config::new(n as u64, 128, 9).with_seed(seed);
+            let mut sk = L1SketchRecover::new(&cfg);
+            sk.ingest_vector(&x);
+            sk.recover_all()
+        } else {
+            let cfg = L2Config::new(n as u64, 128, 9).with_seed(seed);
+            let mut sk = L2SketchRecover::new(&cfg);
+            sk.ingest_vector(&x);
+            sk.recover_all()
+        };
+        let max_err = linf(&rec, &x);
+        assert!(max_err < 1e-6, "p = {p}: max_err = {max_err}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) on the core invariants:
+//! the tail-error oracle vs. brute force, estimator sandwich bounds,
+//! bias-maintainer equivalence, and linearity under random streams.
+
+use bias_aware_sketches::core::{oracle, L2BiasMaintenance, L2Config, L2SketchRecover};
+use bias_aware_sketches::prelude::*;
+use proptest::prelude::*;
+
+/// Brute-force `min_β Err_1^k` by trying every coordinate value and
+/// every adjacent midpoint as β, dropping the k worst per β.
+fn brute_min_beta_err1(x: &[f64], k: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut candidates: Vec<f64> = x.to_vec();
+    let mut sorted = x.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for w in sorted.windows(2) {
+        candidates.push(0.5 * (w[0] + w[1]));
+    }
+    for &beta in &candidates {
+        let shifted: Vec<f64> = x.iter().map(|v| v - beta).collect();
+        best = best.min(oracle::err_k_p(&shifted, k, 1));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The window-scan oracle matches brute force for p = 1 (where the
+    /// optimum is attained at a data point or midpoint, so the brute
+    /// force is exact).
+    #[test]
+    fn oracle_l1_matches_brute_force(
+        x in prop::collection::vec(-100.0f64..100.0, 3..24),
+        k in 0usize..3,
+    ) {
+        prop_assume!(k < x.len());
+        let fast = oracle::min_beta_err_k1(&x, k).err;
+        let brute = brute_min_beta_err1(&x, k);
+        prop_assert!((fast - brute).abs() < 1e-6 * (1.0 + brute),
+            "fast {fast} vs brute {brute}");
+    }
+
+    /// For p = 2 the oracle can only *beat* any sampled β, and must be
+    /// matched by the β it reports.
+    #[test]
+    fn oracle_l2_is_consistent(
+        x in prop::collection::vec(-50.0f64..50.0, 3..24),
+        k in 0usize..3,
+        probe in -60.0f64..60.0,
+    ) {
+        prop_assume!(k < x.len());
+        let t = oracle::min_beta_err_k2(&x, k);
+        // Any probe β is no better.
+        let shifted: Vec<f64> = x.iter().map(|v| v - probe).collect();
+        prop_assert!(t.err <= oracle::err_k_p(&shifted, k, 2) + 1e-6);
+        // The reported β attains the reported error.
+        let at_beta: Vec<f64> = x.iter().map(|v| v - t.beta).collect();
+        let err_at_beta = oracle::err_k_p(&at_beta, k, 2);
+        prop_assert!((err_at_beta - t.err).abs() < 1e-6 * (1.0 + t.err),
+            "beta {} gives {err_at_beta}, oracle said {}", t.beta, t.err);
+    }
+
+    /// min_β Err is monotone non-increasing in k.
+    #[test]
+    fn oracle_monotone_in_k(
+        x in prop::collection::vec(-100.0f64..100.0, 5..20),
+    ) {
+        for p in [1u32, 2] {
+            let mut prev = f64::INFINITY;
+            for k in 0..x.len().min(4) {
+                let e = oracle::min_beta_err(&x, k, p).err;
+                prop_assert!(e <= prev + 1e-9, "p={p} k={k}");
+                prev = e;
+            }
+        }
+    }
+
+    /// Count-Min never under-estimates; Count-Min-CU never exceeds
+    /// Count-Min (both on non-negative streams).
+    #[test]
+    fn count_min_sandwich(
+        updates in prop::collection::vec((0u64..64, 0.0f64..20.0), 1..120),
+        seed in 0u64..1000,
+    ) {
+        let params = SketchParams::new(64, 16, 3).with_seed(seed);
+        let mut plain = CountMin::new(&params, UpdatePolicy::Plain);
+        let mut cons = CountMin::conservative(&params);
+        let mut truth = [0.0f64; 64];
+        for &(i, d) in &updates {
+            plain.update(i, d);
+            cons.update(i, d);
+            truth[i as usize] += d;
+        }
+        for j in 0..64u64 {
+            let t = truth[j as usize];
+            prop_assert!(plain.estimate(j) >= t - 1e-9);
+            prop_assert!(cons.estimate(j) >= t - 1e-9);
+            prop_assert!(cons.estimate(j) <= plain.estimate(j) + 1e-9);
+        }
+    }
+
+    /// Linear sketches are exactly linear: sketch(a) + sketch(b) =
+    /// sketch(a + b), for every estimator output. Integer deltas keep
+    /// f64 sums order-independent, so the comparison is exact.
+    #[test]
+    fn l2_sketch_linearity(
+        updates_a in prop::collection::vec((0u64..128, -10i32..10), 0..80),
+        updates_b in prop::collection::vec((0u64..128, -10i32..10), 0..80),
+        seed in 0u64..500,
+    ) {
+        let cfg = L2Config::new(128, 32, 3).with_seed(seed);
+        let mut a = L2SketchRecover::new(&cfg);
+        let mut b = L2SketchRecover::new(&cfg);
+        let mut both = L2SketchRecover::new(&cfg);
+        for &(i, d) in &updates_a { a.update(i, d as f64); both.update(i, d as f64); }
+        for &(i, d) in &updates_b { b.update(i, d as f64); both.update(i, d as f64); }
+        a.merge_from(&b).unwrap();
+        for j in (0..128u64).step_by(11) {
+            prop_assert!((a.estimate(j) - both.estimate(j)).abs() < 1e-6);
+        }
+    }
+
+    /// The three bias maintainers agree after arbitrary update
+    /// sequences.
+    #[test]
+    fn bias_maintainers_agree(
+        updates in prop::collection::vec((0u64..96, -30.0f64..30.0), 1..150),
+        seed in 0u64..200,
+    ) {
+        let make = |m: L2BiasMaintenance| {
+            L2SketchRecover::new(&L2Config::new(96, 24, 3).with_seed(seed).with_maintenance(m))
+        };
+        let mut heap = make(L2BiasMaintenance::BiasHeap);
+        let mut tree = make(L2BiasMaintenance::OrderStatTree);
+        let mut resort = make(L2BiasMaintenance::Resort);
+        for &(i, d) in &updates {
+            heap.update(i, d);
+            tree.update(i, d);
+            resort.update(i, d);
+        }
+        let (bh, bt, br) = (heap.bias(), tree.bias(), resort.bias());
+        prop_assert!((bh - bt).abs() < 1e-9, "heap {bh} vs tree {bt}");
+        prop_assert!((bh - br).abs() < 1e-9, "heap {bh} vs resort {br}");
+    }
+
+    /// Recovery shifts with the data: sketching `x + c·1` must recover
+    /// approximately `x̂ + c` (the de-biasing is exactly what makes this
+    /// hold tightly for the bias-aware sketch).
+    #[test]
+    fn recovery_is_shift_equivariant(
+        base in prop::collection::vec(0.0f64..10.0, 32..64),
+        shift in 0.0f64..1000.0,
+        seed in 0u64..100,
+    ) {
+        let n = base.len() as u64;
+        let cfg = L2Config::new(n, 16, 5).with_seed(seed);
+        let mut plain = L2SketchRecover::new(&cfg);
+        let mut shifted = L2SketchRecover::new(&cfg);
+        plain.ingest_vector(&base);
+        let moved: Vec<f64> = base.iter().map(|v| v + shift).collect();
+        shifted.ingest_vector(&moved);
+        for j in (0..n).step_by(7) {
+            let d = shifted.estimate(j) - plain.estimate(j);
+            prop_assert!((d - shift).abs() < 1e-6,
+                "item {j}: difference {d} expected {shift}");
+        }
+    }
+}

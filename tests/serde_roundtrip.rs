@@ -1,0 +1,133 @@
+//! Serialization round-trips: a sketch shipped over the wire (the
+//! distributed protocol's site → coordinator message) must deserialize
+//! into a sketch that answers every query identically and can still be
+//! merged.
+
+use bias_aware_sketches::core::{L1Config, L1SketchRecover, L2Config, L2SketchRecover};
+use bias_aware_sketches::hashing::{
+    BucketHasher, CarterWegman, SignHash, SignHasher, SplitMix64, Tabulation,
+};
+use bias_aware_sketches::prelude::*;
+
+fn populated<T: PointQuerySketch>(mut sk: T) -> T {
+    for i in 0..400u64 {
+        sk.update(i, 30.0 + (i % 7) as f64);
+    }
+    sk.update(9, 5_000.0);
+    sk
+}
+
+#[test]
+fn count_sketch_roundtrip_preserves_estimates() {
+    let params = SketchParams::new(400, 64, 5).with_seed(3);
+    let original = populated(CountSketch::new(&params));
+    let json = serde_json::to_string(&original).expect("serialize");
+    let back: CountSketch = serde_json::from_str(&json).expect("deserialize");
+    for j in 0..400u64 {
+        assert_eq!(original.estimate(j), back.estimate(j), "item {j}");
+    }
+}
+
+#[test]
+fn count_median_roundtrip_and_merge() {
+    let params = SketchParams::new(400, 32, 4).with_seed(5);
+    let a = populated(CountMedian::new(&params));
+    let json = serde_json::to_string(&a).unwrap();
+    let mut back: CountMedian = serde_json::from_str(&json).unwrap();
+    // A deserialized sketch is a first-class citizen: merging works.
+    back.merge_from(&a).unwrap();
+    for j in (0..400u64).step_by(13) {
+        assert!((back.estimate(j) - 2.0 * a.estimate(j)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn l1_and_l2_roundtrip_preserve_bias_and_estimates() {
+    let l1 = populated(L1SketchRecover::new(
+        &L1Config::new(400, 64, 5).with_seed(7),
+    ));
+    let json = serde_json::to_string(&l1).unwrap();
+    let back: L1SketchRecover = serde_json::from_str(&json).unwrap();
+    assert_eq!(l1.bias(), back.bias());
+    for j in (0..400u64).step_by(29) {
+        assert_eq!(l1.estimate(j), back.estimate(j));
+    }
+
+    let l2 = populated(L2SketchRecover::new(
+        &L2Config::new(400, 64, 5).with_seed(7),
+    ));
+    let json = serde_json::to_string(&l2).unwrap();
+    let mut back: L2SketchRecover = serde_json::from_str(&json).unwrap();
+    assert_eq!(l2.bias(), back.bias());
+    for j in (0..400u64).step_by(29) {
+        assert_eq!(l2.estimate(j), back.estimate(j));
+    }
+    // The deserialized sketch keeps streaming: the Bias-Heap state came
+    // across the wire intact.
+    back.update(3, 100.0);
+    assert!(back.bias().is_finite());
+}
+
+#[test]
+fn distributed_merge_through_serialization() {
+    // Simulate the real wire protocol: each site serializes its local
+    // sketch; the coordinator deserializes and adds.
+    let cfg = L2Config::new(300, 32, 4).with_seed(11);
+    let mut shipped = Vec::new();
+    for site in 0..3u64 {
+        let mut local = L2SketchRecover::new(&cfg);
+        for i in 0..300u64 {
+            local.update(i, (site + 1) as f64);
+        }
+        shipped.push(serde_json::to_string(&local).unwrap());
+    }
+    let mut global: L2SketchRecover = serde_json::from_str(&shipped[0]).unwrap();
+    for wire in &shipped[1..] {
+        let local: L2SketchRecover = serde_json::from_str(wire).unwrap();
+        global.merge_from(&local).unwrap();
+    }
+    // Every coordinate saw 1 + 2 + 3 = 6.
+    for j in (0..300u64).step_by(17) {
+        assert!((global.estimate(j) - 6.0).abs() < 3.0, "item {j}");
+    }
+}
+
+#[test]
+fn hash_functions_roundtrip_bit_exact() {
+    let mut seeder = SplitMix64::new(99);
+    let cw = CarterWegman::sample(&mut seeder, 1000);
+    let back: CarterWegman = serde_json::from_str(&serde_json::to_string(&cw).unwrap()).unwrap();
+    let tab = Tabulation::sample(&mut seeder, 777);
+    let tab_back: Tabulation = serde_json::from_str(&serde_json::to_string(&tab).unwrap()).unwrap();
+    let sign = SignHash::sample(&mut seeder);
+    let sign_back: SignHash = serde_json::from_str(&serde_json::to_string(&sign).unwrap()).unwrap();
+    for x in 0..2000u64 {
+        assert_eq!(cw.bucket(x), back.bucket(x));
+        assert_eq!(tab.bucket(x), tab_back.bucket(x));
+        assert_eq!(sign.sign(x), sign_back.sign(x));
+    }
+}
+
+#[test]
+fn tabulation_rejects_corrupt_wire_data() {
+    let bad = r#"{"tables":[1,2,3],"buckets":8}"#;
+    let res: Result<Tabulation, _> = serde_json::from_str(bad);
+    assert!(res.is_err());
+    let bad_buckets = format!(
+        r#"{{"tables":[{}],"buckets":0}}"#,
+        vec!["0"; 2048].join(",")
+    );
+    let res: Result<Tabulation, _> = serde_json::from_str(&bad_buckets);
+    assert!(res.is_err());
+}
+
+#[test]
+fn configs_roundtrip() {
+    let cfg = L2Config::new(100, 32, 4).with_seed(9).with_k(5);
+    let back: L2Config = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(cfg, back);
+    let params = SketchParams::new(10, 4, 2).with_seed(1);
+    let back: SketchParams =
+        serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
+    assert_eq!(params, back);
+}

@@ -1,0 +1,135 @@
+//! Streaming vs offline equivalence, mid-stream query sanity, and the
+//! equivalence of the three `ℓ2` bias-maintenance structures under
+//! streaming updates (Algorithms 4, 5, 6 must agree).
+
+use bias_aware_sketches::core::{L2BiasMaintenance, L2Config, L2SketchRecover};
+use bias_aware_sketches::data::GraphStreamGen;
+use bias_aware_sketches::prelude::*;
+
+#[test]
+fn l2_maintenance_modes_agree_throughout_a_stream() {
+    let n = 400u64;
+    let make = |m: L2BiasMaintenance| {
+        L2SketchRecover::new(&L2Config::new(n, 64, 5).with_seed(77).with_maintenance(m))
+    };
+    let mut heap = make(L2BiasMaintenance::BiasHeap);
+    let mut tree = make(L2BiasMaintenance::OrderStatTree);
+    let mut resort = make(L2BiasMaintenance::Resort);
+
+    let mut state = 99u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for step in 0..3000 {
+        let item = rng() % n;
+        let delta = ((rng() % 200) as f64 - 50.0) / 5.0;
+        heap.update(item, delta);
+        tree.update(item, delta);
+        resort.update(item, delta);
+        if step % 211 == 0 {
+            let (bh, bt, br) = (heap.bias(), tree.bias(), resort.bias());
+            assert!(
+                (bh - bt).abs() < 1e-9 && (bh - br).abs() < 1e-9,
+                "step {step}: heap {bh} tree {bt} resort {br}"
+            );
+            let q = rng() % n;
+            let (eh, et, er) = (heap.estimate(q), tree.estimate(q), resort.estimate(q));
+            assert!(
+                (eh - et).abs() < 1e-9 && (eh - er).abs() < 1e-9,
+                "step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_stream_queries_track_partial_truth() {
+    // Stream a Hudong-like graph; at checkpoints the sketch's answer for
+    // a probe set must be close to the partial exact counts.
+    let gen = GraphStreamGen::hudong_scaled(5_000, 100_000);
+    let stream = gen.stream(13);
+    let n = gen.nodes as u64;
+
+    let cfg = L2Config::new(n, 1024, 7).with_seed(5);
+    let mut sk = L2SketchRecover::new(&cfg);
+    let mut exact = vec![0.0f64; gen.nodes];
+
+    for (step, &src) in stream.iter().enumerate() {
+        sk.update(src as u64, 1.0);
+        exact[src as usize] += 1.0;
+        if step > 0 && step % 25_000 == 0 {
+            // Probe the current heaviest node and a light node.
+            let (hot, _) = exact
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            let est = sk.estimate(hot as u64);
+            let truth = exact[hot];
+            assert!(
+                (est - truth).abs() <= 0.25 * truth + 15.0,
+                "step {step}: hot node {hot} est {est} truth {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn l1_streaming_bias_is_kept_current() {
+    let n = 2_000u64;
+    let cfg = L1Config::new(n, 256, 7).with_seed(3);
+    let mut sk = L1SketchRecover::new(&cfg);
+    // Phase 1: everything at 10.
+    for i in 0..n {
+        sk.update(i, 10.0);
+    }
+    let b1 = sk.bias();
+    assert!((b1 - 10.0).abs() < 1.0, "phase 1 bias {b1}");
+    // Phase 2: everything rises to 110; the running median must follow.
+    for i in 0..n {
+        sk.update(i, 100.0);
+    }
+    let b2 = sk.bias();
+    assert!((b2 - 110.0).abs() < 2.0, "phase 2 bias {b2}");
+}
+
+#[test]
+fn negative_streams_are_handled_by_linear_sketches() {
+    // Turnstile: insert then fully delete a block of items.
+    let n = 500u64;
+    let l1 = &mut L1SketchRecover::new(&L1Config::new(n, 64, 5).with_seed(4));
+    let l2 = &mut L2SketchRecover::new(&L2Config::new(n, 64, 5).with_seed(4));
+    for i in 0..n {
+        l1.update(i, 42.0);
+        l2.update(i, 42.0);
+    }
+    for i in 0..n {
+        l1.update(i, -42.0);
+        l2.update(i, -42.0);
+    }
+    for j in (0..n).step_by(19) {
+        assert!(l1.estimate(j).abs() < 1e-9, "l1 item {j}");
+        assert!(l2.estimate(j).abs() < 1e-9, "l2 item {j}");
+    }
+    assert!(l1.bias().abs() < 1e-9);
+    assert!(l2.bias().abs() < 1e-9);
+}
+
+#[test]
+fn stream_update_type_round_trips() {
+    let updates = vec![
+        StreamUpdate::arrival(3),
+        StreamUpdate::new(5, -2.0),
+        StreamUpdate::new(3, 1.5),
+    ];
+    let n = 10u64;
+    let cfg = L2Config::new(n, 16, 3).with_seed(1);
+    let mut sk = L2SketchRecover::new(&cfg);
+    for u in &updates {
+        sk.update(u.item, u.delta);
+    }
+    assert!((sk.estimate(3) - 2.5).abs() < 2.0);
+}
