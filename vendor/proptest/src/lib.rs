@@ -1,0 +1,354 @@
+//! Offline drop-in subset of [proptest](https://docs.rs/proptest).
+//!
+//! Supports the `proptest!` macro surface this workspace uses — range
+//! and tuple strategies, `prop::collection::vec`, `prop_assert!`,
+//! `prop_assume!`, and `ProptestConfig::with_cases` — with two
+//! deliberate simplifications:
+//!
+//! * **deterministic seeding**: cases derive from a fixed SplitMix64
+//!   stream, so failures reproduce without persistence files;
+//! * **no shrinking**: a failing case reports its message directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::ops::Range;
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRunner,
+    };
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `sizes` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(!sizes.is_empty(), "empty size range");
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; it is retried, not failed.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail<M: Display>(msg: M) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Builds a rejection.
+    pub fn reject<M: Display>(msg: M) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53-bit resolution.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Runs generated cases against a property closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `property` until `config.cases` cases pass. Rejected cases
+    /// (via `prop_assume!`) are retried up to a global attempt budget;
+    /// a failed case panics with its message and the case seed.
+    pub fn run<F>(&mut self, test_name: &str, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Seed per test name so sibling tests explore different streams.
+        let mut seed = 0xB1A5_0AE5_u64;
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+        }
+        let mut rng = TestRng::new(seed);
+        let cases = self.config.cases.max(1);
+        let max_attempts = (cases as u64) * 20;
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        while passed < cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "proptest `{test_name}`: too many rejected cases \
+                     ({passed}/{cases} passed after {attempts} attempts)"
+                );
+            }
+            match property(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{test_name}` failed on case {passed}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Rejects (retries) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $args:tt $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $name $args $body $($rest)*);
+    };
+    (@impl ($config:expr)) => {};
+    (@impl ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::TestRunner::new($config).run(stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..10,
+            pair in (0u64..4, -3i32..3),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n), "n = {n}");
+            prop_assert!(pair.0 < 4 && (-3..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(
+            v in prop::collection::vec(0.0f64..1.0, 3..24),
+        ) {
+            prop_assert!((3..24).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(k in 0usize..6) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_panic() {
+        TestRunner::new(ProptestConfig::with_cases(4)).run("failures_panic", |rng| {
+            let x = Strategy::generate(&(0u64..10), rng);
+            prop_assert!(x > 100, "x = {x}");
+            Ok(())
+        });
+    }
+}

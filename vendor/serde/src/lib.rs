@@ -1,0 +1,537 @@
+//! Offline drop-in subset of [serde](https://serde.rs).
+//!
+//! This workspace builds in environments with no crates.io access, so it
+//! vendors the slice of serde's API surface its crates actually use:
+//! the `Serialize` / `Deserialize` traits (plus derive), `Serializer` /
+//! `Deserializer`, and the `ser::Error` / `de::Error` traits.
+//!
+//! Instead of serde's 29-method visitor data model, everything funnels
+//! through one JSON-shaped tree, [`Content`]. A `Serializer` consumes a
+//! `Content`; a `Deserializer` produces one. This is wire-compatible
+//! with real serde for the self-describing formats used here (JSON),
+//! and keeps manual trait impls written against real serde — generic
+//! delegation like `Wire { .. }.serialize(serializer)` and
+//! `D::Error::custom(..)` — compiling unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The universal in-memory data model: every `Serialize` impl reduces a
+/// value to this tree, every `Deserialize` impl rebuilds from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also the encoding of `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (positive values normalize to `U64`).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, slices, tuples).
+    Seq(Vec<Content>),
+    /// A map with string keys (structs, maps, newtype enum variants).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait for serialization error types: anything that can be built
+    /// from an error message.
+    pub trait Error: Sized {
+        /// Builds an error carrying `msg`.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait for deserialization error types: anything that can be
+    /// built from an error message.
+    pub trait Error: Sized {
+        /// Builds an error carrying `msg`.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Error produced when converting values to/from [`Content`] directly
+/// (e.g. via [`to_content`] / [`from_content`]).
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// A data format that can consume the [`Content`] tree of any value.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Consumes the fully-reduced value.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce a [`Content`] tree for a value.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+
+    /// Produces the parsed input as a content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can reduce itself to the data model.
+pub trait Serialize {
+    /// Serializes `self` into the given format.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can rebuild itself from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given format.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The identity serializer: captures the [`Content`] tree itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// The identity deserializer: replays a captured [`Content`] tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Reduces any serializable value to its [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Rebuilds any deserializable value from a [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8 u16 u32 u64 usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let content = if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                };
+                serializer.serialize_content(content)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8 i16 i32 i64 isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_content<'a, S, I, T>(iter: I) -> Result<Content, S::Error>
+where
+    S: Serializer,
+    I: IntoIterator<Item = &'a T>,
+    T: Serialize + 'a,
+{
+    let mut items = Vec::new();
+    for item in iter {
+        items.push(to_content(item).map_err(|e| <S::Error as ser::Error>::custom(e))?);
+    }
+    Ok(Content::Seq(items))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let content = seq_to_content::<S, _, _>(self.iter())?;
+        serializer.serialize_content(content)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let content = seq_to_content::<S, _, _>(self.iter())?;
+        serializer.serialize_content(content)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let content = seq_to_content::<S, _, _>(self.iter())?;
+        serializer.serialize_content(content)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(
+                    to_content(&self.$idx).map_err(|e| <S::Error as ser::Error>::custom(e))?,
+                )+];
+                serializer.serialize_content(Content::Seq(items))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (T0.0)
+    (T0.0, T1.1)
+    (T0.0, T1.1, T2.2)
+    (T0.0, T1.1, T2.2, T3.3)
+}
+
+/// Types usable as map keys: convertible to and from the string keys of
+/// [`Content::Map`] (mirrors `serde_json`'s integer-keys-as-strings).
+pub trait MapKey: Sized {
+    /// Renders the key as a string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a string.
+    fn from_key(key: &str) -> Result<Self, ContentError>;
+}
+
+macro_rules! integer_map_key {
+    ($($t:ty)*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, ContentError> {
+                key.parse().map_err(|_| {
+                    ContentError(format!("invalid {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+integer_map_key!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, ContentError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! serialize_map {
+    ($($map:ident $(: $extra:path)?),*) => {$(
+        impl<K: MapKey $(+ $extra)?, V: Serialize> Serialize for $map<K, V> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut entries = Vec::with_capacity(self.len());
+                for (k, v) in self {
+                    let v = to_content(v).map_err(|e| <S::Error as ser::Error>::custom(e))?;
+                    entries.push((k.to_key(), v));
+                }
+                serializer.serialize_content(Content::Map(entries))
+            }
+        }
+    )*};
+}
+serialize_map!(HashMap, BTreeMap);
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+fn type_error<E: de::Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                let out = match content {
+                    Content::U64(v) => <$t>::try_from(v).ok(),
+                    Content::I64(v) => <$t>::try_from(v).ok(),
+                    ref other => return Err(type_error(stringify!($t), other)),
+                };
+                out.ok_or_else(|| {
+                    <D::Error as de::Error>::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            // The writers emit null for non-finite floats (as real
+            // serde_json does); accepting null back keeps such values
+            // round-trippable. Real serde_json instead ERRORS here —
+            // deviation documented in vendor/README.md.
+            Content::Null => Ok(f64::NAN),
+            ref other => Err(type_error("float", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            ref other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            ref other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as de::Error>::custom(
+                "expected a single character",
+            )),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other)
+                .map(Some)
+                .map_err(|e| <D::Error as de::Error>::custom(e)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|item| from_content(item).map_err(|e| <D::Error as de::Error>::custom(e)))
+                .collect(),
+            ref other => Err(type_error("sequence", other)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(<D::Error as de::Error>::custom(format!(
+                                "expected a tuple of length {}, found {}", $len, items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            from_content::<$name>(iter.next().expect("length checked"))
+                                .map_err(|e| <D::Error as de::Error>::custom(e))?,
+                        )+))
+                    }
+                    ref other => Err(type_error("sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; T0)
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+}
+
+impl<'de, K: MapKey + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = K::from_key(&k).map_err(|e| <D::Error as de::Error>::custom(e))?;
+                    let value = from_content(v).map_err(|e| <D::Error as de::Error>::custom(e))?;
+                    Ok((key, value))
+                })
+                .collect(),
+            ref other => Err(type_error("map", other)),
+        }
+    }
+}
+
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = K::from_key(&k).map_err(|e| <D::Error as de::Error>::custom(e))?;
+                    let value = from_content(v).map_err(|e| <D::Error as de::Error>::custom(e))?;
+                    Ok((key, value))
+                })
+                .collect(),
+            ref other => Err(type_error("map", other)),
+        }
+    }
+}

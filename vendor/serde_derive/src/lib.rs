@@ -1,0 +1,373 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Parses the deriving item with a hand-rolled scanner over
+//! [`proc_macro::TokenStream`] (no `syn`/`quote` in this offline
+//! workspace) and emits impls against the `Content` data model of the
+//! vendored `serde` crate. Supported shapes — the ones this workspace
+//! uses:
+//!
+//! * structs with named fields → `Content::Map`, field name as key;
+//! * enums with unit variants → `Content::Str(variant_name)`;
+//! * enums with one-field tuple (newtype) variants →
+//!   `Content::Map([(variant_name, inner)])` (serde's externally-tagged
+//!   representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not
+//! supported; deriving on such an item fails with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields or an
+/// enum of unit / newtype variants.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a struct with named fields or an
+/// enum of unit / newtype variants.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `true` for a one-field tuple (newtype) variant, `false` for unit.
+    newtype: bool,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match (mode, &item) {
+            (Mode::Serialize, Item::Struct { name, fields }) => struct_serialize(name, fields),
+            (Mode::Deserialize, Item::Struct { name, fields }) => struct_deserialize(name, fields),
+            (Mode::Serialize, Item::Enum { name, variants }) => enum_serialize(name, variants),
+            (Mode::Deserialize, Item::Enum { name, variants }) => enum_deserialize(name, variants),
+        },
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Scans the deriving item down to its name and field/variant names.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                return Err(format!("serde derive: unexpected `{word}`"));
+            }
+            other => return Err(format!("serde derive: unexpected token {other:?}")),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected item name, got {other:?}")),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "serde derive: expected braced body for `{name}` \
+                 (tuple/unit structs unsupported), got {other:?}"
+            ))
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Extracts field names from `name: Type, ...`, skipping attributes,
+/// visibility, and the type tokens (commas inside `<...>` nest in
+/// groups only for `()`/`[]`/`{}`, so angle depth is tracked by hand).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde derive: unexpected field token {other:?}")),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field `{field}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type: consume until a top-level (angle-depth 0) comma.
+        // The `>` of `->` (fn-pointer types) is not an angle close: it
+        // arrives as a joint `-` immediately followed by `>`.
+        let mut angle_depth = 0i32;
+        let mut after_joint_minus = false;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' if !after_joint_minus => angle_depth -= 1,
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                    after_joint_minus =
+                        p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+                }
+                Some(_) => after_joint_minus = false,
+            }
+        }
+    }
+}
+
+/// Extracts variant names and shapes from an enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde derive: unexpected variant token {other:?}")),
+            }
+        };
+        let mut newtype = false;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_comma = g
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','));
+                if has_comma {
+                    return Err(format!(
+                        "serde derive: variant `{name}` has multiple fields; only unit and \
+                         newtype variants are supported by the vendored serde"
+                    ));
+                }
+                newtype = true;
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde derive: struct variant `{name}` is not supported by the vendored serde"
+                ));
+            }
+            _ => {}
+        }
+        match tokens.next() {
+            None => {
+                variants.push(Variant { name, newtype });
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, newtype });
+            }
+            other => {
+                return Err(format!(
+                    "serde derive: expected `,` after variant `{name}`, got {other:?}"
+                ))
+            }
+        }
+    }
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        pushes.push_str(&format!(
+            "entries.push(({field:?}.to_string(), ::serde::to_content(&self.{field})\
+             .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let mut entries = ::std::vec::Vec::with_capacity({len});\n\
+                 {pushes}\
+                 serializer.serialize_content(::serde::Content::Map(entries))\n\
+             }}\n\
+         }}\n",
+        len = fields.len(),
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut extracts = String::new();
+    for field in fields {
+        extracts.push_str(&format!(
+            "let {field} = {{\n\
+                 let at = entries.iter().position(|(k, _)| k == {field:?})\n\
+                     .ok_or_else(|| <D::Error as ::serde::de::Error>::custom(\n\
+                         concat!(\"missing field `\", {field:?}, \"` in \", {name:?})))?;\n\
+                 ::serde::from_content(entries.swap_remove(at).1)\n\
+                     .map_err(|e| <D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"field `{field}`: {{e}}\")))?\n\
+             }};\n"
+        ));
+    }
+    let field_list = fields.join(", ");
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 let mut entries = match deserializer.deserialize_content()? {{\n\
+                     ::serde::Content::Map(entries) => entries,\n\
+                     _ => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                         concat!(\"expected a map for \", {name:?}))),\n\
+                 }};\n\
+                 {extracts}\
+                 let _ = &mut entries;\n\
+                 ::core::result::Result::Ok({name} {{ {field_list} }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        if v.newtype {
+            arms.push_str(&format!(
+                "{name}::{vname}(inner) => ::serde::Content::Map(vec![({vname:?}.to_string(),\n\
+                     ::serde::to_content(inner)\n\
+                         .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?)]),\n"
+            ));
+        } else {
+            arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Content::Str({vname:?}.to_string()),\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let content = match self {{\n\
+                     {arms}\
+                 }};\n\
+                 serializer.serialize_content(content)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut newtype_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        if v.newtype {
+            newtype_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\n\
+                     ::serde::from_content(value)\n\
+                         .map_err(|e| <D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"variant `{vname}`: {{e}}\")))?)),\n"
+            ));
+        } else {
+            unit_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+            ));
+        }
+    }
+    let value_pat = if variants.iter().any(|v| v.newtype) {
+        "value"
+    } else {
+        "_value"
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 match deserializer.deserialize_content()? {{\n\
+                     ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(mut entries) if entries.len() == 1 => {{\n\
+                         let (tag, {value_pat}) = entries.pop().expect(\"length checked\");\n\
+                         match tag.as_str() {{\n\
+                             {newtype_arms}\
+                             other => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                         concat!(\"expected a variant of \", {name:?}))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
