@@ -187,6 +187,24 @@ impl GRow {
 ///
 /// With [`BiasStrategy::GlobalMean`] the `Π(g)` row is dropped and the
 /// exact running mean serves as `β̂` — the `ℓ2`-mean heuristic of §5.4.
+///
+/// Space: `s·d` Count-Sketch words plus `s` words for the `Π(g)` row
+/// (the `(d+1)·s` accounting of §5.1).
+///
+/// ```
+/// use bas_core::{L2Config, L2SketchRecover};
+/// use bas_sketch::PointQuerySketch;
+///
+/// // Everything hovers near 50; coordinate 9 is an outlier.
+/// let updates: Vec<(u64, f64)> = (0..2_000u64)
+///     .map(|i| (i, if i == 9 { 4_000.0 } else { 50.0 }))
+///     .collect();
+/// let cfg = L2Config::new(2_000, 128, 7).with_seed(5);
+/// let mut sk = L2SketchRecover::new(&cfg);
+/// sk.update_batch(&updates); // batched fast path
+/// assert!((sk.bias() - 50.0).abs() < 2.0);
+/// assert!((sk.estimate(9) - 4_000.0).abs() < 100.0);
+/// ```
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
 pub struct L2SketchRecover {
@@ -250,6 +268,21 @@ impl PointQuerySketch for L2SketchRecover {
         self.running_sum += delta;
         if let Some(g) = &mut self.g_row {
             g.update(item, delta);
+        }
+    }
+
+    /// Batch update: the Count-Sketch rows take their dispatch-hoisted fast
+    /// path; the `Π(g)` bias row stays item-ordered because its
+    /// incremental maintainer (Bias-Heap / order-statistic tree)
+    /// rearranges its structure after every bucket change. Bit-for-bit
+    /// equivalent to the one-by-one loop.
+    fn update_batch(&mut self, items: &[(u64, f64)]) {
+        self.cs.update_batch(items);
+        for &(item, delta) in items {
+            self.running_sum += delta;
+            if let Some(g) = &mut self.g_row {
+                g.update(item, delta);
+            }
         }
     }
 
@@ -425,6 +458,30 @@ mod tests {
                 (offline.estimate(j) - streaming.estimate(j)).abs() < 1e-6,
                 "item {j}"
             );
+        }
+    }
+
+    #[test]
+    fn update_batch_matches_one_by_one_exactly() {
+        for m in [
+            L2BiasMaintenance::BiasHeap,
+            L2BiasMaintenance::OrderStatTree,
+            L2BiasMaintenance::Resort,
+        ] {
+            let cfg = L2Config::new(300, 32, 5).with_seed(8).with_maintenance(m);
+            let mut batched = L2SketchRecover::new(&cfg);
+            let mut looped = L2SketchRecover::new(&cfg);
+            let items: Vec<(u64, f64)> = (0..400u64)
+                .map(|i| (i * 13 % 300, ((i % 7) as f64 - 3.0) * 1.5))
+                .collect();
+            batched.update_batch(&items);
+            for &(i, d) in &items {
+                looped.update(i, d);
+            }
+            assert_eq!(batched.bias(), looped.bias(), "{m:?}");
+            for j in 0..300u64 {
+                assert_eq!(batched.estimate(j), looped.estimate(j), "{m:?} {j}");
+            }
         }
     }
 

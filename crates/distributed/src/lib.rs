@@ -9,7 +9,11 @@
 //! This crate simulates that protocol faithfully enough to measure what
 //! the paper reports (§5.5):
 //!
-//! * sites sketch concurrently (real threads via `crossbeam::scope`);
+//! * sites sketch concurrently (real threads via `crossbeam::scope`),
+//!   each feeding its whole shard through the sketches' batched
+//!   `update_batch` ingest path — the dispatch-hoisted fast path of
+//!   `bas-sketch`, bit-for-bit equivalent to updating one item at a
+//!   time;
 //! * the coordinator ships the hash seeds to the sites (`O(1)` words per
 //!   channel, as footnote 4 prescribes) and merges local sketches;
 //! * every message is metered in 64-bit words by [`CommMeter`], so the
@@ -17,6 +21,10 @@
 //!
 //! The non-linear baselines (CM-CU, CML-CU) are rejected by the type
 //! system: the protocol requires [`bas_sketch::MergeableSketch`].
+//!
+//! For the *single-node* version of the same fan-out-and-merge
+//! restructuring — worker threads as "sites", one process — see the
+//! `bas-pipeline` crate's `ShardedIngest`.
 //!
 //! ```
 //! use bas_distributed::{DistributedRun, SiteData};

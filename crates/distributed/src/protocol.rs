@@ -91,9 +91,10 @@ where
                 let make_sketch = &make_sketch;
                 scope.spawn(move |_| {
                     let mut local = make_sketch();
-                    for &(item, delta) in &site.updates {
-                        local.update(item, delta);
-                    }
+                    // Sites ingest their whole shard through the
+                    // batched fast path; bit-for-bit equivalent to
+                    // the per-update loop, measurably faster.
+                    local.update_batch(&site.updates);
                     meter.record_upload(local.size_in_words() as u64);
                     collected.lock().push((idx, local));
                 });

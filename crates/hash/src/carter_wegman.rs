@@ -63,11 +63,44 @@ impl CarterWegman {
 impl BucketHasher for CarterWegman {
     #[inline]
     fn bucket(&self, item: u64) -> usize {
-        (self.field_value(item) % self.buckets) as usize
+        (range_reduce(self.field_value(item), self.buckets)) as usize
     }
 
     fn num_buckets(&self) -> usize {
         self.buckets as usize
+    }
+}
+
+/// `v % buckets`, with the division replaced by a mask when `buckets`
+/// is a power of two (bit-identical to `%` in that case).
+///
+/// The hardware 64-bit division is the single hottest instruction in
+/// the update path — every stream element pays `d + 1` of them — and
+/// two very common divisors are powers of two: the sign functions
+/// (`buckets = 2`) and benchmark/production widths picked as `2^m`.
+/// The branch predicts perfectly because `buckets` is fixed per hash
+/// function.
+#[inline]
+fn range_reduce(v: u64, buckets: u64) -> u64 {
+    if buckets & (buckets - 1) == 0 {
+        v & (buckets - 1)
+    } else {
+        v % buckets
+    }
+}
+
+#[cfg(test)]
+mod range_reduce_tests {
+    use super::range_reduce;
+
+    #[test]
+    fn matches_modulo_for_all_divisor_shapes() {
+        let values = [0u64, 1, 2, 61, 4095, 4096, 1 << 60, (1 << 61) - 2];
+        for b in [1u64, 2, 3, 4, 7, 1024, 2000, 4096, 50_000] {
+            for &v in &values {
+                assert_eq!(range_reduce(v, b), v % b, "v={v} b={b}");
+            }
+        }
     }
 }
 
@@ -128,7 +161,7 @@ impl PolynomialHash {
 impl BucketHasher for PolynomialHash {
     #[inline]
     fn bucket(&self, item: u64) -> usize {
-        (self.field_value(item) % self.buckets) as usize
+        (range_reduce(self.field_value(item), self.buckets)) as usize
     }
 
     fn num_buckets(&self) -> usize {

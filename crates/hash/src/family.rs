@@ -49,6 +49,43 @@ pub enum AnyBucketHasher {
     Tabulation(Tabulation),
 }
 
+impl AnyBucketHasher {
+    /// Hashes every `(key, payload)` pair, calling
+    /// `f(key, bucket(key), payload)` in slice order.
+    ///
+    /// Dispatches on the concrete family **once per call** instead of
+    /// once per key, so the inner loop is monomorphized against the
+    /// family's `bucket` implementation. The sketches' `update_batch`
+    /// hot path uses the all-rows sibling [`bucket_rows_each`] (one
+    /// pass over the batch); this single-row form is the building
+    /// block for per-row sweeps — the right shape when one row of
+    /// counters is much larger than cache and must be pinned while a
+    /// batch streams through.
+    #[inline]
+    pub fn bucket_each<T, F>(&self, items: &[(u64, T)], f: F)
+    where
+        T: Copy,
+        F: FnMut(u64, usize, T),
+    {
+        #[inline]
+        fn each<H, T, F>(h: &H, items: &[(u64, T)], mut f: F)
+        where
+            H: BucketHasher,
+            T: Copy,
+            F: FnMut(u64, usize, T),
+        {
+            for &(x, payload) in items {
+                f(x, h.bucket(x), payload);
+            }
+        }
+        match self {
+            AnyBucketHasher::CarterWegman(h) => each(h, items, f),
+            AnyBucketHasher::MultiplyShift(h) => each(h, items, f),
+            AnyBucketHasher::Tabulation(h) => each(h, items, f),
+        }
+    }
+}
+
 impl BucketHasher for AnyBucketHasher {
     #[inline]
     fn bucket(&self, item: u64) -> usize {
@@ -64,6 +101,77 @@ impl BucketHasher for AnyBucketHasher {
             AnyBucketHasher::CarterWegman(h) => h.num_buckets(),
             AnyBucketHasher::MultiplyShift(h) => h.num_buckets(),
             AnyBucketHasher::Tabulation(h) => h.num_buckets(),
+        }
+    }
+}
+
+/// Hashes every `(key, payload)` pair against every row hasher,
+/// item-major: for each item in slice order, `f(row, key, bucket,
+/// payload)` is called for rows `0..hashers.len()`.
+///
+/// All of a sketch's rows are sampled from one [`HashFamily`], so the
+/// slice is homogeneous in practice; this function downcasts it to the
+/// concrete family **once per batch** and runs a fully monomorphized
+/// double loop — no enum dispatch in the hot loop at all. (A mixed
+/// slice still works through the generic fallback.)
+///
+/// This is the primitive under the sketches' `update_batch`
+/// specializations. Item-major order is deliberate: the counter grids
+/// are small enough to stay cache-resident, so sweeping rows over the
+/// batch (re-streaming the batch once per row) measurably *loses* to a
+/// single pass — the batch win is the hoisted dispatch, not write
+/// locality. For per-row sweeps (e.g. grids much larger than cache)
+/// use [`AnyBucketHasher::bucket_each`] instead.
+#[inline]
+pub fn bucket_rows_each<T, F>(hashers: &[AnyBucketHasher], items: &[(u64, T)], mut f: F)
+where
+    T: Copy,
+    F: FnMut(usize, u64, usize, T),
+{
+    #[inline]
+    fn run<H, T, F>(rows: &[&H], items: &[(u64, T)], f: &mut F)
+    where
+        H: BucketHasher,
+        T: Copy,
+        F: FnMut(usize, u64, usize, T),
+    {
+        for &(x, payload) in items {
+            for (row, h) in rows.iter().enumerate() {
+                f(row, x, h.bucket(x), payload);
+            }
+        }
+    }
+
+    macro_rules! homogeneous {
+        ($variant:ident) => {{
+            let mut rows = Vec::with_capacity(hashers.len());
+            for h in hashers {
+                match h {
+                    AnyBucketHasher::$variant(x) => rows.push(x),
+                    _ => {
+                        rows.clear();
+                        break;
+                    }
+                }
+            }
+            if rows.len() == hashers.len() {
+                run(&rows, items, &mut f);
+                return;
+            }
+        }};
+    }
+
+    match hashers.first() {
+        None => {}
+        Some(AnyBucketHasher::CarterWegman(_)) => homogeneous!(CarterWegman),
+        Some(AnyBucketHasher::MultiplyShift(_)) => homogeneous!(MultiplyShift),
+        Some(AnyBucketHasher::Tabulation(_)) => homogeneous!(Tabulation),
+    }
+    // Mixed families (never produced by one HashFamily): dispatch per
+    // call, exactly like the one-by-one update path.
+    for &(x, payload) in items {
+        for (row, h) in hashers.iter().enumerate() {
+            f(row, x, h.bucket(x), payload);
         }
     }
 }
@@ -167,6 +275,82 @@ mod tests {
                 assert!(h.bucket(x) < fam.buckets(), "{kind:?}");
             }
         }
+    }
+
+    #[test]
+    fn bucket_each_matches_bucket() {
+        let mut seeder = SplitMix64::new(4);
+        for kind in [
+            HashKind::CarterWegman,
+            HashKind::MultiplyShift,
+            HashKind::Tabulation,
+        ] {
+            let mut fam = HashFamily::new(kind, &mut seeder, 64);
+            let h = fam.sample();
+            let items: Vec<(u64, f64)> =
+                (0..300u64).map(|x| (x * 17 + 3, x as f64 * 0.5)).collect();
+            let mut seen = Vec::new();
+            h.bucket_each(&items, |key, b, payload| seen.push((key, b, payload)));
+            assert_eq!(seen.len(), items.len(), "{kind:?}");
+            for (i, &(key, b, payload)) in seen.iter().enumerate() {
+                assert_eq!(key, items[i].0, "{kind:?} key order {i}");
+                assert_eq!(b, h.bucket(key), "{kind:?} bucket {i}");
+                assert_eq!(payload, items[i].1, "{kind:?} payload {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_rows_each_matches_per_row_buckets() {
+        let mut seeder = SplitMix64::new(5);
+        for kind in [
+            HashKind::CarterWegman,
+            HashKind::MultiplyShift,
+            HashKind::Tabulation,
+        ] {
+            let mut fam = HashFamily::new(kind, &mut seeder, 32);
+            let hashers = fam.sample_many(4);
+            let items: Vec<(u64, f64)> = (0..100u64).map(|x| (x * 3, x as f64)).collect();
+            let mut calls = Vec::new();
+            super::bucket_rows_each(&hashers, &items, |row, key, b, payload: f64| {
+                calls.push((row, key, b, payload));
+            });
+            assert_eq!(calls.len(), items.len() * 4, "{kind:?}");
+            for (c, &(row, key, b, payload)) in calls.iter().enumerate() {
+                let (item_idx, expect_row) = (c / 4, c % 4);
+                assert_eq!(row, expect_row, "{kind:?} call {c}");
+                assert_eq!(key, items[item_idx].0, "{kind:?} call {c}");
+                assert_eq!(b, hashers[row].bucket(key), "{kind:?} call {c}");
+                assert_eq!(payload, items[item_idx].1, "{kind:?} call {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_rows_each_mixed_families_fallback() {
+        let mut seeder = SplitMix64::new(6);
+        let mut cw = HashFamily::new(HashKind::CarterWegman, &mut seeder, 16);
+        let mut tab = HashFamily::new(HashKind::Tabulation, &mut seeder, 16);
+        let hashers = vec![cw.sample(), tab.sample()];
+        let items = [(5u64, 1.0f64), (9, 2.0)];
+        let mut calls = Vec::new();
+        super::bucket_rows_each(&hashers, &items, |row, key, b, _| calls.push((row, key, b)));
+        assert_eq!(
+            calls,
+            vec![
+                (0, 5, hashers[0].bucket(5)),
+                (1, 5, hashers[1].bucket(5)),
+                (0, 9, hashers[0].bucket(9)),
+                (1, 9, hashers[1].bucket(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn bucket_rows_each_empty_rows_is_noop() {
+        let mut calls = 0;
+        super::bucket_rows_each(&[], &[(1u64, 1.0f64)], |_, _, _, _| calls += 1);
+        assert_eq!(calls, 0);
     }
 
     #[test]

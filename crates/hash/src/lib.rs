@@ -44,7 +44,9 @@ mod sign;
 mod tabulation;
 
 pub use carter_wegman::{CarterWegman, PolynomialHash};
-pub use family::{AnyBucketHasher, BucketHasher, HashFamily, HashKind, SignHasher};
+pub use family::{
+    bucket_rows_each, AnyBucketHasher, BucketHasher, HashFamily, HashKind, SignHasher,
+};
 pub use multiply_shift::MultiplyShift;
 pub use prime::{add_mod_p61, mul_mod_p61, reduce_p61, P61};
 pub use seed::{mix64, SplitMix64};

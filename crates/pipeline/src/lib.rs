@@ -1,0 +1,40 @@
+//! # bas-pipeline — batched, sharded single-node ingest
+//!
+//! The paper's distributed protocol (§1, §5.5) rests on linearity:
+//! sites sketch their local streams independently and the coordinator
+//! adds the sketches, `Φx = Φx¹ + … + Φxᵗ`. This crate turns that same
+//! property into a **single-node throughput win**: fan an update stream
+//! across per-thread worker shards — each owning a sketch built from
+//! the *same seed* — and merge the shards when the stream ends. The
+//! merged sketch is the sketch of the whole stream, exactly as if one
+//! thread had ingested everything.
+//!
+//! Within each shard, updates flow through the sketches'
+//! `update_batch` fast path, so the pipeline stacks two
+//! amortizations:
+//!
+//! 1. **batching** — the hash family's enum dispatch is hoisted out of
+//!    the item loop (once per batch instead of once per item×row), so
+//!    the inner loop runs fully monomorphized;
+//! 2. **sharding** — batches are processed by `k` threads in parallel
+//!    (the vendored `crossbeam::scope`, the same primitive
+//!    `bas-distributed` uses for its sites).
+//!
+//! The restructuring mirrors how the distributed-least-squares line of
+//! work (Garg, Tan & Dereziński 2024, see `PAPERS.md`) rebuilds a
+//! sequential solver around merged partial summaries: the algebra that
+//! makes remote merging correct makes local parallelism free.
+//!
+//! Non-linear sketches (CM-CU, CML-CU) are rejected by the type
+//! system, exactly as in the distributed protocol: [`ShardedIngest`]
+//! requires [`MergeableSketch`](bas_sketch::MergeableSketch).
+//!
+//! The `throughput_ingest` bench in `bas-bench` measures the three
+//! ingest paths (single-item, batched, sharded-`k`) in items/sec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sharded;
+
+pub use sharded::ShardedIngest;

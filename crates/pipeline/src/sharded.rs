@@ -1,0 +1,272 @@
+//! The sharded ingester: per-thread same-seed shard sketches, merged
+//! once at the end by linearity.
+
+use bas_sketch::MergeableSketch;
+use bas_stream::StreamUpdate;
+
+/// Fans an update stream across `k` per-thread shard sketches and
+/// merges them on [`finish`](ShardedIngest::finish).
+///
+/// Every shard is built by the same constructor closure, so all shards
+/// share one seed and therefore one set of hash functions — the
+/// "common knowledge" that makes their counter grids addressable by
+/// the same indices. Updates are buffered; each time the buffer
+/// reaches the flush threshold it is split into `k` contiguous chunks
+/// and the chunks are applied concurrently, one scoped thread per
+/// shard, through the sketches' `update_batch` fast path.
+///
+/// **Exactness.** By linearity the merged sketch equals the
+/// single-threaded sketch of the whole stream. For integer-valued
+/// deltas (the paper's arrival model) the equality is bit-for-bit —
+/// `f64` addition is exact on integers below `2^53` — which is what
+/// the linearity tests assert. For general real deltas the counters
+/// can differ in the last ulp because sharding reorders the summation
+/// of *different* updates into the *same* counter.
+///
+/// ```
+/// use bas_pipeline::ShardedIngest;
+/// use bas_sketch::{CountSketch, PointQuerySketch, SketchParams};
+///
+/// let params = SketchParams::new(10_000, 128, 5).with_seed(3);
+/// let mut ingest = ShardedIngest::new(4, || CountSketch::new(&params));
+/// for i in 0..20_000u64 {
+///     ingest.push(i % 10_000, 1.0);
+/// }
+/// let sketch = ingest.finish();
+///
+/// // Same-seed shards merged by linearity == the single-threaded sketch.
+/// let mut reference = CountSketch::new(&params);
+/// for i in 0..20_000u64 {
+///     reference.update(i % 10_000, 1.0);
+/// }
+/// assert_eq!(sketch.estimate(42), reference.estimate(42));
+/// ```
+#[derive(Debug)]
+pub struct ShardedIngest<S> {
+    shards: Vec<S>,
+    pending: Vec<(u64, f64)>,
+    flush_threshold: usize,
+    total_updates: u64,
+    flushes: u64,
+}
+
+impl<S: MergeableSketch + Send> ShardedIngest<S> {
+    /// Default number of buffered updates that triggers a parallel
+    /// flush: large enough that each shard's chunk amortizes thread
+    /// wake-up, small enough to keep the buffer (16 bytes/update)
+    /// comfortably in L2.
+    pub const DEFAULT_FLUSH_THRESHOLD: usize = 1 << 16;
+
+    /// Creates an ingester with `shards` worker shards, each holding a
+    /// sketch from `make_sketch`. The closure must produce identically
+    /// configured sketches (same seed) — they all come from the same
+    /// call site, so this holds by construction.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new<F: FnMut() -> S>(shards: usize, mut make_sketch: F) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards: (0..shards).map(|_| make_sketch()).collect(),
+            pending: Vec::with_capacity(Self::DEFAULT_FLUSH_THRESHOLD),
+            flush_threshold: Self::DEFAULT_FLUSH_THRESHOLD,
+            total_updates: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Overrides the flush threshold (mostly for tests and benches).
+    ///
+    /// # Panics
+    /// Panics if `updates` is zero.
+    pub fn with_flush_threshold(mut self, updates: usize) -> Self {
+        assert!(updates > 0, "flush threshold must be positive");
+        self.flush_threshold = updates;
+        self
+    }
+
+    /// Number of worker shards `k`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Updates applied to shards so far (excludes buffered ones).
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    /// Parallel flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Updates currently buffered, waiting for the next flush.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffers one update `x_item ← x_item + delta`, flushing in
+    /// parallel when the buffer is full.
+    pub fn push(&mut self, item: u64, delta: f64) {
+        self.pending.push((item, delta));
+        if self.pending.len() >= self.flush_threshold {
+            self.flush();
+        }
+    }
+
+    /// Buffers a slice of updates, flushing as the buffer fills.
+    pub fn extend_from_slice(&mut self, mut updates: &[(u64, f64)]) {
+        while !updates.is_empty() {
+            let room = (self.flush_threshold - self.pending.len()).max(1);
+            let take = room.min(updates.len());
+            self.pending.extend_from_slice(&updates[..take]);
+            updates = &updates[take..];
+            if self.pending.len() >= self.flush_threshold {
+                self.flush();
+            }
+        }
+    }
+
+    /// Buffers a stream of [`StreamUpdate`]s (the `bas-stream` update
+    /// model), flushing as the buffer fills.
+    pub fn extend_updates<I: IntoIterator<Item = StreamUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.push(u.item, u.delta);
+        }
+    }
+
+    /// Applies all buffered updates now: the buffer is split into `k`
+    /// contiguous chunks and each shard ingests its chunk on its own
+    /// scoped thread via `update_batch`. Which updates land in which
+    /// shard is irrelevant by linearity.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let chunk = self.pending.len().div_ceil(self.shards.len());
+        let pending = &self.pending;
+        crossbeam::scope(|scope| {
+            for (shard, chunk) in self.shards.iter_mut().zip(pending.chunks(chunk)) {
+                scope.spawn(move |_| shard.update_batch(chunk));
+            }
+        })
+        .expect("shard worker panicked");
+        self.total_updates += self.pending.len() as u64;
+        self.flushes += 1;
+        self.pending.clear();
+    }
+
+    /// Flushes the remainder and merges all shards into the final
+    /// sketch `Φx = Σ Φx^(shard)` — the coordinator step of the
+    /// distributed protocol, run locally.
+    pub fn finish(mut self) -> S {
+        self.flush();
+        let mut iter = self.shards.into_iter();
+        let mut global = iter.next().expect("at least one shard");
+        for shard in iter {
+            global
+                .merge_from(&shard)
+                .expect("shards share one configuration by construction");
+        }
+        global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sketch::{CountMedian, CountSketch, PointQuerySketch, SketchParams};
+
+    fn params() -> SketchParams {
+        SketchParams::new(500, 64, 5).with_seed(9)
+    }
+
+    /// Integer-delta stream: f64 sums are exact, so shard merging must
+    /// reproduce the single-threaded sketch bit-for-bit.
+    fn stream(len: u64) -> Vec<(u64, f64)> {
+        (0..len)
+            .map(|i| (i * 7 % 500, (1 + i % 5) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_equals_single_threaded_exactly() {
+        for shards in [1usize, 2, 3, 8] {
+            let updates = stream(10_000);
+            let mut ingest = ShardedIngest::new(shards, || CountMedian::new(&params()))
+                .with_flush_threshold(1_000);
+            ingest.extend_from_slice(&updates);
+            let merged = ingest.finish();
+            let mut reference = CountMedian::new(&params());
+            reference.update_batch(&updates);
+            for j in 0..500u64 {
+                assert_eq!(
+                    merged.estimate(j),
+                    reference.estimate(j),
+                    "{shards} shards, item {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_and_slice_and_stream_apis_agree() {
+        let updates = stream(3_000);
+        let mut by_push = ShardedIngest::new(3, || CountSketch::new(&params()));
+        for &(i, d) in &updates {
+            by_push.push(i, d);
+        }
+        let mut by_slice = ShardedIngest::new(3, || CountSketch::new(&params()));
+        by_slice.extend_from_slice(&updates);
+        let mut by_stream = ShardedIngest::new(3, || CountSketch::new(&params()));
+        by_stream.extend_updates(updates.iter().map(|&(i, d)| StreamUpdate::new(i, d)));
+        let (a, b, c) = (by_push.finish(), by_slice.finish(), by_stream.finish());
+        for j in (0..500u64).step_by(17) {
+            assert_eq!(a.estimate(j), b.estimate(j), "item {j}");
+            assert_eq!(a.estimate(j), c.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn counters_track_flushes() {
+        let mut ingest =
+            ShardedIngest::new(2, || CountMedian::new(&params())).with_flush_threshold(100);
+        assert_eq!(ingest.num_shards(), 2);
+        for (i, d) in stream(250) {
+            ingest.push(i, d);
+        }
+        assert_eq!(ingest.flushes(), 2);
+        assert_eq!(ingest.total_updates(), 200);
+        assert_eq!(ingest.pending(), 50);
+        let _ = ingest.finish();
+    }
+
+    #[test]
+    fn more_shards_than_updates_is_fine() {
+        let mut ingest = ShardedIngest::new(8, || CountMedian::new(&params()));
+        ingest.push(3, 2.0);
+        let sk = ingest.finish();
+        assert_eq!(sk.estimate(3), 2.0);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_sketch() {
+        let ingest = ShardedIngest::new(4, || CountMedian::new(&params()));
+        let sk = ingest.finish();
+        for j in (0..500u64).step_by(31) {
+            assert_eq!(sk.estimate(j), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedIngest::new(0, || CountMedian::new(&params()));
+    }
+
+    #[test]
+    #[should_panic(expected = "flush threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = ShardedIngest::new(1, || CountMedian::new(&params())).with_flush_threshold(0);
+    }
+}

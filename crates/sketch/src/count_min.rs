@@ -31,6 +31,18 @@ pub enum UpdatePolicy {
 /// `Δ ≥ 0` (negative deltas panic). The paper does not bench plain
 /// Count-Min because CM-CU dominates it; we keep both for completeness
 /// and for the linearity/merging tests.
+///
+/// ```
+/// use bas_sketch::{CountMin, PointQuerySketch, SketchParams, UpdatePolicy};
+///
+/// let params = SketchParams::new(1_000, 128, 5).with_seed(17);
+/// let mut cm = CountMin::new(&params, UpdatePolicy::Plain);
+/// cm.update(4, 5.0);
+/// cm.update_batch(&[(4, 2.0), (8, 3.0)]); // cash-register batch
+/// // Count-Min never under-estimates; sparse input keeps it exact here.
+/// assert_eq!(cm.estimate(4), 7.0);
+/// assert_eq!(cm.estimate(8), 3.0);
+/// ```
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
 pub struct CountMin {
@@ -148,6 +160,37 @@ impl PointQuerySketch for CountMin {
         }
     }
 
+    /// Batch update. [`UpdatePolicy::Plain`] takes the
+    /// dispatch-hoisted fast path of [`bas_hash::bucket_rows_each`];
+    /// [`UpdatePolicy::Conservative`] necessarily stays item-by-item
+    /// because each bump depends on the pre-update minimum across all
+    /// rows — exactly the state dependence that also breaks linearity.
+    /// Both policies validate the whole batch before touching any
+    /// counter, and both are bit-for-bit equivalent to the one-by-one
+    /// loop on valid (non-negative) input.
+    fn update_batch(&mut self, items: &[(u64, f64)]) {
+        for &(item, delta) in items {
+            debug_assert!(item < self.params.n, "item outside universe");
+            assert!(
+                delta >= 0.0,
+                "Count-Min requires the cash-register model (delta >= 0), got {delta}"
+            );
+        }
+        match self.policy {
+            UpdatePolicy::Plain => {
+                let grid = &mut self.grid;
+                bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
+                    grid.add(row, b, delta);
+                });
+            }
+            UpdatePolicy::Conservative => {
+                for &(item, delta) in items {
+                    self.update(item, delta);
+                }
+            }
+        }
+    }
+
     fn estimate(&self, item: u64) -> f64 {
         self.min_over_rows(item)
     }
@@ -252,6 +295,31 @@ mod tests {
     fn negative_delta_panics() {
         let mut cm = CountMin::new(&params(10, 8, 2), UpdatePolicy::Plain);
         cm.update(0, -1.0);
+    }
+
+    #[test]
+    fn update_batch_matches_one_by_one_both_policies() {
+        for policy in [UpdatePolicy::Plain, UpdatePolicy::Conservative] {
+            let p = params(200, 16, 4);
+            let mut batched = CountMin::new(&p, policy);
+            let mut looped = CountMin::new(&p, policy);
+            let items: Vec<(u64, f64)> =
+                (0..300u64).map(|i| (i * 3 % 200, (i % 7) as f64)).collect();
+            batched.update_batch(&items);
+            for &(i, d) in &items {
+                looped.update(i, d);
+            }
+            for j in 0..200u64 {
+                assert_eq!(batched.estimate(j), looped.estimate(j), "{policy:?} {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cash-register")]
+    fn batch_negative_delta_panics() {
+        let mut cm = CountMin::new(&params(10, 8, 2), UpdatePolicy::Plain);
+        cm.update_batch(&[(0, 1.0), (1, -2.0)]);
     }
 
     #[test]

@@ -32,6 +32,18 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 /// a Geometric(`p`) variate, so one `update` call with `Δ = m` follows
 /// exactly the same distribution as `m` unit updates, in
 /// `O(levels gained + 1)` work instead of `O(m)`.
+///
+/// ```
+/// use bas_sketch::{CountMinLog, PointQuerySketch, SketchParams};
+///
+/// let params = SketchParams::new(1_000, 64, 4).with_seed(23);
+/// let mut cml = CountMinLog::new(&params);
+/// cml.update(7, 40.0);
+/// cml.update_batch(&[(7, 10.0), (9, 25.0)]); // integer deltas only
+/// // Base 1.00025 makes small counts near-exact.
+/// assert!((cml.estimate(7) - 50.0).abs() < 1.0);
+/// assert!((cml.estimate(9) - 25.0).abs() < 1.0);
+/// ```
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
 pub struct CountMinLog {
@@ -127,20 +139,10 @@ impl CountMinLog {
             g as u64
         }
     }
-}
 
-impl PointQuerySketch for CountMinLog {
-    /// Applies `Δ` unit increments with the exact batched distribution.
-    ///
-    /// # Panics
-    /// Panics if `delta` is negative or not an integer.
-    fn update(&mut self, item: u64, delta: f64) {
-        debug_assert!(item < self.params.n, "item outside universe");
-        assert!(
-            delta >= 0.0 && delta.fract() == 0.0,
-            "CML-CU requires non-negative integer deltas, got {delta}"
-        );
-        let mut remaining = delta as u64;
+    /// Applies `remaining` unit increments to `item` (the validated
+    /// inner loop shared by `update` and `update_batch`).
+    fn apply_units(&mut self, item: u64, mut remaining: u64) {
         while remaining > 0 {
             let c_min = self.min_level(item);
             if c_min == u16::MAX {
@@ -161,6 +163,47 @@ impl PointQuerySketch for CountMinLog {
                     self.levels[idx] = c_min + 1;
                 }
             }
+        }
+    }
+
+    /// Validates the cash-register / integer-delta contract shared by
+    /// `update` and `update_batch`.
+    #[inline]
+    fn validate_delta(delta: f64) {
+        assert!(
+            delta >= 0.0 && delta.fract() == 0.0,
+            "CML-CU requires non-negative integer deltas, got {delta}"
+        );
+    }
+}
+
+impl PointQuerySketch for CountMinLog {
+    /// Applies `Δ` unit increments with the exact batched distribution.
+    ///
+    /// # Panics
+    /// Panics if `delta` is negative or not an integer.
+    fn update(&mut self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        Self::validate_delta(delta);
+        self.apply_units(item, delta as u64);
+    }
+
+    /// Batch update. CML-CU's counters are probabilistic *and*
+    /// state-dependent (each increment's success probability reads the
+    /// current minimum level), so there is no hoisted rewrite: the
+    /// specialization validates the whole batch up front — failing fast
+    /// before any counter or RNG state changes — then applies items in
+    /// order, drawing from the RNG exactly as the one-by-one loop
+    /// would. State after a successful call is therefore bit-for-bit
+    /// identical to calling [`update`](PointQuerySketch::update) per
+    /// item.
+    fn update_batch(&mut self, items: &[(u64, f64)]) {
+        for &(item, delta) in items {
+            debug_assert!(item < self.params.n, "item outside universe");
+            Self::validate_delta(delta);
+        }
+        for &(item, delta) in items {
+            self.apply_units(item, delta as u64);
         }
     }
 
@@ -244,6 +287,30 @@ mod tests {
         );
         assert!((units - truth).abs() < 0.05 * truth, "units = {units}");
         assert!((batched - units).abs() < 0.05 * truth);
+    }
+
+    #[test]
+    fn update_batch_matches_one_by_one_exactly() {
+        // Same seed => same RNG stream => identical counters, because
+        // the batch path draws geometrics in the same order.
+        let p = params(100, 16, 3);
+        let mut batched = CountMinLog::new(&p);
+        let mut looped = CountMinLog::new(&p);
+        let items: Vec<(u64, f64)> = (0..200u64).map(|i| (i % 100, (i % 5) as f64)).collect();
+        batched.update_batch(&items);
+        for &(i, d) in &items {
+            looped.update(i, d);
+        }
+        for j in 0..100u64 {
+            assert_eq!(batched.estimate(j), looped.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative integer")]
+    fn batch_fractional_delta_panics() {
+        let mut cml = CountMinLog::new(&params(10, 8, 2));
+        cml.update_batch(&[(0, 1.0), (1, 0.5)]);
     }
 
     #[test]

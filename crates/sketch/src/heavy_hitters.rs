@@ -25,6 +25,19 @@ pub struct HeavyHitter {
 /// sketch makes it find items that are heavy *relative to the bias*,
 /// which is the interesting notion on biased data (e.g. seconds with
 /// unusually many requests, not seconds with ≈average traffic).
+///
+/// ```
+/// use bas_sketch::{CountSketch, HeavyHitters, SketchParams};
+///
+/// let params = SketchParams::new(1_000, 256, 5).with_seed(5);
+/// let mut hh = HeavyHitters::new(CountSketch::new(&params), 0.2);
+/// hh.update_batch(&vec![(7, 1.0); 60]); // item 7 carries 60% of mass
+/// for i in 0..40u64 {
+///     hh.update(100 + i, 1.0);
+/// }
+/// let top = hh.heavy_hitters();
+/// assert_eq!(top[0].item, 7);
+/// ```
 #[derive(Debug)]
 pub struct HeavyHitters<S: PointQuerySketch> {
     sketch: S,
@@ -58,6 +71,19 @@ impl<S: PointQuerySketch> HeavyHitters<S> {
             self.candidates.insert(item, est);
         } else {
             self.candidates.remove(&item);
+        }
+    }
+
+    /// Feeds a batch of updates through the tracker, equivalent to
+    /// calling [`update`](HeavyHitters::update) per item. The candidate
+    /// refresh is inherently per-item (each update must re-check its
+    /// item's estimate against the running threshold), so unlike the
+    /// raw sketches there is no batched fast path here — callers that
+    /// do not need per-update candidate tracking should batch into the
+    /// underlying sketch instead.
+    pub fn update_batch(&mut self, items: &[(u64, f64)]) {
+        for &(item, delta) in items {
+            self.update(item, delta);
         }
     }
 

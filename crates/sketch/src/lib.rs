@@ -2,30 +2,56 @@
 //!
 //! The substrate under the bias-aware sketches and the comparison set for
 //! every experiment in *Bias-Aware Sketches* (Chen & Zhang, VLDB 2017,
-//! §5.1):
+//! §5.1). Space is counted in 64-bit words for a width-`s`, depth-`d`
+//! configuration over a universe of size `n`:
 //!
 //! * [`CountMedian`] — the CM-matrix sketch of Cormode & Muthukrishnan
-//!   with median recovery (`ℓ∞/ℓ1` guarantee, Theorem 1). Linear; the
+//!   with median recovery. **Space** `s·d` words; **guarantee**
+//!   (paper, Theorem 1): with `s = Θ(k/α)`, `d = Θ(log n)`,
+//!   `‖x̂ − x‖∞ ≤ (α/k)·Err_1^k(x)` w.p. `1 − 1/n`. Linear; the
 //!   building block of the paper's `ℓ1`-S/R and of the `ℓ2` bias
 //!   estimator.
 //! * [`CountSketch`] — Charikar–Chen–Farach-Colton with pairwise random
-//!   signs (`ℓ∞/ℓ2` guarantee, Theorem 2). Linear; the recovery engine of
-//!   `ℓ2`-S/R.
-//! * [`CountMin`] — min-recovery sketch for non-negative vectors, with an
-//!   optional **conservative update** mode (CM-CU, Estan–Varghese) that
-//!   the paper uses as an improved baseline. Not linear in CU mode.
+//!   signs. **Space** `s·d` words; **guarantee** (paper, Theorem 2):
+//!   with `s = Θ(k/α²)`, `d = Θ(log n)`,
+//!   `‖x̂ − x‖∞ ≤ (α/√k)·Err_2^k(x)` w.p. `1 − 1/n`. Linear; the
+//!   recovery engine of `ℓ2`-S/R.
+//! * [`CountMin`] — min-recovery sketch for non-negative vectors.
+//!   **Space** `s·d` words; **guarantee** (Cormode–Muthukrishnan, cited
+//!   in the paper's §2): `x_j ≤ x̂_j ≤ x_j + (e/s)·‖x‖₁` w.p.
+//!   `1 − e^{−d}`. The **conservative update** mode (CM-CU,
+//!   Estan–Varghese) is the paper's improved baseline; it only tightens
+//!   the upper bound but is not linear.
 //! * [`CountMinLog`] — Count-Min-Log with conservative update (CML-CU,
-//!   Pitel & Fouquier), log-scale probabilistic counters with the paper's
-//!   base of 1.00025. Not linear.
+//!   Pitel & Fouquier), log-scale probabilistic counters with the
+//!   paper's base of 1.00025. **Space** `s·d/4` words (four 16-bit
+//!   levels per word — why it gets 4× the buckets at equal space in
+//!   §5.1); approximate counting, no deterministic bound; not linear.
 //! * [`HeavyHitters`] — a sketch-plus-candidate-set tracker for the
 //!   frequent-elements application the paper's introduction motivates.
-//! * [`RangeSumSketch`] — dyadic decomposition over Count-Median levels
-//!   answering range-sum queries, the intro's "range query" application.
+//!   Inherits the wrapped sketch's space and error.
+//! * [`RangeSumSketch`] — dyadic decomposition over `⌈log₂ n⌉ + 1`
+//!   Count-Median levels answering range-sum queries, the intro's
+//!   "range query" application. **Space** `O(s·d·log n)` words; each of
+//!   the `O(log n)` dyadic point queries inherits Theorem 1's error.
 //!
 //! All sketches share the [`PointQuerySketch`] trait; the linear ones
 //! also implement [`MergeableSketch`], which is what makes them usable in
 //! the distributed model (sketch locally, add sketches at the
 //! coordinator).
+//!
+//! ## Batched ingest
+//!
+//! Every sketch accepts batches through
+//! [`PointQuerySketch::update_batch`]. The grid-backed sketches
+//! override it with a **dispatch-hoisted** pass: all rows share one
+//! hash family, so the batch path (`bas_hash::bucket_rows_each`)
+//! downcasts the row hashers once per batch and runs the item×row
+//! loop fully monomorphized, with no per-item enum dispatch. The
+//! result is bit-for-bit equivalent to the one-by-one loop and
+//! measurably faster (see the `throughput_ingest` bench, which also
+//! records why a row-major sweep was rejected). `bas-pipeline` builds
+//! on this to shard batches across threads and merge by linearity.
 //!
 //! ```
 //! use bas_sketch::{CountSketch, PointQuerySketch, SketchParams};

@@ -14,7 +14,19 @@ use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams}
 /// Level `ℓ` sketches the aggregated vector `x^(ℓ)[j] = Σ x_i` over the
 /// block `i >> ℓ == j`, so an update touches one counter set per level
 /// (`O(log n · d)` work) and a range query sums at most two point
-/// estimates per level. Built on [`CountMedian`], hence fully linear.
+/// estimates per level. Built on [`CountMedian`], hence fully linear;
+/// each level inherits Count-Median's Theorem 1 `ℓ∞/ℓ1` guarantee.
+///
+/// ```
+/// use bas_sketch::{RangeSumSketch, SketchParams};
+///
+/// let params = SketchParams::new(256, 128, 7).with_seed(11);
+/// let mut rs = RangeSumSketch::new(&params);
+/// rs.update(10, 5.0);
+/// rs.update_batch(&[(20, 3.0), (200, 2.0)]); // batched fast path
+/// let est = rs.query(0, 100); // ≈ 5 + 3 on this sparse input
+/// assert!((est - 8.0).abs() < 1.0);
+/// ```
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
 pub struct RangeSumSketch {
@@ -57,6 +69,27 @@ impl RangeSumSketch {
         assert!(item < self.n, "item outside universe");
         for (l, sketch) in self.levels.iter_mut().enumerate() {
             sketch.update(item >> l, delta);
+        }
+    }
+
+    /// Applies a batch of updates level-major: items are shifted into
+    /// each dyadic level's block coordinates incrementally, then handed
+    /// to that level's [`CountMedian::update_batch`] fast path. One
+    /// scratch buffer serves all levels. Bit-for-bit equivalent to
+    /// calling [`update`](RangeSumSketch::update) per item (each
+    /// counter sees the same deltas in the same order).
+    pub fn update_batch(&mut self, items: &[(u64, f64)]) {
+        for &(item, _) in items {
+            assert!(item < self.n, "item outside universe");
+        }
+        let mut shifted = items.to_vec();
+        for (l, sketch) in self.levels.iter_mut().enumerate() {
+            if l > 0 {
+                for u in &mut shifted {
+                    u.0 >>= 1;
+                }
+            }
+            sketch.update_batch(&shifted);
         }
     }
 
@@ -221,6 +254,23 @@ mod tests {
                 (est - truth).abs() <= 0.25 * total,
                 "range [{a},{b}]: est {est}, truth {truth}"
             );
+        }
+    }
+
+    #[test]
+    fn update_batch_matches_one_by_one_exactly() {
+        let params = SketchParams::new(128, 32, 5).with_seed(4);
+        let mut batched = RangeSumSketch::new(&params);
+        let mut looped = RangeSumSketch::new(&params);
+        let items: Vec<(u64, f64)> = (0..200u64)
+            .map(|i| (i * 5 % 128, ((i % 11) as f64 - 5.0)))
+            .collect();
+        batched.update_batch(&items);
+        for &(i, d) in &items {
+            looped.update(i, d);
+        }
+        for (a, b) in [(0u64, 127u64), (3, 90), (64, 64), (10, 30)] {
+            assert_eq!(batched.query(a, b), looped.query(a, b), "range [{a},{b}]");
         }
     }
 

@@ -69,6 +69,48 @@ pub trait PointQuerySketch {
     /// Applies the update `x_item ← x_item + delta`.
     fn update(&mut self, item: u64, delta: f64);
 
+    /// Applies a batch of updates, equivalent to calling [`update`]
+    /// once per `(item, delta)` pair in order.
+    ///
+    /// The default implementation is exactly that loop. Sketches backed
+    /// by a counter grid override it with a **dispatch-hoisted** pass
+    /// (`bas_hash::bucket_rows_each`): all rows of a sketch share one
+    /// hash family, so the batch path downcasts the row hashers to
+    /// their concrete family once per batch and runs the item×row loop
+    /// fully monomorphized — no per-item enum dispatch. Iteration
+    /// order is unchanged, so the overrides are bit-for-bit equivalent
+    /// to the one-by-one loop (the property tests in
+    /// `tests/batching.rs` assert this for every sketch).
+    ///
+    /// This is the single-node half of the paper's linearity story: the
+    /// same restructuring that lets distributed sites sketch
+    /// independently (§5.5) lets one node amortize per-row setup over a
+    /// batch.
+    ///
+    /// ```
+    /// use bas_sketch::{CountMedian, PointQuerySketch, SketchParams};
+    ///
+    /// let params = SketchParams::new(100, 32, 5).with_seed(1);
+    /// let mut batched = CountMedian::new(&params);
+    /// batched.update_batch(&[(7, 2.0), (9, 1.0), (7, 3.0)]);
+    ///
+    /// let mut one_by_one = CountMedian::new(&params);
+    /// one_by_one.update(7, 2.0);
+    /// one_by_one.update(9, 1.0);
+    /// one_by_one.update(7, 3.0);
+    ///
+    /// for j in 0..100 {
+    ///     assert_eq!(batched.estimate(j), one_by_one.estimate(j));
+    /// }
+    /// ```
+    ///
+    /// [`update`]: PointQuerySketch::update
+    fn update_batch(&mut self, items: &[(u64, f64)]) {
+        for &(item, delta) in items {
+            self.update(item, delta);
+        }
+    }
+
     /// Estimates the current value of `x_item`.
     fn estimate(&self, item: u64) -> f64;
 
@@ -147,6 +189,42 @@ pub trait MergeableSketch: PointQuerySketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal exact sketch that does *not* override `update_batch`,
+    /// pinning down the default implementation's semantics.
+    struct Exact {
+        x: Vec<f64>,
+    }
+
+    impl PointQuerySketch for Exact {
+        fn update(&mut self, item: u64, delta: f64) {
+            self.x[item as usize] += delta;
+        }
+        fn estimate(&self, item: u64) -> f64 {
+            self.x[item as usize]
+        }
+        fn universe(&self) -> u64 {
+            self.x.len() as u64
+        }
+        fn size_in_words(&self) -> usize {
+            self.x.len()
+        }
+        fn label(&self) -> &'static str {
+            "exact"
+        }
+    }
+
+    #[test]
+    fn default_update_batch_is_the_one_by_one_loop() {
+        let mut a = Exact { x: vec![0.0; 8] };
+        let mut b = Exact { x: vec![0.0; 8] };
+        let items = [(3u64, 2.0), (5, -1.5), (3, 0.5)];
+        a.update_batch(&items);
+        for &(i, d) in &items {
+            b.update(i, d);
+        }
+        assert_eq!(a.x, b.x);
+    }
 
     #[test]
     fn params_builder() {

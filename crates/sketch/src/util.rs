@@ -95,6 +95,14 @@ impl CounterGrid {
         &self.cells[row * self.width..(row + 1) * self.width]
     }
 
+    /// A full row as a mutable slice, for callers that sweep one row
+    /// at a time (e.g. per-row batch passes over grids too large to
+    /// stay cache-resident).
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        &mut self.cells[row * self.width..(row + 1) * self.width]
+    }
+
     /// Element-wise addition of another grid of identical shape.
     pub fn add_grid(&mut self, other: &CounterGrid) {
         assert_eq!(self.width, other.width);
@@ -185,6 +193,8 @@ mod tests {
         g.set(0, 0, -1.0);
         assert_eq!(g.row(0), &[-1.0, 0.0, 0.0, 0.0]);
         assert_eq!(g.row(1), &[0.0, 0.0, 0.0, 3.0]);
+        g.row_mut(0)[2] = 7.0;
+        assert_eq!(g.get(0, 2), 7.0);
     }
 
     #[test]

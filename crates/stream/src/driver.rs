@@ -1,0 +1,171 @@
+//! Chunked driver: turn a stream of [`StreamUpdate`]s into fixed-size
+//! batches for the sketches' `update_batch` fast path.
+//!
+//! The sketches' batched ingest amortizes per-row hash-state setup over
+//! a whole batch, but real streams arrive one update at a time. This
+//! module is the missing glue: it buffers updates into `(item, delta)`
+//! chunks and hands each full chunk to a sink — typically a closure
+//! calling `update_batch`, or a `bas-pipeline` sharded ingester.
+
+use crate::update::StreamUpdate;
+
+/// Default chunk size for [`drive_chunked`] / [`ChunkedDriver`]: big
+/// enough to amortize per-row setup, small enough that a chunk of
+/// 16-byte updates stays L2-resident.
+pub const DEFAULT_CHUNK_SIZE: usize = 8_192;
+
+/// Drives an update stream into `sink` in chunks of `chunk_size`,
+/// flushing the final partial chunk. Returns the number of updates
+/// delivered.
+///
+/// Because the sketches' `update_batch` is exactly equivalent to the
+/// one-by-one loop, chunking never changes the sketch state — only the
+/// throughput.
+///
+/// ```
+/// use bas_stream::{drive_chunked, StreamUpdate};
+///
+/// let stream = (0..10u64).map(StreamUpdate::arrival);
+/// let mut batches = Vec::new();
+/// let total = drive_chunked(stream, 4, |chunk| batches.push(chunk.to_vec()));
+/// assert_eq!(total, 10);
+/// assert_eq!(batches.len(), 3); // 4 + 4 + 2
+/// assert_eq!(batches[2], vec![(8, 1.0), (9, 1.0)]);
+/// ```
+///
+/// # Panics
+/// Panics if `chunk_size` is zero.
+pub fn drive_chunked<I, F>(updates: I, chunk_size: usize, mut sink: F) -> u64
+where
+    I: IntoIterator<Item = StreamUpdate>,
+    F: FnMut(&[(u64, f64)]),
+{
+    let mut driver = ChunkedDriver::new(chunk_size);
+    for u in updates {
+        driver.push(u, &mut sink);
+    }
+    driver.finish(&mut sink)
+}
+
+/// Incremental form of [`drive_chunked`] for callers that receive
+/// updates piecemeal (network handlers, pollers) rather than holding an
+/// iterator. Push updates as they arrive; every full chunk is delivered
+/// to the sink passed at that call site; [`ChunkedDriver::finish`]
+/// flushes the remainder.
+#[derive(Debug)]
+pub struct ChunkedDriver {
+    buf: Vec<(u64, f64)>,
+    chunk_size: usize,
+    delivered: u64,
+}
+
+impl ChunkedDriver {
+    /// Creates a driver delivering chunks of `chunk_size` updates.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            buf: Vec::with_capacity(chunk_size),
+            chunk_size,
+            delivered: 0,
+        }
+    }
+
+    /// Buffered updates not yet delivered.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Updates delivered to sinks so far (excludes pending).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Buffers one update, delivering a chunk to `sink` when full.
+    pub fn push<F: FnMut(&[(u64, f64)])>(&mut self, u: StreamUpdate, mut sink: F) {
+        self.buf.push((u.item, u.delta));
+        if self.buf.len() == self.chunk_size {
+            sink(&self.buf);
+            self.delivered += self.buf.len() as u64;
+            self.buf.clear();
+        }
+    }
+
+    /// Flushes the final partial chunk and returns the total number of
+    /// updates delivered over the driver's lifetime.
+    pub fn finish<F: FnMut(&[(u64, f64)])>(mut self, mut sink: F) -> u64 {
+        if !self.buf.is_empty() {
+            sink(&self.buf);
+            self.delivered += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals(n: u64) -> impl Iterator<Item = StreamUpdate> {
+        (0..n).map(StreamUpdate::arrival)
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_chunk() {
+        let mut sizes = Vec::new();
+        let total = drive_chunked(arrivals(12), 4, |c| sizes.push(c.len()));
+        assert_eq!(total, 12);
+        assert_eq!(sizes, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn remainder_is_flushed() {
+        let mut sizes = Vec::new();
+        let total = drive_chunked(arrivals(10), 4, |c| sizes.push(c.len()));
+        assert_eq!(total, 10);
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn empty_stream_delivers_nothing() {
+        let mut calls = 0;
+        let total = drive_chunked(arrivals(0), 8, |_| calls += 1);
+        assert_eq!(total, 0);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn preserves_order_and_deltas() {
+        let updates = vec![
+            StreamUpdate::new(3, 2.0),
+            StreamUpdate::new(1, -1.0),
+            StreamUpdate::new(3, 0.5),
+        ];
+        let mut seen = Vec::new();
+        drive_chunked(updates, 2, |c| seen.extend_from_slice(c));
+        assert_eq!(seen, vec![(3, 2.0), (1, -1.0), (3, 0.5)]);
+    }
+
+    #[test]
+    fn incremental_driver_counts() {
+        let mut driver = ChunkedDriver::new(3);
+        let mut delivered = Vec::new();
+        for u in arrivals(7) {
+            driver.push(u, |c| delivered.extend_from_slice(c));
+        }
+        assert_eq!(driver.pending(), 1);
+        assert_eq!(driver.delivered(), 6);
+        let total = driver.finish(|c| delivered.extend_from_slice(c));
+        assert_eq!(total, 7);
+        assert_eq!(delivered.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        ChunkedDriver::new(0);
+    }
+}

@@ -23,11 +23,16 @@
 //!   fixed random coordinates whose running median is the `ℓ1` bias.
 //! * [`ReservoirSampler`] — classic reservoir sampling, used by
 //!   workload tooling.
+//! * [`drive_chunked`] / [`ChunkedDriver`] — the chunked ingest driver:
+//!   batches a stream of [`StreamUpdate`]s into `(item, delta)` chunks
+//!   for the sketches' `update_batch` fast path (and for the sharded
+//!   ingester in `bas-pipeline`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bias_heap;
+mod driver;
 mod indexed_heap;
 mod ostree;
 mod reservoir;
@@ -35,6 +40,7 @@ mod sampler;
 mod update;
 
 pub use bias_heap::BiasHeap;
+pub use driver::{drive_chunked, ChunkedDriver, DEFAULT_CHUNK_SIZE};
 pub use indexed_heap::{HeapOrder, IndexedHeap};
 pub use ostree::OrderStatTree;
 pub use reservoir::ReservoirSampler;

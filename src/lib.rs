@@ -22,6 +22,8 @@
 //!   order-statistic treap, the `Υ` sampler;
 //! * [`distributed`] — the sites-plus-coordinator
 //!   protocol with communication metering;
+//! * [`pipeline`] — batched + sharded single-node ingest:
+//!   per-thread shard sketches merged by linearity;
 //! * [`data`] — workload generators standing in for the
 //!   paper's datasets, plus from-scratch samplers;
 //! * [`eval`] — the figure-reproduction harness;
@@ -58,6 +60,7 @@ pub use bas_data as data;
 pub use bas_distributed as distributed;
 pub use bas_eval as eval;
 pub use bas_hash as hashing;
+pub use bas_pipeline as pipeline;
 pub use bas_sketch as sketches;
 pub use bas_stream as streaming;
 
@@ -68,9 +71,10 @@ pub mod prelude {
         L2SketchRecover, SampleCount,
     };
     pub use bas_distributed::{DistributedRun, SiteData};
+    pub use bas_pipeline::ShardedIngest;
     pub use bas_sketch::{
         CountMedian, CountMin, CountMinLog, CountSketch, HeavyHitters, MergeableSketch,
         PointQuerySketch, RangeSumSketch, SketchParams, UpdatePolicy,
     };
-    pub use bas_stream::{BiasHeap, SortedSampler, StreamUpdate};
+    pub use bas_stream::{drive_chunked, BiasHeap, ChunkedDriver, SortedSampler, StreamUpdate};
 }

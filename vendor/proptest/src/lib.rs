@@ -1,9 +1,9 @@
 //! Offline drop-in subset of [proptest](https://docs.rs/proptest).
 //!
 //! Supports the `proptest!` macro surface this workspace uses — range
-//! and tuple strategies, `prop::collection::vec`, `prop_assert!`,
-//! `prop_assume!`, and `ProptestConfig::with_cases` — with two
-//! deliberate simplifications:
+//! and tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `Strategy::prop_map`, `prop_assert!`, `prop_assume!`, and
+//! `ProptestConfig::with_cases` — with two deliberate simplifications:
 //!
 //! * **deterministic seeding**: cases derive from a fixed SplitMix64
 //!   stream, so failures reproduce without persistence files;
@@ -125,6 +125,54 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`; no
+    /// shrinking here, so it is a plain post-generation transform).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform over `{false, true}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The upstream `proptest::bool::ANY` constant.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -339,6 +387,22 @@ mod tests {
         fn assume_rejects_without_failing(k in 0usize..6) {
             prop_assume!(k % 2 == 0);
             prop_assert_eq!(k % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_transforms_values(
+            doubled in (0u64..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(doubled % 2 == 0 && doubled < 100);
+        }
+
+        #[test]
+        fn bool_any_generates_both(
+            flags in prop::collection::vec(prop::bool::ANY, 64..65),
+        ) {
+            // 64 fair coins: all-equal has probability 2^-63.
+            prop_assert!(flags.iter().any(|&b| b));
+            prop_assert!(flags.iter().any(|&b| !b));
         }
     }
 
