@@ -1,7 +1,14 @@
 //! **Ingest throughput** — items/sec for the single-node ingest paths:
 //! single-item `update`, batched `update_batch` (the dispatch-hoisted
 //! fast path of `bas_hash::bucket_rows_each`), the chunked stream
-//! driver, and `ShardedIngest` across 2/4/8 worker threads.
+//! driver, `ShardedIngest` across 2/4/8 worker threads (k same-seed
+//! shard copies, k× memory, merged at the end), and `ConcurrentIngest`
+//! across the same thread counts (**one** shared `Atomic`-backed
+//! sketch, 1× memory, lock-free fetch-adds) — the sharded-vs-shared
+//! comparison behind the storage-layer refactor. The `single` row
+//! doubles as the `Dense`-backend abstraction-cost gate: it runs the
+//! same code path as before the `CounterMatrix` extraction, so a
+//! regression there is a regression of the storage layer itself.
 //!
 //! This is the measurement behind the batching/sharding refactor: the
 //! speedups are reported, not asserted (except in the exactness
@@ -27,8 +34,11 @@
 //! and single passes so the harness stays green in seconds.
 
 use bas_core::{L2Config, L2SketchRecover};
-use bas_pipeline::ShardedIngest;
-use bas_sketch::{CountMedian, CountSketch, MergeableSketch, PointQuerySketch, SketchParams};
+use bas_pipeline::{ConcurrentIngest, ShardedIngest};
+use bas_sketch::{
+    AtomicCountMedian, AtomicCountSketch, CountMedian, CountSketch, MergeableSketch,
+    PointQuerySketch, SharedSketch, SketchParams,
+};
 use bas_stream::{drive_chunked, StreamUpdate, DEFAULT_CHUNK_SIZE};
 use std::hint::black_box;
 use std::time::Instant;
@@ -69,7 +79,7 @@ fn bench_sketch<S, F>(
     passes: usize,
     make: F,
     shard_counts: &[usize],
-) -> Vec<Run>
+) -> (Vec<Run>, f64, S)
 where
     S: MergeableSketch + Send,
     F: Fn() -> S + Copy,
@@ -146,7 +156,62 @@ where
     println!("--- {name} ---");
     for r in &runs {
         println!(
-            "  {:>12}: {:>7.2} M items/s   ({:.2}x vs single)",
+            "  {:>20}: {:>7.2} M items/s   ({:.2}x vs single)",
+            r.label,
+            r.items_per_sec / 1e6,
+            r.speedup_vs_single
+        );
+    }
+    (runs, single_secs, single)
+}
+
+/// The concurrent-shared path: `workers` threads feeding **one**
+/// `Atomic`-backed sketch, measured against the same single-item
+/// reference (integer deltas => bit-for-bit agreement is asserted).
+fn bench_concurrent<S, R, F>(
+    name: &str,
+    updates: &[(u64, f64)],
+    passes: usize,
+    make_shared: F,
+    worker_counts: &[usize],
+    single_secs: f64,
+    reference: &R,
+) -> Vec<Run>
+where
+    S: SharedSketch + Send,
+    R: PointQuerySketch,
+    F: Fn() -> S + Copy,
+{
+    let n_items = updates.len() as f64;
+    let mut runs = Vec::new();
+    for &workers in worker_counts {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..passes {
+            let mut ingest = ConcurrentIngest::new(workers, make_shared());
+            let t = Instant::now();
+            ingest.extend_from_slice(updates);
+            let sk = ingest.finish();
+            best = best.min(t.elapsed().as_secs_f64());
+            result = Some(sk);
+        }
+        let sk = black_box(result.expect("at least one pass"));
+        // Exactness spot-check: atomic f64 adds of integer deltas are
+        // exact, hence order-independent — the shared sketch must match
+        // the single-item reference bit-for-bit.
+        for j in (0..reference.universe()).step_by(97_003) {
+            assert_eq!(sk.estimate(j), reference.estimate(j), "{name} item {j}");
+        }
+        runs.push(Run {
+            label: format!("concurrent-shared-{workers}"),
+            items_per_sec: n_items / best,
+            speedup_vs_single: single_secs / best,
+        });
+    }
+    println!("--- {name} (one shared atomic-backed sketch) ---");
+    for r in &runs {
+        println!(
+            "  {:>20}: {:>7.2} M items/s   ({:.2}x vs single)",
             r.label,
             r.items_per_sec / 1e6,
             r.speedup_vs_single
@@ -190,22 +255,43 @@ fn main() {
     let shard_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
     let params = SketchParams::new(n, WIDTH, DEPTH).with_seed(7);
 
-    let cm_runs = bench_sketch(
+    let (cm_runs, cm_single_secs, cm_single) = bench_sketch(
         "Count-Median",
         &updates,
         passes,
         || CountMedian::new(&params),
         shard_counts,
     );
-    let cs_runs = bench_sketch(
+    bench_concurrent(
+        "Count-Median",
+        &updates,
+        passes,
+        || AtomicCountMedian::with_backend(&params),
+        shard_counts,
+        cm_single_secs,
+        &cm_single,
+    );
+    let (cs_runs, cs_single_secs, cs_single) = bench_sketch(
         "Count-Sketch",
         &updates,
         passes,
         || CountSketch::new(&params),
         shard_counts,
     );
+    bench_concurrent(
+        "Count-Sketch",
+        &updates,
+        passes,
+        || AtomicCountSketch::with_backend(&params),
+        shard_counts,
+        cs_single_secs,
+        &cs_single,
+    );
     let l2_cfg = L2Config::new(n, WIDTH, DEPTH).with_seed(7);
-    let l2_runs = bench_sketch(
+    // No concurrent-shared row for l2-S/R: its bias maintainers are
+    // inherently sequential (no SharedSketch impl), so its multi-core
+    // story is ShardedIngest only.
+    let (l2_runs, _, _) = bench_sketch(
         "l2-S/R",
         &updates,
         passes,

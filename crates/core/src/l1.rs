@@ -1,7 +1,8 @@
 //! The `ℓ∞/ℓ1` bias-aware sketch (paper, Algorithms 1–2, Theorem 3).
 
 use crate::config::{BiasStrategy, L1Config};
-use bas_sketch::util::median_in_place;
+use bas_sketch::storage::{CounterBackend, CounterMatrix, Dense};
+use bas_sketch::util::median_of_rows;
 use bas_sketch::{CountMedian, MergeError, MergeableSketch, PointQuerySketch};
 use bas_stream::SortedSampler;
 
@@ -31,6 +32,14 @@ use bas_stream::SortedSampler;
 /// Space: `s·d` grid words plus `t` sample words (Theorem 3 uses
 /// `t = Θ(log n)`; the experiments use `t = s`).
 ///
+/// Counters live in the storage layer's
+/// [`CounterMatrix`](bas_sketch::storage::CounterMatrix) through the
+/// inner [`CountMedian`], generic over the backend `B`. The sketch does
+/// **not** implement `SharedSketch` even with the `Atomic` backend: the
+/// sampler and running bias state are updated per item under `&mut`,
+/// which is the correct trade — the bias structures are tiny, the grid
+/// is the hot plane.
+///
 /// ```
 /// use bas_core::{L1Config, L1SketchRecover};
 /// use bas_sketch::PointQuerySketch;
@@ -45,23 +54,39 @@ use bas_stream::SortedSampler;
 /// assert!((sk.bias() - 100.0).abs() < 2.0);
 /// assert!((sk.estimate(3) - 5_000.0).abs() < 100.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct L1SketchRecover {
+pub struct L1SketchRecover<B: CounterBackend = Dense> {
     cfg: L1Config,
-    cm: CountMedian,
+    cm: CountMedian<B>,
     /// Column counts `π_i[b]` — recovery-side state derived from the
     /// shared hash functions, not part of the communicated sketch.
-    pis: Vec<Vec<u64>>,
+    /// Always dense: it is read-only after construction.
+    pis: CounterMatrix<u64>,
     sampler: Option<SortedSampler>,
     /// Exact running `Σ deltas` (`= Σ x_i` for streams starting at 0).
     running_sum: f64,
 }
 
+#[cfg(feature = "serde")]
+bas_sketch::impl_backend_serde!(L1SketchRecover {
+    cfg,
+    cm,
+    pis,
+    sampler,
+    running_sum
+});
+
 impl L1SketchRecover {
-    /// Creates an empty sketch.
+    /// Creates an empty sketch with the default [`Dense`] backend.
     pub fn new(cfg: &L1Config) -> Self {
-        let cm = CountMedian::new(&cfg.sketch_params());
+        Self::with_backend(cfg)
+    }
+}
+
+impl<B: CounterBackend> L1SketchRecover<B> {
+    /// Creates an empty sketch with an explicit counter backend.
+    pub fn with_backend(cfg: &L1Config) -> Self {
+        let cm = CountMedian::with_backend(&cfg.sketch_params());
         let pis = cm.column_counts();
         let sampler = match cfg.bias {
             BiasStrategy::Paper => {
@@ -94,14 +119,14 @@ impl L1SketchRecover {
     }
 
     /// Point estimate using an explicit bias value — recovery line 4–5
-    /// factored out so `recover_all` computes `β̂` once.
-    fn estimate_with_bias(&self, item: u64, beta: f64, scratch: &mut Vec<f64>) -> f64 {
-        scratch.clear();
-        for row in 0..self.cfg.depth {
+    /// factored out so `recover_all` computes `β̂` once. Runs over the
+    /// stack scratch of [`median_of_rows`]: no per-query heap
+    /// allocation.
+    fn estimate_with_bias(&self, item: u64, beta: f64) -> f64 {
+        median_of_rows(self.cfg.depth, |row| {
             let b = self.cm.bucket_of(row, item);
-            scratch.push(self.cm.bucket_value(row, b) - beta * self.pis[row][b] as f64);
-        }
-        median_in_place(scratch) + beta
+            self.cm.bucket_value(row, b) - beta * self.pis.get(row, b) as f64
+        }) + beta
     }
 
     /// Number of sampling-matrix rows `t` (0 for the mean heuristic).
@@ -110,7 +135,7 @@ impl L1SketchRecover {
     }
 }
 
-impl PointQuerySketch for L1SketchRecover {
+impl<B: CounterBackend> PointQuerySketch for L1SketchRecover<B> {
     fn update(&mut self, item: u64, delta: f64) {
         debug_assert!(item < self.cfg.n, "item outside universe");
         self.cm.update(item, delta);
@@ -135,8 +160,7 @@ impl PointQuerySketch for L1SketchRecover {
     }
 
     fn estimate(&self, item: u64) -> f64 {
-        let mut scratch = Vec::with_capacity(self.cfg.depth);
-        self.estimate_with_bias(item, self.bias(), &mut scratch)
+        self.estimate_with_bias(item, self.bias())
     }
 
     fn universe(&self) -> u64 {
@@ -157,14 +181,13 @@ impl PointQuerySketch for L1SketchRecover {
 
     fn recover_all(&self) -> Vec<f64> {
         let beta = self.bias();
-        let mut scratch = Vec::with_capacity(self.cfg.depth);
         (0..self.cfg.n)
-            .map(|j| self.estimate_with_bias(j, beta, &mut scratch))
+            .map(|j| self.estimate_with_bias(j, beta))
             .collect()
     }
 }
 
-impl MergeableSketch for L1SketchRecover {
+impl<B: CounterBackend> MergeableSketch for L1SketchRecover<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.cfg != other.cfg {
             return Err(MergeError::ShapeMismatch {

@@ -2,7 +2,8 @@
 
 use crate::config::{BiasStrategy, L2BiasMaintenance, L2Config};
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
-use bas_sketch::util::median_in_place;
+use bas_sketch::storage::{CounterBackend, CounterMatrix, Dense};
+use bas_sketch::util::median_of_rows;
 use bas_sketch::{CountSketch, MergeError, MergeableSketch, PointQuerySketch};
 use bas_stream::{BiasHeap, OrderStatTree};
 
@@ -36,40 +37,47 @@ pub(crate) fn median_bucket_average(w: &[f64], pi: &[u64], k: usize) -> f64 {
 
 /// Order-statistic-tree maintainer: same `O(log s)` updates as the
 /// Bias-Heap via remove/re-insert, bias from two prefix-sum queries.
+///
+/// Its per-bucket rows (current key `w/π`, bucket sum `w`, column count
+/// `π`) live in one dense 3×s [`CounterMatrix`] — maintainer state is
+/// counter state, and keeping it in the storage layer keeps the crate
+/// free of ad-hoc row vectors.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
 struct TreeBias {
     tree: OrderStatTree,
-    /// Current key (`w/π`) per dense bucket, needed to locate nodes.
-    keys: Vec<f64>,
-    w: Vec<f64>,
-    pi: Vec<f64>,
+    /// Rows [`TreeBias::ROW_KEY`] (current `w/π`, needed to locate
+    /// nodes), [`TreeBias::ROW_W`], [`TreeBias::ROW_PI`], over the
+    /// dense (π > 0) bucket ids.
+    state: CounterMatrix<f64>,
     dense_id: Vec<u32>,
     n_a: u64,
     window: u64,
 }
 
 impl TreeBias {
-    fn new(pi_g: &[u64], k: usize, seed: u64) -> Self {
-        let usable: Vec<usize> = (0..pi_g.len()).filter(|&i| pi_g[i] > 0).collect();
+    const ROW_KEY: usize = 0;
+    const ROW_W: usize = 1;
+    const ROW_PI: usize = 2;
+
+    fn new(pi_g: &CounterMatrix<u64>, k: usize, seed: u64) -> Self {
+        let usable: Vec<usize> = (0..pi_g.width()).filter(|&i| pi_g.get(0, i) > 0).collect();
         let s = usable.len();
         assert!(s > 0, "all buckets empty");
         let window = (2 * k).max(1).min(s) as u64;
         let n_a = (s as u64 - window) / 2;
-        let mut dense_id = vec![u32::MAX; pi_g.len()];
+        let mut dense_id = vec![u32::MAX; pi_g.width()];
         let mut tree = OrderStatTree::new(seed);
-        let mut pi = Vec::with_capacity(s);
+        let mut state = CounterMatrix::<f64>::new(s, 3);
         for (dense, &orig) in usable.iter().enumerate() {
             dense_id[orig] = dense as u32;
-            let p = pi_g[orig] as f64;
-            pi.push(p);
+            let p = pi_g.get(0, orig) as f64;
+            state.set(Self::ROW_PI, dense, p);
             tree.insert(0.0, dense as u64, 1, 0.0, p);
         }
         Self {
             tree,
-            keys: vec![0.0; s],
-            w: vec![0.0; s],
-            pi,
+            state,
             dense_id,
             n_a,
             window,
@@ -80,12 +88,15 @@ impl TreeBias {
         let id = self.dense_id[bucket];
         assert!(id != u32::MAX, "bucket {bucket} has zero column count");
         let idu = id as usize;
-        let removed = self.tree.remove(self.keys[idu], id as u64);
+        let removed = self
+            .tree
+            .remove(self.state.get(Self::ROW_KEY, idu), id as u64);
         debug_assert!(removed);
-        self.w[idu] += delta;
-        self.keys[idu] = self.w[idu] / self.pi[idu];
-        self.tree
-            .insert(self.keys[idu], id as u64, 1, self.w[idu], self.pi[idu]);
+        self.state.add(Self::ROW_W, idu, delta);
+        let w = self.state.get(Self::ROW_W, idu);
+        let pi = self.state.get(Self::ROW_PI, idu);
+        self.state.set(Self::ROW_KEY, idu, w / pi);
+        self.tree.insert(w / pi, id as u64, 1, w, pi);
     }
 
     fn bias(&self) -> f64 {
@@ -105,30 +116,40 @@ enum Maintainer {
 
 /// The `Π(g)` row group: one Count-Median row dedicated to bias
 /// estimation (Algorithm 3 line 1), plus whichever incremental structure
-/// keeps its buckets ordered.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+/// keeps its buckets ordered. Its bucket sums `w` are a 1×s
+/// [`CounterMatrix`] over the sketch's backend `B`; the column counts
+/// `π` are derived read-only state and stay dense.
 #[derive(Debug, Clone)]
-struct GRow {
+struct GRow<B: CounterBackend> {
     g: AnyBucketHasher,
-    w: Vec<f64>,
-    pi: Vec<u64>,
+    w: CounterMatrix<f64, B>,
+    pi: CounterMatrix<u64>,
     k: usize,
     maintainer: Maintainer,
 }
 
-impl GRow {
+#[cfg(feature = "serde")]
+bas_sketch::impl_backend_serde!(GRow {
+    g,
+    w,
+    pi,
+    k,
+    maintainer
+});
+
+impl<B: CounterBackend> GRow<B> {
     fn new(cfg: &L2Config, width: usize) -> Self {
         let mut seeder = SplitMix64::new(cfg.seed ^ 0xB1A5_0002);
         let mut family = HashFamily::new(cfg.hash_kind, &mut seeder, width);
         let g = family.sample();
         let width = family.buckets();
-        let mut pi = vec![0u64; width];
+        let mut pi = CounterMatrix::<u64>::new(width, 1);
         for j in 0..cfg.n {
-            pi[g.bucket(j)] += 1;
+            pi.add(0, g.bucket(j), 1);
         }
         let k = cfg.effective_k();
         let maintainer = match cfg.maintenance {
-            L2BiasMaintenance::BiasHeap => Maintainer::Heap(BiasHeap::new(&pi, k)),
+            L2BiasMaintenance::BiasHeap => Maintainer::Heap(BiasHeap::new(&pi.row_snapshot(0), k)),
             L2BiasMaintenance::OrderStatTree => {
                 Maintainer::Tree(TreeBias::new(&pi, k, cfg.seed ^ 0xB1A5_0003))
             }
@@ -136,7 +157,7 @@ impl GRow {
         };
         Self {
             g,
-            w: vec![0.0; width],
+            w: CounterMatrix::new(width, 1),
             pi,
             k,
             maintainer,
@@ -146,7 +167,7 @@ impl GRow {
     #[inline]
     fn update(&mut self, item: u64, delta: f64) {
         let b = self.g.bucket(item);
-        self.w[b] += delta;
+        self.w.add(0, b, delta);
         match &mut self.maintainer {
             Maintainer::Heap(h) => h.update(b, delta),
             Maintainer::Tree(t) => t.update(b, delta),
@@ -158,7 +179,9 @@ impl GRow {
         match &self.maintainer {
             Maintainer::Heap(h) => h.bias(),
             Maintainer::Tree(t) => t.bias(),
-            Maintainer::Resort => median_bucket_average(&self.w, &self.pi, self.k),
+            Maintainer::Resort => {
+                median_bucket_average(&self.w.row_snapshot(0), &self.pi.row_snapshot(0), self.k)
+            }
         }
     }
 }
@@ -191,6 +214,15 @@ impl GRow {
 /// Space: `s·d` Count-Sketch words plus `s` words for the `Π(g)` row
 /// (the `(d+1)·s` accounting of §5.1).
 ///
+/// Counters live in the storage layer's
+/// [`CounterMatrix`](bas_sketch::storage::CounterMatrix), generic over
+/// the backend `B`. Like `ℓ1`-S/R, the sketch does **not** implement
+/// `SharedSketch` even with the `Atomic` backend: the Bias-Heap /
+/// order-statistic-tree maintainers rearrange themselves after every
+/// bucket change under `&mut`, which is inherently sequential (for
+/// multi-core ingest of `ℓ2`-S/R use `ShardedIngest`, whose per-shard
+/// maintainers merge on finish).
+///
 /// ```
 /// use bas_core::{L2Config, L2SketchRecover};
 /// use bas_sketch::PointQuerySketch;
@@ -205,22 +237,38 @@ impl GRow {
 /// assert!((sk.bias() - 50.0).abs() < 2.0);
 /// assert!((sk.estimate(9) - 4_000.0).abs() < 100.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct L2SketchRecover {
+pub struct L2SketchRecover<B: CounterBackend = Dense> {
     cfg: L2Config,
-    cs: CountSketch,
+    cs: CountSketch<B>,
     /// Signed column sums `ψ_i[b]` — recovery-side state derived from
-    /// the shared hash functions.
-    psis: Vec<Vec<f64>>,
-    g_row: Option<GRow>,
+    /// the shared hash functions. Always dense: read-only after
+    /// construction.
+    psis: CounterMatrix<f64>,
+    g_row: Option<GRow<B>>,
     running_sum: f64,
 }
 
+#[cfg(feature = "serde")]
+bas_sketch::impl_backend_serde!(L2SketchRecover {
+    cfg,
+    cs,
+    psis,
+    g_row,
+    running_sum
+});
+
 impl L2SketchRecover {
-    /// Creates an empty sketch.
+    /// Creates an empty sketch with the default [`Dense`] backend.
     pub fn new(cfg: &L2Config) -> Self {
-        let cs = CountSketch::new(&cfg.sketch_params());
+        Self::with_backend(cfg)
+    }
+}
+
+impl<B: CounterBackend> L2SketchRecover<B> {
+    /// Creates an empty sketch with an explicit counter backend.
+    pub fn with_backend(cfg: &L2Config) -> Self {
+        let cs = CountSketch::with_backend(&cfg.sketch_params());
         let psis = cs.signed_column_sums();
         let width = cs.params().width;
         let g_row = match cfg.bias {
@@ -250,18 +298,18 @@ impl L2SketchRecover {
         }
     }
 
-    fn estimate_with_bias(&self, item: u64, beta: f64, scratch: &mut Vec<f64>) -> f64 {
-        scratch.clear();
-        for row in 0..self.cfg.depth {
+    /// Point estimate using an explicit bias value, over the stack
+    /// scratch of [`median_of_rows`]: no per-query heap allocation.
+    fn estimate_with_bias(&self, item: u64, beta: f64) -> f64 {
+        median_of_rows(self.cfg.depth, |row| {
             let b = self.cs.bucket_of(row, item);
             let sign = self.cs.sign_of(row, item);
-            scratch.push(sign * (self.cs.bucket_value(row, b) - beta * self.psis[row][b]));
-        }
-        median_in_place(scratch) + beta
+            sign * (self.cs.bucket_value(row, b) - beta * self.psis.get(row, b))
+        }) + beta
     }
 }
 
-impl PointQuerySketch for L2SketchRecover {
+impl<B: CounterBackend> PointQuerySketch for L2SketchRecover<B> {
     fn update(&mut self, item: u64, delta: f64) {
         debug_assert!(item < self.cfg.n, "item outside universe");
         self.cs.update(item, delta);
@@ -287,8 +335,7 @@ impl PointQuerySketch for L2SketchRecover {
     }
 
     fn estimate(&self, item: u64) -> f64 {
-        let mut scratch = Vec::with_capacity(self.cfg.depth);
-        self.estimate_with_bias(item, self.bias(), &mut scratch)
+        self.estimate_with_bias(item, self.bias())
     }
 
     fn universe(&self) -> u64 {
@@ -309,14 +356,13 @@ impl PointQuerySketch for L2SketchRecover {
 
     fn recover_all(&self) -> Vec<f64> {
         let beta = self.bias();
-        let mut scratch = Vec::with_capacity(self.cfg.depth);
         (0..self.cfg.n)
-            .map(|j| self.estimate_with_bias(j, beta, &mut scratch))
+            .map(|j| self.estimate_with_bias(j, beta))
             .collect()
     }
 }
 
-impl MergeableSketch for L2SketchRecover {
+impl<B: CounterBackend> MergeableSketch for L2SketchRecover<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.cfg != other.cfg {
             return Err(MergeError::ShapeMismatch {
@@ -328,10 +374,10 @@ impl MergeableSketch for L2SketchRecover {
         if let (Some(a), Some(b)) = (&mut self.g_row, &other.g_row) {
             // w rows add; feed the deltas through the maintainer so its
             // incremental state stays consistent.
-            for bucket in 0..b.w.len() {
-                let delta = b.w[bucket];
+            for bucket in 0..b.w.width() {
+                let delta = b.w.get(0, bucket);
                 if delta != 0.0 {
-                    a.w[bucket] += delta;
+                    a.w.add(0, bucket, delta);
                     match &mut a.maintainer {
                         Maintainer::Heap(h) => h.update(bucket, delta),
                         Maintainer::Tree(t) => t.update(bucket, delta),

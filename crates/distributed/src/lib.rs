@@ -24,7 +24,14 @@
 //!
 //! For the *single-node* version of the same fan-out-and-merge
 //! restructuring — worker threads as "sites", one process — see the
-//! `bas-pipeline` crate's `ShardedIngest`.
+//! `bas-pipeline` crate's `ShardedIngest`; for single-node ingest into
+//! one shared counter plane (1× memory), its `ConcurrentIngest`.
+//!
+//! The protocol is storage-agnostic: sketches are generic over the
+//! counter-matrix backend, so sites may locally ingest into
+//! `Atomic`-backed sketches (e.g. while `ConcurrentIngest` workers feed
+//! them) and still merge at the coordinator — linearity does not care
+//! how the counters were stored.
 //!
 //! ```
 //! use bas_distributed::{DistributedRun, SiteData};

@@ -215,6 +215,27 @@ mod tests {
     }
 
     #[test]
+    fn atomic_backed_sites_merge_like_dense_ones() {
+        // The protocol only needs linearity; the storage backend of the
+        // site-local sketches is invisible to the coordinator.
+        use bas_sketch::AtomicCountSketch;
+        let n = 1000u64;
+        let sites = shards(n, 3, 7.0);
+        let params = SketchParams::new(n, 64, 5).with_seed(21);
+        let atomic_run =
+            DistributedRun::execute(&sites, || AtomicCountSketch::with_backend(&params));
+        let dense_run = DistributedRun::execute(&sites, || CountSketch::new(&params));
+        for j in (0..n).step_by(41) {
+            assert_eq!(
+                atomic_run.global.estimate(j),
+                dense_run.global.estimate(j),
+                "item {j}"
+            );
+        }
+        assert_eq!(atomic_run.total_words, dense_run.total_words);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one site")]
     fn no_sites_rejected() {
         let params = SketchParams::new(10, 8, 2);

@@ -1,0 +1,89 @@
+//! The shared update buffer behind both ingesters.
+//!
+//! [`ShardedIngest`](crate::ShardedIngest) and
+//! [`ConcurrentIngest`](crate::ConcurrentIngest) differ only in what a
+//! flush *does* (apply chunks to per-thread shards vs. feed one shared
+//! sketch); the buffering policy — accumulate `(item, delta)` pairs,
+//! trigger at a threshold, count updates and flushes — is identical and
+//! lives here once.
+
+/// A bounded staging buffer of `(item, delta)` updates with flush
+/// bookkeeping. The owner decides what "flush" means by passing a
+/// closure to [`drain`](IngestBuffer::drain).
+#[derive(Debug)]
+pub(crate) struct IngestBuffer {
+    pending: Vec<(u64, f64)>,
+    flush_threshold: usize,
+    total_updates: u64,
+    flushes: u64,
+}
+
+impl IngestBuffer {
+    /// Default flush threshold: large enough that each worker's chunk
+    /// amortizes thread wake-up, small enough to keep the buffer
+    /// (16 bytes/update) comfortably in L2.
+    pub const DEFAULT_FLUSH_THRESHOLD: usize = 1 << 16;
+
+    pub fn new() -> Self {
+        Self {
+            pending: Vec::with_capacity(Self::DEFAULT_FLUSH_THRESHOLD),
+            flush_threshold: Self::DEFAULT_FLUSH_THRESHOLD,
+            total_updates: 0,
+            flushes: 0,
+        }
+    }
+
+    /// # Panics
+    /// Panics if `updates` is zero.
+    pub fn set_flush_threshold(&mut self, updates: usize) {
+        assert!(updates > 0, "flush threshold must be positive");
+        self.flush_threshold = updates;
+    }
+
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn total_updates(&self) -> u64 {
+        self.total_updates
+    }
+
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Whether the buffer has reached its flush threshold.
+    pub fn is_full(&self) -> bool {
+        self.pending.len() >= self.flush_threshold
+    }
+
+    /// Stages one update. Returns `true` when the buffer is due for a
+    /// flush.
+    pub fn push(&mut self, item: u64, delta: f64) -> bool {
+        self.pending.push((item, delta));
+        self.is_full()
+    }
+
+    /// Stages updates up to the flush threshold and returns the
+    /// untaken remainder; the caller flushes when
+    /// [`is_full`](IngestBuffer::is_full) and loops.
+    pub fn fill<'a>(&mut self, updates: &'a [(u64, f64)]) -> &'a [(u64, f64)] {
+        let room = (self.flush_threshold - self.pending.len()).max(1);
+        let take = room.min(updates.len());
+        self.pending.extend_from_slice(&updates[..take]);
+        &updates[take..]
+    }
+
+    /// Hands the staged updates to `apply` (the owner's flush body),
+    /// then clears them and advances the counters. No-op on an empty
+    /// buffer — an empty drain is not a flush.
+    pub fn drain(&mut self, apply: impl FnOnce(&[(u64, f64)])) {
+        if self.pending.is_empty() {
+            return;
+        }
+        apply(&self.pending);
+        self.total_updates += self.pending.len() as u64;
+        self.flushes += 1;
+        self.pending.clear();
+    }
+}

@@ -1,0 +1,285 @@
+//! The concurrent ingester: N threads feeding **one** shared
+//! atomic-backed sketch, lock-free.
+//!
+//! Where [`ShardedIngest`](crate::ShardedIngest) buys parallelism with
+//! memory — `k` same-seed shard copies, `k×` the counter space, merged
+//! at the end — [`ConcurrentIngest`] keeps the small-space promise that
+//! motivates sketching in the first place: one counter plane, `1×`
+//! memory, fed by every worker thread through the storage layer's
+//! lock-free [`SharedSketch`](bas_sketch::SharedSketch) path. No merge
+//! step, no shard copies, and the sketch is queryable the moment the
+//! last flush returns.
+
+use crate::buffer::IngestBuffer;
+use bas_sketch::SharedSketch;
+use bas_stream::StreamUpdate;
+
+/// Fans an update stream across `workers` threads that all feed **one**
+/// shared sketch through its lock-free
+/// [`SharedSketch`] ingest path.
+///
+/// The sketch must be built on a shared-capable counter backend —
+/// in practice [`bas_sketch::storage::Atomic`], e.g.
+/// [`bas_sketch::AtomicCountSketch`]. Updates are buffered; each time
+/// the buffer reaches the flush threshold it is split into `workers`
+/// contiguous chunks applied concurrently by scoped threads, every
+/// chunk going through `update_batch_shared` into the *same* counters.
+///
+/// **Memory.** A width-`s`, depth-`d` sketch costs `s·d` counter words
+/// here versus `k·s·d` under `ShardedIngest` with `k` shards — the
+/// difference between one compact shared summary and per-thread copies.
+///
+/// **Exactness.** Atomic adds land in nondeterministic order. For
+/// integer-valued deltas (the paper's arrival model) `f64` addition is
+/// exact, hence order-independent, and the result is **bit-for-bit**
+/// equal to single-threaded ingest — asserted by
+/// `tests/concurrent_ingest.rs`. For general real deltas each counter
+/// may differ in the last ulp (the same caveat shard merging carries).
+///
+/// **Consistency.** Between `push`/`flush` calls no worker threads are
+/// live, so [`sketch`](ConcurrentIngest::sketch) queries observe a
+/// fully settled state; there is no cross-thread ingest happening
+/// outside `flush`.
+///
+/// ```
+/// use bas_pipeline::ConcurrentIngest;
+/// use bas_sketch::{AtomicCountSketch, CountSketch, PointQuerySketch, SketchParams};
+///
+/// let params = SketchParams::new(10_000, 128, 5).with_seed(3);
+/// let mut ingest = ConcurrentIngest::new(4, AtomicCountSketch::with_backend(&params));
+/// for i in 0..20_000u64 {
+///     ingest.push(i % 10_000, 1.0);
+/// }
+/// let sketch = ingest.finish();
+///
+/// // One shared sketch, fed by 4 threads == the single-threaded sketch.
+/// let mut reference = CountSketch::new(&params);
+/// for i in 0..20_000u64 {
+///     reference.update(i % 10_000, 1.0);
+/// }
+/// assert_eq!(sketch.estimate(42), reference.estimate(42));
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentIngest<S> {
+    sketch: S,
+    workers: usize,
+    buf: IngestBuffer,
+}
+
+impl<S: SharedSketch + Send> ConcurrentIngest<S> {
+    /// Default number of buffered updates that triggers a parallel
+    /// flush — same sizing rationale as
+    /// [`ShardedIngest::DEFAULT_FLUSH_THRESHOLD`](crate::ShardedIngest::DEFAULT_FLUSH_THRESHOLD).
+    pub const DEFAULT_FLUSH_THRESHOLD: usize = IngestBuffer::DEFAULT_FLUSH_THRESHOLD;
+
+    /// Creates an ingester that fans flushes across `workers` threads
+    /// feeding `sketch`.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, sketch: S) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self {
+            sketch,
+            workers,
+            buf: IngestBuffer::new(),
+        }
+    }
+
+    /// Overrides the flush threshold (mostly for tests and benches).
+    ///
+    /// # Panics
+    /// Panics if `updates` is zero.
+    pub fn with_flush_threshold(mut self, updates: usize) -> Self {
+        self.buf.set_flush_threshold(updates);
+        self
+    }
+
+    /// Number of worker threads used per flush.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Updates applied to the shared sketch so far (excludes buffered).
+    pub fn total_updates(&self) -> u64 {
+        self.buf.total_updates()
+    }
+
+    /// Parallel flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.buf.flushes()
+    }
+
+    /// Updates currently buffered, waiting for the next flush.
+    pub fn pending(&self) -> usize {
+        self.buf.pending()
+    }
+
+    /// The shared sketch, queryable between flushes. Counters reflect
+    /// every update already flushed; buffered updates are not yet
+    /// visible (call [`flush`](ConcurrentIngest::flush) first for a
+    /// point-in-time exact view).
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// Buffers one update `x_item ← x_item + delta`, flushing in
+    /// parallel when the buffer is full.
+    pub fn push(&mut self, item: u64, delta: f64) {
+        if self.buf.push(item, delta) {
+            self.flush();
+        }
+    }
+
+    /// Buffers a slice of updates, flushing as the buffer fills.
+    pub fn extend_from_slice(&mut self, mut updates: &[(u64, f64)]) {
+        while !updates.is_empty() {
+            updates = self.buf.fill(updates);
+            if self.buf.is_full() {
+                self.flush();
+            }
+        }
+    }
+
+    /// Buffers a stream of [`StreamUpdate`]s (the `bas-stream` update
+    /// model), flushing as the buffer fills.
+    pub fn extend_updates<I: IntoIterator<Item = StreamUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.push(u.item, u.delta);
+        }
+    }
+
+    /// Applies all buffered updates now: the buffer is split into
+    /// `workers` contiguous chunks and each chunk is pushed through
+    /// `update_batch_shared` on its own scoped thread — all of them
+    /// into the **same** counter plane. Returns with all workers
+    /// joined, so the sketch is settled.
+    pub fn flush(&mut self) {
+        let sketch = &self.sketch;
+        let workers = self.workers;
+        self.buf.drain(|pending| {
+            let chunk = pending.len().div_ceil(workers);
+            crossbeam::scope(|scope| {
+                for chunk in pending.chunks(chunk) {
+                    scope.spawn(move |_| sketch.update_batch_shared(chunk));
+                }
+            })
+            .expect("concurrent ingest worker panicked");
+        });
+    }
+
+    /// Flushes the remainder and returns the shared sketch. Unlike
+    /// [`ShardedIngest::finish`](crate::ShardedIngest::finish) there is
+    /// nothing to merge — the counters were shared all along.
+    pub fn finish(mut self) -> S {
+        self.flush();
+        self.sketch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sketch::{
+        AtomicCountMedian, AtomicCountSketch, CountMedian, PointQuerySketch, SketchParams,
+    };
+
+    fn params() -> SketchParams {
+        SketchParams::new(500, 64, 5).with_seed(9)
+    }
+
+    /// Integer-delta stream: f64 atomic adds are exact, so the shared
+    /// sketch must reproduce the single-threaded sketch bit-for-bit.
+    fn stream(len: u64) -> Vec<(u64, f64)> {
+        (0..len)
+            .map(|i| (i * 7 % 500, (1 + i % 5) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_equals_single_threaded_exactly() {
+        for workers in [1usize, 2, 3, 8] {
+            let updates = stream(10_000);
+            let mut ingest =
+                ConcurrentIngest::new(workers, AtomicCountMedian::with_backend(&params()))
+                    .with_flush_threshold(1_000);
+            ingest.extend_from_slice(&updates);
+            let shared = ingest.finish();
+            let mut reference = CountMedian::new(&params());
+            reference.update_batch(&updates);
+            for j in 0..500u64 {
+                assert_eq!(
+                    shared.estimate(j),
+                    reference.estimate(j),
+                    "{workers} workers, item {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_and_slice_and_stream_apis_agree() {
+        let updates = stream(3_000);
+        let mut by_push = ConcurrentIngest::new(3, AtomicCountSketch::with_backend(&params()));
+        for &(i, d) in &updates {
+            by_push.push(i, d);
+        }
+        let mut by_slice = ConcurrentIngest::new(3, AtomicCountSketch::with_backend(&params()));
+        by_slice.extend_from_slice(&updates);
+        let mut by_stream = ConcurrentIngest::new(3, AtomicCountSketch::with_backend(&params()));
+        by_stream.extend_updates(updates.iter().map(|&(i, d)| StreamUpdate::new(i, d)));
+        let (a, b, c) = (by_push.finish(), by_slice.finish(), by_stream.finish());
+        for j in (0..500u64).step_by(17) {
+            assert_eq!(a.estimate(j), b.estimate(j), "item {j}");
+            assert_eq!(a.estimate(j), c.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn counters_track_flushes_and_mid_stream_queries_work() {
+        let mut ingest = ConcurrentIngest::new(2, AtomicCountMedian::with_backend(&params()))
+            .with_flush_threshold(100);
+        assert_eq!(ingest.workers(), 2);
+        for (i, d) in stream(250) {
+            ingest.push(i, d);
+        }
+        assert_eq!(ingest.flushes(), 2);
+        assert_eq!(ingest.total_updates(), 200);
+        assert_eq!(ingest.pending(), 50);
+        // Mid-stream query: flushed state is settled and visible.
+        let _ = ingest.sketch().estimate(3);
+        ingest.flush();
+        assert_eq!(ingest.pending(), 0);
+        let _ = ingest.finish();
+    }
+
+    #[test]
+    fn more_workers_than_updates_is_fine() {
+        let mut ingest = ConcurrentIngest::new(8, AtomicCountMedian::with_backend(&params()));
+        ingest.push(3, 2.0);
+        let sk = ingest.finish();
+        assert_eq!(sk.estimate(3), 2.0);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_sketch() {
+        let ingest = ConcurrentIngest::new(4, AtomicCountMedian::with_backend(&params()));
+        let sk = ingest.finish();
+        for j in (0..500u64).step_by(31) {
+            assert_eq!(sk.estimate(j), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ConcurrentIngest::new(0, AtomicCountMedian::with_backend(&params()));
+    }
+
+    #[test]
+    #[should_panic(expected = "flush threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = ConcurrentIngest::new(1, AtomicCountMedian::with_backend(&params()))
+            .with_flush_threshold(0);
+    }
+}

@@ -25,16 +25,43 @@
 //! sequential solver around merged partial summaries: the algebra that
 //! makes remote merging correct makes local parallelism free.
 //!
+//! ## Sharded vs concurrent-shared
+//!
+//! Two multi-core ingest strategies live here, trading memory against
+//! counter contention:
+//!
+//! * [`ShardedIngest`] — `k` per-thread same-seed shard sketches, `k×`
+//!   the counter memory, zero write contention, one merge at the end.
+//! * [`ConcurrentIngest`] — **one** shared sketch on the storage
+//!   layer's `Atomic` backend, `1×` memory, fed by `k` threads through
+//!   the lock-free [`SharedSketch`](bas_sketch::SharedSketch) path; no
+//!   merge step. This preserves the small-space motivation of
+//!   sketching: a width-4096 × depth-9 sketch costs ~288 KiB shared
+//!   versus ~2.3 MiB under 8-way sharding.
+//!
+//! Both are exactly equivalent to single-threaded ingest on
+//! integer-delta streams (order-independence of exact addition); the
+//! `throughput_ingest` bench reports them head-to-head.
+//!
 //! Non-linear sketches (CM-CU, CML-CU) are rejected by the type
 //! system, exactly as in the distributed protocol: [`ShardedIngest`]
-//! requires [`MergeableSketch`](bas_sketch::MergeableSketch).
+//! requires [`MergeableSketch`](bas_sketch::MergeableSketch), and
+//! [`ConcurrentIngest`] requires [`SharedSketch`](bas_sketch::SharedSketch).
+//! CML-CU and the S/R types implement no `SharedSketch`, so they are
+//! rejected at compile time; Count-Min's policy is a runtime value, so
+//! an `Atomic`-backed CM-CU constructs but panics on the first shared
+//! update (see `SharedSketch::update_shared` for `CountMin`).
 //!
-//! The `throughput_ingest` bench in `bas-bench` measures the three
-//! ingest paths (single-item, batched, sharded-`k`) in items/sec.
+//! The `throughput_ingest` bench in `bas-bench` measures all the
+//! ingest paths (single-item, batched, driven, sharded-`k`,
+//! concurrent-shared-`k`) in items/sec.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
+mod concurrent;
 mod sharded;
 
+pub use concurrent::ConcurrentIngest;
 pub use sharded::ShardedIngest;

@@ -1,6 +1,7 @@
 //! The sharded ingester: per-thread same-seed shard sketches, merged
 //! once at the end by linearity.
 
+use crate::buffer::IngestBuffer;
 use bas_sketch::MergeableSketch;
 use bas_stream::StreamUpdate;
 
@@ -44,10 +45,7 @@ use bas_stream::StreamUpdate;
 #[derive(Debug)]
 pub struct ShardedIngest<S> {
     shards: Vec<S>,
-    pending: Vec<(u64, f64)>,
-    flush_threshold: usize,
-    total_updates: u64,
-    flushes: u64,
+    buf: IngestBuffer,
 }
 
 impl<S: MergeableSketch + Send> ShardedIngest<S> {
@@ -55,7 +53,7 @@ impl<S: MergeableSketch + Send> ShardedIngest<S> {
     /// flush: large enough that each shard's chunk amortizes thread
     /// wake-up, small enough to keep the buffer (16 bytes/update)
     /// comfortably in L2.
-    pub const DEFAULT_FLUSH_THRESHOLD: usize = 1 << 16;
+    pub const DEFAULT_FLUSH_THRESHOLD: usize = IngestBuffer::DEFAULT_FLUSH_THRESHOLD;
 
     /// Creates an ingester with `shards` worker shards, each holding a
     /// sketch from `make_sketch`. The closure must produce identically
@@ -68,10 +66,7 @@ impl<S: MergeableSketch + Send> ShardedIngest<S> {
         assert!(shards > 0, "need at least one shard");
         Self {
             shards: (0..shards).map(|_| make_sketch()).collect(),
-            pending: Vec::with_capacity(Self::DEFAULT_FLUSH_THRESHOLD),
-            flush_threshold: Self::DEFAULT_FLUSH_THRESHOLD,
-            total_updates: 0,
-            flushes: 0,
+            buf: IngestBuffer::new(),
         }
     }
 
@@ -80,8 +75,7 @@ impl<S: MergeableSketch + Send> ShardedIngest<S> {
     /// # Panics
     /// Panics if `updates` is zero.
     pub fn with_flush_threshold(mut self, updates: usize) -> Self {
-        assert!(updates > 0, "flush threshold must be positive");
-        self.flush_threshold = updates;
+        self.buf.set_flush_threshold(updates);
         self
     }
 
@@ -92,24 +86,23 @@ impl<S: MergeableSketch + Send> ShardedIngest<S> {
 
     /// Updates applied to shards so far (excludes buffered ones).
     pub fn total_updates(&self) -> u64 {
-        self.total_updates
+        self.buf.total_updates()
     }
 
     /// Parallel flushes performed so far.
     pub fn flushes(&self) -> u64 {
-        self.flushes
+        self.buf.flushes()
     }
 
     /// Updates currently buffered, waiting for the next flush.
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.buf.pending()
     }
 
     /// Buffers one update `x_item ← x_item + delta`, flushing in
     /// parallel when the buffer is full.
     pub fn push(&mut self, item: u64, delta: f64) {
-        self.pending.push((item, delta));
-        if self.pending.len() >= self.flush_threshold {
+        if self.buf.push(item, delta) {
             self.flush();
         }
     }
@@ -117,11 +110,8 @@ impl<S: MergeableSketch + Send> ShardedIngest<S> {
     /// Buffers a slice of updates, flushing as the buffer fills.
     pub fn extend_from_slice(&mut self, mut updates: &[(u64, f64)]) {
         while !updates.is_empty() {
-            let room = (self.flush_threshold - self.pending.len()).max(1);
-            let take = room.min(updates.len());
-            self.pending.extend_from_slice(&updates[..take]);
-            updates = &updates[take..];
-            if self.pending.len() >= self.flush_threshold {
+            updates = self.buf.fill(updates);
+            if self.buf.is_full() {
                 self.flush();
             }
         }
@@ -140,20 +130,16 @@ impl<S: MergeableSketch + Send> ShardedIngest<S> {
     /// scoped thread via `update_batch`. Which updates land in which
     /// shard is irrelevant by linearity.
     pub fn flush(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let chunk = self.pending.len().div_ceil(self.shards.len());
-        let pending = &self.pending;
-        crossbeam::scope(|scope| {
-            for (shard, chunk) in self.shards.iter_mut().zip(pending.chunks(chunk)) {
-                scope.spawn(move |_| shard.update_batch(chunk));
-            }
-        })
-        .expect("shard worker panicked");
-        self.total_updates += self.pending.len() as u64;
-        self.flushes += 1;
-        self.pending.clear();
+        let shards = &mut self.shards;
+        self.buf.drain(|pending| {
+            let chunk = pending.len().div_ceil(shards.len());
+            crossbeam::scope(|scope| {
+                for (shard, chunk) in shards.iter_mut().zip(pending.chunks(chunk)) {
+                    scope.spawn(move |_| shard.update_batch(chunk));
+                }
+            })
+            .expect("shard worker panicked");
+        });
     }
 
     /// Flushes the remainder and merges all shards into the final

@@ -1,7 +1,8 @@
 //! Count-Median: CM-matrix sketching with median recovery.
 
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
-use crate::util::{median_in_place, CounterGrid};
+use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+use crate::util::median_of_rows;
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 
 /// The Count-Median sketch of Cormode & Muthukrishnan (paper, Theorem 1).
@@ -19,6 +20,13 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 /// linear (supports turnstile updates and merging) — and it is the
 /// component the bias-aware `ℓ1`-S/R de-biases.
 ///
+/// Counters live in a [`CounterMatrix`] whose backend `B` is a type
+/// parameter: the default [`Dense`] is the classical single-threaded
+/// configuration, while `CountMedian<Atomic>` (alias
+/// [`AtomicCountMedian`](crate::AtomicCountMedian)) additionally
+/// implements [`SharedSketch`] for lock-free multi-threaded ingest into
+/// one shared sketch.
+///
 /// ```
 /// use bas_sketch::{CountMedian, PointQuerySketch, SketchParams};
 ///
@@ -29,17 +37,33 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 /// assert_eq!(cm.estimate(17), 7.0);            // sparse input: exact
 /// assert_eq!(cm.estimate(900), -1.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct CountMedian {
+pub struct CountMedian<B: CounterBackend = Dense> {
     params: SketchParams,
-    grid: CounterGrid,
+    grid: CounterMatrix<f64, B>,
     hashers: Vec<AnyBucketHasher>,
 }
 
+#[cfg(feature = "serde")]
+crate::impl_backend_serde!(CountMedian {
+    params,
+    grid,
+    hashers
+});
+
 impl CountMedian {
-    /// Creates an empty Count-Median sketch.
+    /// Creates an empty Count-Median sketch with the default [`Dense`]
+    /// backend.
     pub fn new(params: &SketchParams) -> Self {
+        Self::with_backend(params)
+    }
+}
+
+impl<B: CounterBackend> CountMedian<B> {
+    /// Creates an empty Count-Median sketch with an explicit counter
+    /// backend (e.g. `CountMedian::<Atomic>::with_backend` for
+    /// lock-free shared ingest).
+    pub fn with_backend(params: &SketchParams) -> Self {
         let mut seeder = SplitMix64::new(params.seed ^ 0xC0DE_0001);
         let mut family = HashFamily::new(params.hash_kind, &mut seeder, params.width);
         let hashers = family.sample_many(params.depth);
@@ -48,7 +72,7 @@ impl CountMedian {
         params.width = width; // multiply-shift may round up
         Self {
             params,
-            grid: CounterGrid::new(width, params.depth),
+            grid: CounterMatrix::new(width, params.depth),
             hashers,
         }
     }
@@ -72,26 +96,28 @@ impl CountMedian {
         self.hashers[row].bucket(item)
     }
 
-    /// A full row of bucket sums.
-    pub fn row(&self, row: usize) -> &[f64] {
-        self.grid.row(row)
+    /// A dense copy of one row of bucket sums, read through the matrix
+    /// API (backend-independent; the storage layout stays private).
+    pub fn row_snapshot(&self, row: usize) -> Vec<f64> {
+        self.grid.row_snapshot(row)
     }
 
     /// Per-bucket column counts `π_i` of each CM-matrix: `π_i[b]` is the
     /// number of universe elements hashed to bucket `b` in row `i`
-    /// (paper, Algorithm 2 line 2). Costs `O(n·d)`; the caller caches it.
-    pub fn column_counts(&self) -> Vec<Vec<u64>> {
-        let mut pis = vec![vec![0u64; self.params.width]; self.params.depth];
+    /// (paper, Algorithm 2 line 2), returned as a `depth × width`
+    /// [`CounterMatrix`]. Costs `O(n·d)`; the caller caches it.
+    pub fn column_counts(&self) -> CounterMatrix<u64> {
+        let mut pis = CounterMatrix::<u64>::new(self.params.width, self.params.depth);
         for j in 0..self.params.n {
             for (row, h) in self.hashers.iter().enumerate() {
-                pis[row][h.bucket(j)] += 1;
+                pis.add(row, h.bucket(j), 1);
             }
         }
         pis
     }
 }
 
-impl PointQuerySketch for CountMedian {
+impl<B: CounterBackend> PointQuerySketch for CountMedian<B> {
     #[inline]
     fn update(&mut self, item: u64, delta: f64) {
         debug_assert!(item < self.params.n, "item outside universe");
@@ -117,13 +143,9 @@ impl PointQuerySketch for CountMedian {
     }
 
     fn estimate(&self, item: u64) -> f64 {
-        let mut vals: Vec<f64> = self
-            .hashers
-            .iter()
-            .enumerate()
-            .map(|(row, h)| self.grid.get(row, h.bucket(item)))
-            .collect();
-        median_in_place(&mut vals)
+        median_of_rows(self.params.depth, |row| {
+            self.grid.get(row, self.hashers[row].bucket(item))
+        })
     }
 
     fn universe(&self) -> u64 {
@@ -139,7 +161,31 @@ impl PointQuerySketch for CountMedian {
     }
 }
 
-impl MergeableSketch for CountMedian {
+impl<B: CounterBackend> SharedSketch for CountMedian<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    #[inline]
+    fn update_shared(&self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        for (row, h) in self.hashers.iter().enumerate() {
+            self.grid.add_shared(row, h.bucket(item), delta);
+        }
+    }
+
+    fn update_batch_shared(&self, items: &[(u64, f64)]) {
+        #[cfg(debug_assertions)]
+        for &(item, _) in items {
+            debug_assert!(item < self.params.n, "item outside universe");
+        }
+        let grid = &self.grid;
+        bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
+            grid.add_shared(row, b, delta);
+        });
+    }
+}
+
+impl<B: CounterBackend> MergeableSketch for CountMedian<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {
             return Err(MergeError::ShapeMismatch {
@@ -153,7 +199,7 @@ impl MergeableSketch for CountMedian {
         {
             return Err(MergeError::SeedMismatch);
         }
-        self.grid.add_grid(&other.grid);
+        self.grid.add_matrix(&other.grid);
         Ok(())
     }
 }
@@ -161,6 +207,7 @@ impl MergeableSketch for CountMedian {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::Atomic;
 
     fn params(n: u64, w: usize, d: usize) -> SketchParams {
         SketchParams::new(n, w, d).with_seed(42)
@@ -257,6 +304,41 @@ mod tests {
     }
 
     #[test]
+    fn atomic_backend_matches_dense_bit_for_bit() {
+        // Same seed, same updates, exclusive access: the storage
+        // backend must be unobservable.
+        let p = params(300, 32, 5);
+        let mut dense = CountMedian::new(&p);
+        let mut atomic = CountMedian::<Atomic>::with_backend(&p);
+        let items: Vec<(u64, f64)> = (0..400u64)
+            .map(|i| (i * 11 % 300, ((i % 9) as f64 - 4.0) * 0.5))
+            .collect();
+        dense.update_batch(&items);
+        atomic.update_batch(&items);
+        for j in 0..300u64 {
+            assert_eq!(dense.estimate(j), atomic.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn shared_updates_match_exclusive_updates() {
+        let p = params(200, 32, 5);
+        let mut exclusive = CountMedian::<Atomic>::with_backend(&p);
+        let shared = CountMedian::<Atomic>::with_backend(&p);
+        let items: Vec<(u64, f64)> = (0..300u64).map(|i| (i % 200, (1 + i % 5) as f64)).collect();
+        for &(i, d) in &items {
+            exclusive.update(i, d);
+            shared.update_shared(i, d);
+        }
+        let batch_shared = CountMedian::<Atomic>::with_backend(&p);
+        batch_shared.update_batch_shared(&items);
+        for j in 0..200u64 {
+            assert_eq!(exclusive.estimate(j), shared.estimate(j), "item {j}");
+            assert_eq!(exclusive.estimate(j), batch_shared.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
     fn merge_rejects_mismatched_seed() {
         let mut a = CountMedian::new(&params(10, 8, 2));
         let b = CountMedian::new(&SketchParams::new(10, 8, 2).with_seed(43));
@@ -278,9 +360,9 @@ mod tests {
         let p = params(300, 32, 4);
         let cm = CountMedian::new(&p);
         let pis = cm.column_counts();
-        assert_eq!(pis.len(), 4);
-        for pi in &pis {
-            assert_eq!(pi.iter().sum::<u64>(), 300);
+        assert_eq!(pis.depth(), 4);
+        for row in 0..4 {
+            assert_eq!(pis.row_snapshot(row).iter().sum::<u64>(), 300);
         }
     }
 
@@ -292,7 +374,7 @@ mod tests {
         for row in 0..3 {
             let b = cm.bucket_of(row, 7);
             assert_eq!(cm.bucket_value(row, b), 4.0);
-            assert_eq!(cm.row(row)[b], 4.0);
+            assert_eq!(cm.row_snapshot(row)[b], 4.0);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Count-Min with plain and conservative update policies.
 
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
-use crate::util::CounterGrid;
+use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 
 /// Update policy for [`CountMin`].
@@ -32,6 +32,14 @@ pub enum UpdatePolicy {
 /// Count-Min because CM-CU dominates it; we keep both for completeness
 /// and for the linearity/merging tests.
 ///
+/// Counters live in a [`CounterMatrix`] whose backend `B` is a type
+/// parameter. Under the `Atomic` backend the **plain** policy
+/// additionally implements [`SharedSketch`] (lock-free shared ingest);
+/// conservative update cannot — its bump depends on the pre-update
+/// minimum across all rows, a read-modify-write cycle that per-counter
+/// atomicity cannot express (the same state dependence that breaks
+/// linearity).
+///
 /// ```
 /// use bas_sketch::{CountMin, PointQuerySketch, SketchParams, UpdatePolicy};
 ///
@@ -43,18 +51,39 @@ pub enum UpdatePolicy {
 /// assert_eq!(cm.estimate(4), 7.0);
 /// assert_eq!(cm.estimate(8), 3.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct CountMin {
+pub struct CountMin<B: CounterBackend = Dense> {
     params: SketchParams,
     policy: UpdatePolicy,
-    grid: CounterGrid,
+    grid: CounterMatrix<f64, B>,
     hashers: Vec<AnyBucketHasher>,
 }
 
+#[cfg(feature = "serde")]
+crate::impl_backend_serde!(CountMin {
+    params,
+    policy,
+    grid,
+    hashers
+});
+
 impl CountMin {
-    /// Creates an empty Count-Min sketch with the given update policy.
+    /// Creates an empty Count-Min sketch with the given update policy
+    /// and the default [`Dense`] backend.
     pub fn new(params: &SketchParams, policy: UpdatePolicy) -> Self {
+        Self::with_backend(params, policy)
+    }
+
+    /// Convenience constructor for the conservative-update baseline.
+    pub fn conservative(params: &SketchParams) -> Self {
+        Self::new(params, UpdatePolicy::Conservative)
+    }
+}
+
+impl<B: CounterBackend> CountMin<B> {
+    /// Creates an empty Count-Min sketch with an explicit counter
+    /// backend.
+    pub fn with_backend(params: &SketchParams, policy: UpdatePolicy) -> Self {
         let mut seeder = SplitMix64::new(params.seed ^ 0xC0DE_0003);
         let mut family = HashFamily::new(params.hash_kind, &mut seeder, params.width);
         let hashers = family.sample_many(params.depth);
@@ -64,14 +93,9 @@ impl CountMin {
         Self {
             params,
             policy,
-            grid: CounterGrid::new(width, params.depth),
+            grid: CounterMatrix::new(width, params.depth),
             hashers,
         }
-    }
-
-    /// Convenience constructor for the conservative-update baseline.
-    pub fn conservative(params: &SketchParams) -> Self {
-        Self::new(params, UpdatePolicy::Conservative)
     }
 
     /// The update policy in effect.
@@ -109,14 +133,7 @@ impl CountMin {
             return Err(MergeError::SeedMismatch);
         }
         let best = (0..self.params.depth)
-            .map(|row| {
-                self.grid
-                    .row(row)
-                    .iter()
-                    .zip(other.grid.row(row).iter())
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|row| self.grid.row_dot(&other.grid, row))
             .fold(f64::INFINITY, f64::min);
         Ok(best)
     }
@@ -132,16 +149,21 @@ impl CountMin {
         }
         best
     }
-}
 
-impl PointQuerySketch for CountMin {
     #[inline]
-    fn update(&mut self, item: u64, delta: f64) {
-        debug_assert!(item < self.params.n, "item outside universe");
+    fn validate_delta(delta: f64) {
         assert!(
             delta >= 0.0,
             "Count-Min requires the cash-register model (delta >= 0), got {delta}"
         );
+    }
+}
+
+impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
+    #[inline]
+    fn update(&mut self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        Self::validate_delta(delta);
         match self.policy {
             UpdatePolicy::Plain => {
                 for (row, h) in self.hashers.iter().enumerate() {
@@ -171,10 +193,7 @@ impl PointQuerySketch for CountMin {
     fn update_batch(&mut self, items: &[(u64, f64)]) {
         for &(item, delta) in items {
             debug_assert!(item < self.params.n, "item outside universe");
-            assert!(
-                delta >= 0.0,
-                "Count-Min requires the cash-register model (delta >= 0), got {delta}"
-            );
+            Self::validate_delta(delta);
         }
         match self.policy {
             UpdatePolicy::Plain => {
@@ -211,7 +230,43 @@ impl PointQuerySketch for CountMin {
     }
 }
 
-impl MergeableSketch for CountMin {
+impl<B: CounterBackend> SharedSketch for CountMin<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    /// # Panics
+    /// Panics for [`UpdatePolicy::Conservative`] — conservative update
+    /// is a cross-counter read-modify-write and has no lock-free form.
+    #[inline]
+    fn update_shared(&self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        Self::validate_delta(delta);
+        assert!(
+            self.policy == UpdatePolicy::Plain,
+            "conservative update is state-dependent and cannot be applied through a shared reference"
+        );
+        for (row, h) in self.hashers.iter().enumerate() {
+            self.grid.add_shared(row, h.bucket(item), delta);
+        }
+    }
+
+    fn update_batch_shared(&self, items: &[(u64, f64)]) {
+        assert!(
+            self.policy == UpdatePolicy::Plain,
+            "conservative update is state-dependent and cannot be applied through a shared reference"
+        );
+        for &(item, delta) in items {
+            debug_assert!(item < self.params.n, "item outside universe");
+            Self::validate_delta(delta);
+        }
+        let grid = &self.grid;
+        bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
+            grid.add_shared(row, b, delta);
+        });
+    }
+}
+
+impl<B: CounterBackend> MergeableSketch for CountMin<B> {
     /// Only the [`UpdatePolicy::Plain`] variant is linear; merging a
     /// conservative-update sketch returns a shape error to prevent the
     /// silent accuracy loss the paper warns about.
@@ -233,7 +288,7 @@ impl MergeableSketch for CountMin {
         {
             return Err(MergeError::SeedMismatch);
         }
-        self.grid.add_grid(&other.grid);
+        self.grid.add_matrix(&other.grid);
         Ok(())
     }
 }
@@ -241,6 +296,7 @@ impl MergeableSketch for CountMin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::Atomic;
 
     fn params(n: u64, w: usize, d: usize) -> SketchParams {
         SketchParams::new(n, w, d).with_seed(17)
@@ -313,6 +369,44 @@ mod tests {
                 assert_eq!(batched.estimate(j), looped.estimate(j), "{policy:?} {j}");
             }
         }
+    }
+
+    #[test]
+    fn atomic_backend_matches_dense_both_policies() {
+        for policy in [UpdatePolicy::Plain, UpdatePolicy::Conservative] {
+            let p = params(200, 16, 4);
+            let mut dense = CountMin::new(&p, policy);
+            let mut atomic = CountMin::<Atomic>::with_backend(&p, policy);
+            let items: Vec<(u64, f64)> =
+                (0..300u64).map(|i| (i * 3 % 200, (i % 7) as f64)).collect();
+            dense.update_batch(&items);
+            atomic.update_batch(&items);
+            for j in 0..200u64 {
+                assert_eq!(dense.estimate(j), atomic.estimate(j), "{policy:?} {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_updates_match_exclusive_for_plain() {
+        let p = params(200, 16, 4);
+        let mut exclusive = CountMin::<Atomic>::with_backend(&p, UpdatePolicy::Plain);
+        let shared = CountMin::<Atomic>::with_backend(&p, UpdatePolicy::Plain);
+        let items: Vec<(u64, f64)> = (0..300u64).map(|i| (i % 200, (i % 7) as f64)).collect();
+        for &(i, d) in &items {
+            exclusive.update(i, d);
+        }
+        shared.update_batch_shared(&items);
+        for j in 0..200u64 {
+            assert_eq!(exclusive.estimate(j), shared.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared reference")]
+    fn shared_update_rejects_conservative() {
+        let cu = CountMin::<Atomic>::with_backend(&params(10, 8, 2), UpdatePolicy::Conservative);
+        cu.update_shared(0, 1.0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Count-Min-Log with conservative update (CML-CU).
 
+use crate::storage::{CounterBackend, CounterMatrix, Dense};
 use crate::traits::{PointQuerySketch, SketchParams};
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 
@@ -33,6 +34,14 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 /// exactly the same distribution as `m` unit updates, in
 /// `O(levels gained + 1)` work instead of `O(m)`.
 ///
+/// The 16-bit levels live in a [`CounterMatrix`] whose backend `B` is a
+/// type parameter like every other sketch's. CML-CU never implements
+/// shared ingest, though: each increment reads the current minimum
+/// level *and* the RNG — state dependence that lock-free per-counter
+/// updates cannot express (the same property that already makes it
+/// non-mergeable). The generic parameter exists for storage-layer
+/// uniformity, and [`Dense`] is the only sensible choice.
+///
 /// ```
 /// use bas_sketch::{CountMinLog, PointQuerySketch, SketchParams};
 ///
@@ -44,26 +53,51 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 /// assert!((cml.estimate(7) - 50.0).abs() < 1.0);
 /// assert!((cml.estimate(9) - 25.0).abs() < 1.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct CountMinLog {
+pub struct CountMinLog<B: CounterBackend = Dense> {
     params: SketchParams,
     base: f64,
     ln_base: f64,
-    levels: Vec<u16>, // depth × width, row-major
+    levels: CounterMatrix<u16, B>, // depth × width
     hashers: Vec<AnyBucketHasher>,
     rng: SplitMix64,
 }
 
-impl CountMinLog {
-    /// Log base used in the paper's experiments.
-    pub const PAPER_BASE: f64 = 1.00025;
+#[cfg(feature = "serde")]
+crate::impl_backend_serde!(CountMinLog {
+    params,
+    base,
+    ln_base,
+    levels,
+    hashers,
+    rng
+});
 
-    /// Creates an empty CML-CU sketch with the given log base.
+impl CountMinLog {
+    /// Creates an empty CML-CU sketch with the given log base and the
+    /// default [`Dense`] backend.
     ///
     /// # Panics
     /// Panics unless `base > 1`.
     pub fn with_base(params: &SketchParams, base: f64) -> Self {
+        Self::with_backend(params, base)
+    }
+
+    /// Creates an empty sketch with the paper's base of 1.00025.
+    pub fn new(params: &SketchParams) -> Self {
+        Self::with_base(params, Self::PAPER_BASE)
+    }
+}
+
+impl<B: CounterBackend> CountMinLog<B> {
+    /// Log base used in the paper's experiments.
+    pub const PAPER_BASE: f64 = 1.00025;
+
+    /// Creates an empty CML-CU sketch with an explicit counter backend.
+    ///
+    /// # Panics
+    /// Panics unless `base > 1`.
+    pub fn with_backend(params: &SketchParams, base: f64) -> Self {
         assert!(base > 1.0, "log base must exceed 1, got {base}");
         let mut seeder = SplitMix64::new(params.seed ^ 0xC0DE_0004);
         let mut family = HashFamily::new(params.hash_kind, &mut seeder, params.width);
@@ -75,15 +109,10 @@ impl CountMinLog {
             params,
             base,
             ln_base: base.ln(),
-            levels: vec![0u16; width * params.depth],
+            levels: CounterMatrix::new(width, params.depth),
             hashers,
             rng: seeder.split(),
         }
-    }
-
-    /// Creates an empty sketch with the paper's base of 1.00025.
-    pub fn new(params: &SketchParams) -> Self {
-        Self::with_base(params, Self::PAPER_BASE)
     }
 
     /// The log base in use.
@@ -99,7 +128,7 @@ impl CountMinLog {
 
     #[inline]
     fn cell(&self, row: usize, col: usize) -> u16 {
-        self.levels[row * self.params.width + col]
+        self.levels.get(row, col)
     }
 
     #[inline]
@@ -158,9 +187,8 @@ impl CountMinLog {
             // Conservative: bump only the counters at the minimum level.
             for row in 0..self.params.depth {
                 let b = self.hashers[row].bucket(item);
-                let idx = row * self.params.width + b;
-                if self.levels[idx] == c_min {
-                    self.levels[idx] = c_min + 1;
+                if self.levels.get(row, b) == c_min {
+                    self.levels.set(row, b, c_min + 1);
                 }
             }
         }
@@ -177,7 +205,7 @@ impl CountMinLog {
     }
 }
 
-impl PointQuerySketch for CountMinLog {
+impl<B: CounterBackend> PointQuerySketch for CountMinLog<B> {
     /// Applies `Δ` unit increments with the exact batched distribution.
     ///
     /// # Panics
@@ -217,7 +245,10 @@ impl PointQuerySketch for CountMinLog {
 
     fn size_in_words(&self) -> usize {
         // Four u16 levels per 64-bit word: the bit-efficiency that buys
-        // CML-CU extra width in equal-space comparisons.
+        // CML-CU extra width in equal-space comparisons. (The `Atomic`
+        // backend physically spends a word per level, but the paper's
+        // space accounting — what this method reports — is about the
+        // dense wire/storage form.)
         self.levels.len().div_ceil(4)
     }
 

@@ -1,7 +1,8 @@
 //! Count-Sketch: CS-matrix sketching with signed median recovery.
 
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
-use crate::util::{median_in_place, CounterGrid};
+use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+use crate::util::median_of_rows;
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SignHash, SignHasher, SplitMix64};
 
 /// The Count-Sketch of Charikar, Chen & Farach-Colton (paper, Theorem 2).
@@ -19,6 +20,12 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SignHash, SignHasher, 
 /// that the bias-aware `ℓ2`-S/R strictly improves on biased inputs.
 /// Linear, so it merges and works in the distributed model.
 ///
+/// Counters live in a [`CounterMatrix`] whose backend `B` is a type
+/// parameter: [`Dense`] (the default) for classical exclusive ingest,
+/// `CountSketch<Atomic>` (alias
+/// [`AtomicCountSketch`](crate::AtomicCountSketch)) for lock-free
+/// [`SharedSketch`] ingest into one shared sketch.
+///
 /// ```
 /// use bas_sketch::{CountSketch, PointQuerySketch, SketchParams};
 ///
@@ -29,18 +36,34 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SignHash, SignHasher, 
 /// assert_eq!(cs.estimate(42), 10.0);        // sparse input: exact
 /// assert_eq!(cs.estimate(9), -2.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct CountSketch {
+pub struct CountSketch<B: CounterBackend = Dense> {
     params: SketchParams,
-    grid: CounterGrid,
+    grid: CounterMatrix<f64, B>,
     hashers: Vec<AnyBucketHasher>,
     signs: Vec<SignHash>,
 }
 
+#[cfg(feature = "serde")]
+crate::impl_backend_serde!(CountSketch {
+    params,
+    grid,
+    hashers,
+    signs
+});
+
 impl CountSketch {
-    /// Creates an empty Count-Sketch.
+    /// Creates an empty Count-Sketch with the default [`Dense`] backend.
     pub fn new(params: &SketchParams) -> Self {
+        Self::with_backend(params)
+    }
+}
+
+impl<B: CounterBackend> CountSketch<B> {
+    /// Creates an empty Count-Sketch with an explicit counter backend
+    /// (e.g. `CountSketch::<Atomic>::with_backend` for lock-free shared
+    /// ingest).
+    pub fn with_backend(params: &SketchParams) -> Self {
         let mut seeder = SplitMix64::new(params.seed ^ 0xC0DE_0002);
         let mut family = HashFamily::new(params.hash_kind, &mut seeder, params.width);
         let hashers = family.sample_many(params.depth);
@@ -52,7 +75,7 @@ impl CountSketch {
         params.width = width;
         Self {
             params,
-            grid: CounterGrid::new(width, params.depth),
+            grid: CounterMatrix::new(width, params.depth),
             hashers,
             signs,
         }
@@ -99,35 +122,28 @@ impl CountSketch {
         {
             return Err(MergeError::SeedMismatch);
         }
-        let mut per_row: Vec<f64> = (0..self.params.depth)
-            .map(|row| {
-                self.grid
-                    .row(row)
-                    .iter()
-                    .zip(other.grid.row(row).iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
-            .collect();
-        Ok(median_in_place(&mut per_row))
+        Ok(median_of_rows(self.params.depth, |row| {
+            self.grid.row_dot(&other.grid, row)
+        }))
     }
 
     /// Per-bucket **signed** column sums `ψ_i` of each CS-matrix:
-    /// `ψ_i[b] = Σ_{j : h_i(j)=b} r_i(j)` (paper, Algorithm 4 line 3).
-    /// Needed by the `ℓ2` bias-aware recovery to de-bias buckets. Costs
-    /// `O(n·d)`; the caller caches it.
-    pub fn signed_column_sums(&self) -> Vec<Vec<f64>> {
-        let mut psis = vec![vec![0.0f64; self.params.width]; self.params.depth];
+    /// `ψ_i[b] = Σ_{j : h_i(j)=b} r_i(j)` (paper, Algorithm 4 line 3),
+    /// returned as a `depth × width` [`CounterMatrix`]. Needed by the
+    /// `ℓ2` bias-aware recovery to de-bias buckets. Costs `O(n·d)`; the
+    /// caller caches it.
+    pub fn signed_column_sums(&self) -> CounterMatrix<f64> {
+        let mut psis = CounterMatrix::<f64>::new(self.params.width, self.params.depth);
         for j in 0..self.params.n {
             for (row, h) in self.hashers.iter().enumerate() {
-                psis[row][h.bucket(j)] += self.signs[row].sign_f64(j);
+                psis.add(row, h.bucket(j), self.signs[row].sign_f64(j));
             }
         }
         psis
     }
 }
 
-impl PointQuerySketch for CountSketch {
+impl<B: CounterBackend> PointQuerySketch for CountSketch<B> {
     #[inline]
     fn update(&mut self, item: u64, delta: f64) {
         debug_assert!(item < self.params.n, "item outside universe");
@@ -156,13 +172,10 @@ impl PointQuerySketch for CountSketch {
     }
 
     fn estimate(&self, item: u64) -> f64 {
-        let mut vals: Vec<f64> = (0..self.params.depth)
-            .map(|row| {
-                let b = self.hashers[row].bucket(item);
-                self.signs[row].sign(item) as f64 * self.grid.get(row, b)
-            })
-            .collect();
-        median_in_place(&mut vals)
+        median_of_rows(self.params.depth, |row| {
+            let b = self.hashers[row].bucket(item);
+            self.signs[row].sign(item) as f64 * self.grid.get(row, b)
+        })
     }
 
     fn universe(&self) -> u64 {
@@ -178,7 +191,34 @@ impl PointQuerySketch for CountSketch {
     }
 }
 
-impl MergeableSketch for CountSketch {
+impl<B: CounterBackend> SharedSketch for CountSketch<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    #[inline]
+    fn update_shared(&self, item: u64, delta: f64) {
+        debug_assert!(item < self.params.n, "item outside universe");
+        for row in 0..self.params.depth {
+            let b = self.hashers[row].bucket(item);
+            let s = self.signs[row].sign(item) as f64;
+            self.grid.add_shared(row, b, s * delta);
+        }
+    }
+
+    fn update_batch_shared(&self, items: &[(u64, f64)]) {
+        #[cfg(debug_assertions)]
+        for &(item, _) in items {
+            debug_assert!(item < self.params.n, "item outside universe");
+        }
+        let grid = &self.grid;
+        let signs = &self.signs;
+        bas_hash::bucket_rows_each(&self.hashers, items, |row, item, b, delta: f64| {
+            grid.add_shared(row, b, signs[row].sign(item) as f64 * delta);
+        });
+    }
+}
+
+impl<B: CounterBackend> MergeableSketch for CountSketch<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {
             return Err(MergeError::ShapeMismatch {
@@ -192,7 +232,7 @@ impl MergeableSketch for CountSketch {
         {
             return Err(MergeError::SeedMismatch);
         }
-        self.grid.add_grid(&other.grid);
+        self.grid.add_matrix(&other.grid);
         Ok(())
     }
 }
@@ -200,6 +240,7 @@ impl MergeableSketch for CountSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::Atomic;
 
     fn params(n: u64, w: usize, d: usize) -> SketchParams {
         SketchParams::new(n, w, d).with_seed(7)
@@ -277,6 +318,39 @@ mod tests {
     }
 
     #[test]
+    fn atomic_backend_matches_dense_bit_for_bit() {
+        let p = params(300, 32, 5);
+        let mut dense = CountSketch::new(&p);
+        let mut atomic = CountSketch::<Atomic>::with_backend(&p);
+        let items: Vec<(u64, f64)> = (0..400u64)
+            .map(|i| (i * 11 % 300, ((i % 9) as f64 - 4.0) * 0.5))
+            .collect();
+        dense.update_batch(&items);
+        atomic.update_batch(&items);
+        for j in 0..300u64 {
+            assert_eq!(dense.estimate(j), atomic.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn shared_updates_match_exclusive_updates() {
+        let p = params(200, 32, 5);
+        let mut exclusive = CountSketch::<Atomic>::with_backend(&p);
+        let shared = CountSketch::<Atomic>::with_backend(&p);
+        let items: Vec<(u64, f64)> = (0..300u64).map(|i| (i % 200, (1 + i % 5) as f64)).collect();
+        for &(i, d) in &items {
+            exclusive.update(i, d);
+            shared.update_shared(i, d);
+        }
+        let batch_shared = CountSketch::<Atomic>::with_backend(&p);
+        batch_shared.update_batch_shared(&items);
+        for j in 0..200u64 {
+            assert_eq!(exclusive.estimate(j), shared.estimate(j), "item {j}");
+            assert_eq!(exclusive.estimate(j), batch_shared.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
     fn merge_rejects_hash_kind_mismatch() {
         use bas_hash::HashKind;
         let mut a = CountSketch::new(&params(10, 8, 2));
@@ -298,7 +372,7 @@ mod tests {
             for j in 0..100u64 {
                 expect[cs.bucket_of(row, j)] += cs.sign_of(row, j);
             }
-            assert_eq!(psis[row], expect, "row {row}");
+            assert_eq!(psis.row_snapshot(row), expect, "row {row}");
         }
     }
 

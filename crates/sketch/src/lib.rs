@@ -40,6 +40,24 @@
 //! the distributed model (sketch locally, add sketches at the
 //! coordinator).
 //!
+//! ## Storage layer
+//!
+//! Every sketch stores its counters in one shared abstraction, the
+//! [`CounterMatrix`], and takes its storage
+//! backend as a type parameter (`CountSketch<B: CounterBackend = Dense>`):
+//!
+//! * [`storage::Dense`] (the default) — contiguous row-major cells,
+//!   exclusive access, bit-for-bit the pre-storage-layer semantics and
+//!   performance;
+//! * [`storage::Atomic`] — one `AtomicU64` per counter; exclusive
+//!   access costs the same, and the linear sketches additionally
+//!   implement [`SharedSketch`]: lock-free `&self` ingest, so N
+//!   threads can feed **one** shared sketch (see
+//!   `bas_pipeline::ConcurrentIngest`) instead of N same-seed shards.
+//!
+//! The aliases [`AtomicCountMedian`], [`AtomicCountSketch`] and
+//! [`AtomicCountMin`] name the shared-ingest configurations.
+//!
 //! ## Batched ingest
 //!
 //! Every sketch accepts batches through
@@ -74,6 +92,7 @@ mod count_min_log;
 mod count_sketch;
 mod heavy_hitters;
 mod range_sum;
+pub mod storage;
 mod traits;
 pub mod util;
 
@@ -83,4 +102,17 @@ pub use count_min_log::CountMinLog;
 pub use count_sketch::CountSketch;
 pub use heavy_hitters::{HeavyHitter, HeavyHitters};
 pub use range_sum::RangeSumSketch;
-pub use traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
+pub use storage::{Atomic, CounterBackend, CounterMatrix, CounterValue, Dense};
+pub use traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+
+/// Count-Median over the [`Atomic`] backend: the lock-free
+/// shared-ingest configuration (implements [`SharedSketch`]).
+pub type AtomicCountMedian = CountMedian<Atomic>;
+
+/// Count-Sketch over the [`Atomic`] backend: the lock-free
+/// shared-ingest configuration (implements [`SharedSketch`]).
+pub type AtomicCountSketch = CountSketch<Atomic>;
+
+/// Count-Min over the [`Atomic`] backend; only
+/// [`UpdatePolicy::Plain`] supports shared ingest.
+pub type AtomicCountMin = CountMin<Atomic>;

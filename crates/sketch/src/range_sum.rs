@@ -7,7 +7,8 @@
 //! a single point query at its level.
 
 use crate::count_median::CountMedian;
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams};
+use crate::storage::{CounterBackend, Dense, SharedCounterStore};
+use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 
 /// A turnstile range-sum sketch: `query(a, b) ≈ Σ_{a ≤ i ≤ b} x_i`.
 ///
@@ -27,19 +28,30 @@ use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SketchParams}
 /// let est = rs.query(0, 100); // ≈ 5 + 3 on this sparse input
 /// assert!((est - 8.0).abs() < 1.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone)]
-pub struct RangeSumSketch {
+pub struct RangeSumSketch<B: CounterBackend = Dense> {
     n: u64,
-    levels: Vec<CountMedian>,
+    levels: Vec<CountMedian<B>>,
 }
 
+#[cfg(feature = "serde")]
+crate::impl_backend_serde!(RangeSumSketch { n, levels });
+
 impl RangeSumSketch {
-    /// Creates a range-sum sketch over `[0, params.n)`. Each dyadic level
-    /// gets its own Count-Median sketch of the given width/depth (coarser
-    /// levels have fewer distinct blocks but reuse the same width for
-    /// simplicity; memory is `O(log n · s · d)`).
+    /// Creates a range-sum sketch over `[0, params.n)` with the default
+    /// [`Dense`] backend.
     pub fn new(params: &SketchParams) -> Self {
+        Self::with_backend(params)
+    }
+}
+
+impl<B: CounterBackend> RangeSumSketch<B> {
+    /// Creates a range-sum sketch over `[0, params.n)` with an explicit
+    /// counter backend. Each dyadic level gets its own Count-Median
+    /// sketch of the given width/depth (coarser levels have fewer
+    /// distinct blocks but reuse the same width for simplicity; memory
+    /// is `O(log n · s · d)`).
+    pub fn with_backend(params: &SketchParams) -> Self {
         let n = params.n;
         let num_levels = 64 - (n.max(2) - 1).leading_zeros() as usize + 1; // ceil(log2 n) + 1
         let levels = (0..num_levels)
@@ -48,7 +60,7 @@ impl RangeSumSketch {
                 let mut p = *params;
                 p.n = blocks;
                 p.seed = params.seed.wrapping_add(0x9E37 * (l as u64 + 1));
-                CountMedian::new(&p)
+                CountMedian::with_backend(&p)
             })
             .collect();
         Self { n, levels }
@@ -173,6 +185,40 @@ impl RangeSumSketch {
             a.merge_from(b)?;
         }
         Ok(())
+    }
+}
+
+impl<B: CounterBackend> RangeSumSketch<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    /// Applies `x_item ← x_item + delta` through a **shared** reference,
+    /// lock-free — one [`SharedSketch::update_shared`] per dyadic level.
+    /// (Inherent rather than a `SharedSketch` impl because the range-sum
+    /// stack exposes range queries, not the point-query trait.)
+    pub fn update_shared(&self, item: u64, delta: f64) {
+        assert!(item < self.n, "item outside universe");
+        for (l, sketch) in self.levels.iter().enumerate() {
+            sketch.update_shared(item >> l, delta);
+        }
+    }
+
+    /// Shared-reference batch update: shifts items into each level's
+    /// block coordinates and feeds that level's
+    /// [`SharedSketch::update_batch_shared`] fast path.
+    pub fn update_batch_shared(&self, items: &[(u64, f64)]) {
+        for &(item, _) in items {
+            assert!(item < self.n, "item outside universe");
+        }
+        let mut shifted = items.to_vec();
+        for (l, sketch) in self.levels.iter().enumerate() {
+            if l > 0 {
+                for u in &mut shifted {
+                    u.0 >>= 1;
+                }
+            }
+            sketch.update_batch_shared(&shifted);
+        }
     }
 }
 

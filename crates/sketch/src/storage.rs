@@ -1,0 +1,931 @@
+//! The counter-storage layer: one `depth × width` matrix abstraction
+//! under every sketch in the workspace.
+//!
+//! Every sketch here — the classical baselines and the paper's
+//! bias-aware S/R variants alike — is "`d` rows × `s` buckets of
+//! counters" plus hash functions. This module owns that counter plane
+//! once, as [`CounterMatrix`], so cross-cutting concerns (batching,
+//! merging, serialization, concurrent ingest) are implemented one time
+//! instead of once per sketch.
+//!
+//! Two backends ship today, selected at the type level through
+//! [`CounterBackend`]:
+//!
+//! * [`Dense`] — a plain contiguous row-major `Box<[T]>`. Exclusive
+//!   (`&mut`) access, zero abstraction cost: every operation inlines to
+//!   the same slice arithmetic the sketches used before this layer
+//!   existed, so single-threaded throughput is unchanged.
+//! * [`Atomic`] — one `AtomicU64` per counter holding the value's bit
+//!   pattern. Exclusive access behaves exactly like `Dense` (plain
+//!   loads/stores through `get_mut`, no bus locking); *shared* (`&self`)
+//!   access additionally supports lock-free accumulation via
+//!   [`SharedCounterStore::add_shared`] — a `fetch_add` for integer
+//!   counters, a CAS loop over bit-cast floats for `f64`. This is what
+//!   lets N ingest threads feed **one** sketch (1× memory) instead of N
+//!   same-seed shards (N× memory); see `bas_pipeline::ConcurrentIngest`.
+//!
+//! The backend is a type parameter of every sketch
+//! (e.g. `CountSketch<B: CounterBackend = Dense>`), so the choice is
+//! made at construction time and the compiler monomorphizes the hot
+//! paths for each storage strategy. Future backends (compact/quantized
+//! counters, NUMA-aware placement) plug in by implementing
+//! [`CounterBackend`] + [`CounterStore`].
+//!
+//! ## Exactness of shared accumulation
+//!
+//! `add_shared` applies updates atomically but in nondeterministic
+//! order. For **integer-valued** `f64` deltas (the paper's arrival
+//! model) every intermediate sum below `2^53` is exact, and exact
+//! addition is commutative and associative — so concurrent ingest is
+//! bit-for-bit equal to any sequential order. For general real deltas
+//! the result can differ in the last ulp per counter (the same caveat
+//! `ShardedIngest` documents for shard merging). The property tests in
+//! `tests/concurrent_ingest.rs` pin down both regimes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A primitive that can live in a counter cell: copyable, zeroable,
+/// addable, and bit-castable to `u64` for the atomic backend.
+pub trait CounterValue:
+    Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'static
+{
+    /// The additive identity (fresh matrices are zero-filled).
+    const ZERO: Self;
+
+    /// Counter addition: `+` for floats, wrapping for integers (a
+    /// counter that wraps was mis-sized; wrapping keeps the operation
+    /// total and branch-free).
+    fn add(self, rhs: Self) -> Self;
+
+    /// Counter multiplication (`*` for floats, wrapping for integers) —
+    /// used by dot-product queries such as
+    /// [`CounterMatrix::row_dot`].
+    fn mul(self, rhs: Self) -> Self;
+
+    /// The value's bit pattern, as stored by the atomic backend.
+    fn to_bits(self) -> u64;
+
+    /// Inverse of [`to_bits`](CounterValue::to_bits).
+    fn from_bits(bits: u64) -> Self;
+
+    /// Lock-free `*cell += delta` on a cell holding `to_bits` patterns.
+    ///
+    /// The default is a compare-exchange loop (required for floats,
+    /// whose addition has no single-instruction atomic form); integer
+    /// implementations override it with a plain `fetch_add`.
+    #[inline]
+    fn atomic_add(cell: &AtomicU64, delta: Self) {
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = Self::from_bits(current).add(delta).to_bits();
+            match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl CounterValue for f64 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl CounterValue for i64 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
+    }
+
+    /// Two's-complement wrapping addition is the same bit operation as
+    /// unsigned wrapping addition, so a single `fetch_add` suffices.
+    #[inline]
+    fn atomic_add(cell: &AtomicU64, delta: Self) {
+        cell.fetch_add(delta as u64, Ordering::Relaxed);
+    }
+}
+
+impl CounterValue for u64 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+
+    #[inline]
+    fn atomic_add(cell: &AtomicU64, delta: Self) {
+        cell.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+impl CounterValue for u16 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u16
+    }
+    // No fetch_add override: a u64 fetch_add would carry past bit 15
+    // instead of wrapping at u16 range, so the CAS default stays.
+}
+
+/// Flat storage for a run of counters, behind exclusive access.
+///
+/// Implementations index a logical `[T; len]`; [`CounterMatrix`] maps
+/// `(row, col)` onto it row-major. `Clone`/`Debug` are required so the
+/// sketches' derived impls work for every backend.
+pub trait CounterStore<T: CounterValue>: Clone + std::fmt::Debug + Send + Sync + Sized {
+    /// A zero-filled store of `len` cells.
+    fn zeroed(len: usize) -> Self;
+
+    /// A store initialized from explicit cell values (deserialization,
+    /// backend conversion).
+    fn from_cells(cells: Vec<T>) -> Self;
+
+    /// Number of cells.
+    fn len(&self) -> usize;
+
+    /// Whether the store has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads one cell.
+    fn get(&self, idx: usize) -> T;
+
+    /// Overwrites one cell.
+    fn set(&mut self, idx: usize, value: T);
+
+    /// `cells[idx] += delta` under exclusive access.
+    fn add(&mut self, idx: usize, delta: T);
+
+    /// A dense copy of all cells, in index order — the canonical
+    /// (backend-independent) representation used for serialization and
+    /// equality.
+    fn snapshot(&self) -> Vec<T>;
+
+    /// Sum of `self[i] * other[i]` over `start..start + len` — the
+    /// kernel of inner-product queries. The default reads cell by
+    /// cell; [`DenseStore`] overrides it with a zipped slice loop the
+    /// compiler can vectorize.
+    fn dot_range(&self, other: &Self, start: usize, len: usize) -> T {
+        let mut acc = T::ZERO;
+        for i in start..start + len {
+            acc = acc.add(self.get(i).mul(other.get(i)));
+        }
+        acc
+    }
+}
+
+/// A [`CounterStore`] that additionally supports **lock-free shared
+/// accumulation**: `add_shared` takes `&self`, so any number of threads
+/// may feed the same store concurrently.
+///
+/// Only accumulation is shared; reads still race with writers (a torn
+/// *schedule*, never a torn *value* — each cell is a single atomic).
+/// Callers quiesce writers before querying, as
+/// `bas_pipeline::ConcurrentIngest` does around its flushes.
+pub trait SharedCounterStore<T: CounterValue>: CounterStore<T> {
+    /// `cells[idx] += delta`, atomically, through a shared reference.
+    fn add_shared(&self, idx: usize, delta: T);
+}
+
+/// Marker type selecting a storage strategy for [`CounterMatrix`].
+///
+/// The generic-associated `Store` is what actually holds cells; the
+/// marker itself is a zero-sized type so it can ride along as a sketch
+/// type parameter for free.
+pub trait CounterBackend:
+    Copy + Clone + Default + PartialEq + std::fmt::Debug + Send + Sync + 'static
+{
+    /// The store this backend uses for cells of type `T`.
+    type Store<T: CounterValue>: CounterStore<T>;
+
+    /// Short human label used in diagnostics ("dense", "atomic").
+    const LABEL: &'static str;
+}
+
+/// Plain contiguous storage (`Box<[T]>`): the default backend, with
+/// the exact semantics and performance of the pre-storage-layer grids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dense;
+
+/// One `AtomicU64` per counter: exclusive access costs the same as
+/// [`Dense`] (plain `get_mut` loads/stores), shared access supports
+/// lock-free [`add_shared`](SharedCounterStore::add_shared).
+///
+/// Cells narrower than 64 bits (e.g. the `u16` levels of Count-Min-Log)
+/// still occupy a full word each under this backend; the bit-packed
+/// space accounting only applies to [`Dense`]. That trade-off is
+/// irrelevant in practice because the only sketches worth sharing are
+/// the linear ones, whose counters are full words anyway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Atomic;
+
+/// The [`Dense`] backend's store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseStore<T> {
+    cells: Box<[T]>,
+}
+
+impl<T: CounterValue> CounterStore<T> for DenseStore<T> {
+    fn zeroed(len: usize) -> Self {
+        Self {
+            cells: vec![T::ZERO; len].into_boxed_slice(),
+        }
+    }
+
+    fn from_cells(cells: Vec<T>) -> Self {
+        Self {
+            cells: cells.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> T {
+        self.cells[idx]
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, value: T) {
+        self.cells[idx] = value;
+    }
+
+    #[inline]
+    fn add(&mut self, idx: usize, delta: T) {
+        self.cells[idx] = self.cells[idx].add(delta);
+    }
+
+    fn snapshot(&self) -> Vec<T> {
+        self.cells.to_vec()
+    }
+
+    fn dot_range(&self, other: &Self, start: usize, len: usize) -> T {
+        self.cells[start..start + len]
+            .iter()
+            .zip(&other.cells[start..start + len])
+            .fold(T::ZERO, |acc, (&a, &b)| acc.add(a.mul(b)))
+    }
+}
+
+impl<T> DenseStore<T> {
+    /// The cells as a contiguous slice — dense-only, the layout this
+    /// backend guarantees.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.cells
+    }
+
+    /// Mutable view of the cells.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.cells
+    }
+}
+
+impl CounterBackend for Dense {
+    type Store<T: CounterValue> = DenseStore<T>;
+    const LABEL: &'static str = "dense";
+}
+
+/// The [`Atomic`] backend's store: values live as bit patterns inside
+/// `AtomicU64` cells.
+pub struct AtomicStore<T> {
+    cells: Box<[AtomicU64]>,
+    _value: std::marker::PhantomData<T>,
+}
+
+impl<T: CounterValue> AtomicStore<T> {
+    fn from_bit_iter(bits: impl Iterator<Item = u64>) -> Self {
+        Self {
+            cells: bits.map(AtomicU64::new).collect(),
+            _value: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: CounterValue> Clone for AtomicStore<T> {
+    fn clone(&self) -> Self {
+        Self::from_bit_iter(self.cells.iter().map(|c| c.load(Ordering::Relaxed)))
+    }
+}
+
+impl<T: CounterValue> std::fmt::Debug for AtomicStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicStore")
+            .field("cells", &self.snapshot())
+            .finish()
+    }
+}
+
+impl<T: CounterValue> CounterStore<T> for AtomicStore<T> {
+    fn zeroed(len: usize) -> Self {
+        Self::from_bit_iter((0..len).map(|_| T::ZERO.to_bits()))
+    }
+
+    fn from_cells(cells: Vec<T>) -> Self {
+        Self::from_bit_iter(cells.into_iter().map(T::to_bits))
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> T {
+        T::from_bits(self.cells[idx].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, value: T) {
+        // Exclusive access: a plain store through get_mut, no bus lock.
+        *self.cells[idx].get_mut() = value.to_bits();
+    }
+
+    #[inline]
+    fn add(&mut self, idx: usize, delta: T) {
+        let cell = self.cells[idx].get_mut();
+        *cell = T::from_bits(*cell).add(delta).to_bits();
+    }
+
+    fn snapshot(&self) -> Vec<T> {
+        self.cells
+            .iter()
+            .map(|c| T::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+impl<T: CounterValue> SharedCounterStore<T> for AtomicStore<T> {
+    #[inline]
+    fn add_shared(&self, idx: usize, delta: T) {
+        T::atomic_add(&self.cells[idx], delta);
+    }
+}
+
+impl CounterBackend for Atomic {
+    type Store<T: CounterValue> = AtomicStore<T>;
+    const LABEL: &'static str = "atomic";
+}
+
+/// A dense `depth × width` matrix of counters stored row-major behind a
+/// pluggable [`CounterBackend`].
+///
+/// This is the single counter plane shared by every sketch in the
+/// workspace: all linear sketches are a `CounterMatrix` plus hash
+/// functions, and merging two sketches is one element-wise
+/// [`add_matrix`](CounterMatrix::add_matrix). The default parameters
+/// (`f64` cells, [`Dense`] backend) are the classical single-threaded
+/// configuration; `CounterMatrix<f64, Atomic>` is the shared-ingest
+/// one.
+///
+/// ```
+/// use bas_sketch::storage::{Atomic, CounterMatrix};
+///
+/// let mut dense = CounterMatrix::<f64>::new(4, 2); // width 4, depth 2
+/// dense.add(1, 3, 2.5);
+/// assert_eq!(dense.get(1, 3), 2.5);
+///
+/// let shared = CounterMatrix::<f64, Atomic>::new(4, 2);
+/// shared.add_shared(1, 3, 2.5); // &self: any number of threads may do this
+/// assert_eq!(shared.get(1, 3), 2.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterMatrix<T: CounterValue = f64, B: CounterBackend = Dense> {
+    store: B::Store<T>,
+    width: usize,
+    depth: usize,
+}
+
+impl<T: CounterValue, B: CounterBackend> CounterMatrix<T, B> {
+    /// Creates a zeroed matrix.
+    pub fn new(width: usize, depth: usize) -> Self {
+        Self {
+            store: B::Store::<T>::zeroed(width * depth),
+            width,
+            depth,
+        }
+    }
+
+    /// Builds a matrix from row-major cells.
+    ///
+    /// # Panics
+    /// Panics unless `cells.len() == width * depth`.
+    pub fn from_cells(width: usize, depth: usize, cells: Vec<T>) -> Self {
+        assert_eq!(
+            cells.len(),
+            width * depth,
+            "cell count must equal width * depth"
+        );
+        Self {
+            store: B::Store::<T>::from_cells(cells),
+            width,
+            depth,
+        }
+    }
+
+    /// Matrix width (buckets per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Matrix depth (number of rows).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of counter cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the matrix has no cells (never true for valid params).
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.depth && col < self.width);
+        row * self.width + col
+    }
+
+    /// Reads a cell.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.store.get(self.idx(row, col))
+    }
+
+    /// Overwrites a cell (used by conservative update).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        self.store.set(self.idx(row, col), value);
+    }
+
+    /// Adds `delta` to a cell under exclusive access.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, delta: T) {
+        self.store.add(self.idx(row, col), delta);
+    }
+
+    /// Element-wise addition of another matrix of identical shape —
+    /// the merge step of every linear sketch.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_matrix(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "matrix widths differ");
+        assert_eq!(self.depth, other.depth, "matrix depths differ");
+        for i in 0..self.store.len() {
+            self.store.add(i, other.store.get(i));
+        }
+    }
+
+    /// A dense row-major copy of all cells — the backend-independent
+    /// canonical form.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.store.snapshot()
+    }
+
+    /// A dense copy of one row.
+    pub fn row_snapshot(&self, row: usize) -> Vec<T> {
+        (0..self.width).map(|col| self.get(row, col)).collect()
+    }
+
+    /// Dot product of one row with the same row of `other` — the
+    /// per-row kernel of sketch inner-product estimators. Dense
+    /// backends run a vectorizable slice loop.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn row_dot(&self, other: &Self, row: usize) -> T {
+        assert_eq!(self.width, other.width, "matrix widths differ");
+        assert_eq!(self.depth, other.depth, "matrix depths differ");
+        self.store
+            .dot_range(&other.store, row * self.width, self.width)
+    }
+
+    /// Rebuilds this matrix with a different backend, preserving every
+    /// cell value (e.g. an `Atomic` ingest sketch frozen into a `Dense`
+    /// query copy).
+    pub fn to_backend<B2: CounterBackend>(&self) -> CounterMatrix<T, B2> {
+        CounterMatrix::from_cells(self.width, self.depth, self.snapshot())
+    }
+}
+
+impl<T: CounterValue, B: CounterBackend> CounterMatrix<T, B>
+where
+    B::Store<T>: SharedCounterStore<T>,
+{
+    /// Adds `delta` to a cell through a **shared** reference,
+    /// lock-free. Only backends whose store implements
+    /// [`SharedCounterStore`] (today: [`Atomic`]) expose this.
+    #[inline]
+    pub fn add_shared(&self, row: usize, col: usize, delta: T) {
+        self.store.add_shared(self.idx(row, col), delta);
+    }
+}
+
+impl<T: CounterValue> CounterMatrix<T, Dense> {
+    /// A full row as a contiguous slice — [`Dense`]-only, since only
+    /// that backend guarantees the layout.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        &self.store.as_slice()[row * self.width..(row + 1) * self.width]
+    }
+
+    /// A full row as a mutable slice, for callers that sweep one row at
+    /// a time.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        &mut self.store.as_mut_slice()[row * self.width..(row + 1) * self.width]
+    }
+}
+
+/// Shape + cell-wise equality (cells compared through snapshots, so it
+/// works across the `Atomic` backend too).
+impl<T: CounterValue, B: CounterBackend, B2: CounterBackend> PartialEq<CounterMatrix<T, B2>>
+    for CounterMatrix<T, B>
+{
+    fn eq(&self, other: &CounterMatrix<T, B2>) -> bool {
+        self.width == other.width
+            && self.depth == other.depth
+            && (0..self.store.len()).all(|i| self.store.get(i) == other.store.get(i))
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<T: CounterValue + serde::Serialize, B: CounterBackend> serde::Serialize
+    for CounterMatrix<T, B>
+{
+    /// Serializes as the dense snapshot `{cells, width, depth}` — the
+    /// `Atomic` backend ships its current values, not its atomics, so
+    /// the wire format is backend-independent.
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let cells = serde::to_content(&self.snapshot())
+            .map_err(|e| <S::Error as serde::ser::Error>::custom(e))?;
+        serializer.serialize_content(serde::Content::Map(vec![
+            ("cells".to_string(), cells),
+            ("width".to_string(), serde::Content::U64(self.width as u64)),
+            ("depth".to_string(), serde::Content::U64(self.depth as u64)),
+        ]))
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de, T: CounterValue + serde::Deserialize<'de>, B: CounterBackend> serde::Deserialize<'de>
+    for CounterMatrix<T, B>
+{
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let mut entries = match deserializer.deserialize_content()? {
+            serde::Content::Map(entries) => entries,
+            _ => return Err(D::Error::custom("expected a map for CounterMatrix")),
+        };
+        let mut take = |key: &str| {
+            let at = entries
+                .iter()
+                .position(|(k, _)| k == key)
+                .ok_or_else(|| D::Error::custom(format!("missing field `{key}`")))?;
+            Ok(entries.swap_remove(at).1)
+        };
+        let cells: Vec<T> = serde::from_content(take("cells")?)
+            .map_err(|e| D::Error::custom(format!("field `cells`: {e}")))?;
+        let width: usize = serde::from_content(take("width")?)
+            .map_err(|e| D::Error::custom(format!("field `width`: {e}")))?;
+        let depth: usize = serde::from_content(take("depth")?)
+            .map_err(|e| D::Error::custom(format!("field `depth`: {e}")))?;
+        if width.checked_mul(depth) != Some(cells.len()) {
+            return Err(D::Error::custom(format!(
+                "CounterMatrix shape mismatch: {width} x {depth} != {} cells",
+                cells.len()
+            )));
+        }
+        Ok(Self::from_cells(width, depth, cells))
+    }
+}
+
+/// Implements `serde::Serialize`/`Deserialize` for a backend-generic
+/// sketch struct, field by field, mirroring the derive's map format.
+///
+/// The vendored `serde_derive` intentionally rejects generic types, so
+/// the sketches — generic over their [`CounterBackend`] since the
+/// storage-layer refactor — spell their impls through this macro
+/// instead:
+///
+/// ```ignore
+/// bas_sketch::impl_backend_serde!(CountMedian { params, grid, hashers });
+/// ```
+///
+/// The struct must have exactly one type parameter, the backend.
+#[cfg(feature = "serde")]
+#[macro_export]
+macro_rules! impl_backend_serde {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl<B: $crate::storage::CounterBackend> ::serde::Serialize for $ty<B> {
+            fn serialize<S: ::serde::Serializer>(
+                &self,
+                serializer: S,
+            ) -> ::core::result::Result<S::Ok, S::Error> {
+                let mut entries = ::std::vec::Vec::new();
+                $(entries.push((
+                    stringify!($field).to_string(),
+                    ::serde::to_content(&self.$field)
+                        .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?,
+                ));)+
+                serializer.serialize_content(::serde::Content::Map(entries))
+            }
+        }
+
+        impl<'de, B: $crate::storage::CounterBackend> ::serde::Deserialize<'de> for $ty<B> {
+            fn deserialize<D: ::serde::Deserializer<'de>>(
+                deserializer: D,
+            ) -> ::core::result::Result<Self, D::Error> {
+                let mut entries = match deserializer.deserialize_content()? {
+                    ::serde::Content::Map(entries) => entries,
+                    _ => {
+                        return ::core::result::Result::Err(
+                            <D::Error as ::serde::de::Error>::custom(concat!(
+                                "expected a map for ",
+                                stringify!($ty)
+                            )),
+                        )
+                    }
+                };
+                $(let $field = {
+                    let at = entries
+                        .iter()
+                        .position(|(k, _)| k == stringify!($field))
+                        .ok_or_else(|| <D::Error as ::serde::de::Error>::custom(concat!(
+                            "missing field `",
+                            stringify!($field),
+                            "` in ",
+                            stringify!($ty)
+                        )))?;
+                    ::serde::from_content(entries.swap_remove(at).1).map_err(|e| {
+                        <D::Error as ::serde::de::Error>::custom(format!(
+                            concat!("field `", stringify!($field), "`: {}"),
+                            e
+                        ))
+                    })?
+                };)+
+                let _ = &mut entries;
+                ::core::result::Result::Ok($ty { $($field),+ })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill<B: CounterBackend>() -> CounterMatrix<f64, B> {
+        let mut m = CounterMatrix::<f64, B>::new(4, 3);
+        for row in 0..3 {
+            for col in 0..4 {
+                m.add(row, col, (row * 4 + col) as f64);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn dense_accessors() {
+        let mut m = CounterMatrix::<f64>::new(4, 2);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+        m.add(1, 3, 2.5);
+        m.add(1, 3, 0.5);
+        assert_eq!(m.get(1, 3), 3.0);
+        m.set(0, 0, -1.0);
+        assert_eq!(m.row(0), &[-1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0, 3.0]);
+        m.row_mut(0)[2] = 7.0;
+        assert_eq!(m.get(0, 2), 7.0);
+        assert_eq!(m.row_snapshot(1), vec![0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn atomic_exclusive_ops_match_dense() {
+        let dense = fill::<Dense>();
+        let atomic = fill::<Atomic>();
+        assert_eq!(dense.snapshot(), atomic.snapshot());
+        assert_eq!(dense, atomic); // cross-backend PartialEq
+    }
+
+    #[test]
+    fn atomic_shared_add_is_visible() {
+        let m = CounterMatrix::<f64, Atomic>::new(3, 2);
+        m.add_shared(0, 1, 1.5);
+        m.add_shared(0, 1, 2.5);
+        m.add_shared(1, 2, -1.0);
+        assert_eq!(m.get(0, 1), 4.0);
+        assert_eq!(m.get(1, 2), -1.0);
+    }
+
+    #[test]
+    fn shared_integer_adds_from_many_threads_are_exact() {
+        let m = CounterMatrix::<i64, Atomic>::new(8, 1);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        m.add_shared(0, ((i + t) % 8) as usize, 1);
+                    }
+                });
+            }
+        });
+        let total: i64 = m.snapshot().iter().sum();
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn shared_float_adds_from_many_threads_are_exact_on_integers() {
+        // Integer-valued f64 deltas: addition is exact, hence
+        // order-independent — the concurrent sum is bit-for-bit right.
+        let m = CounterMatrix::<f64, Atomic>::new(4, 1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        m.add_shared(0, (i % 4) as usize, 3.0);
+                    }
+                });
+            }
+        });
+        for col in 0..4 {
+            assert_eq!(m.get(0, col), 4.0 * 1_250.0 * 3.0);
+        }
+    }
+
+    #[test]
+    fn add_matrix_is_elementwise() {
+        let mut a = CounterMatrix::<f64>::new(3, 2);
+        let mut b = CounterMatrix::<f64>::new(3, 2);
+        a.add(0, 1, 1.0);
+        b.add(0, 1, 2.0);
+        b.add(1, 2, 5.0);
+        a.add_matrix(&b);
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn add_matrix_shape_mismatch_panics() {
+        let mut a = CounterMatrix::<f64>::new(3, 2);
+        let b = CounterMatrix::<f64>::new(2, 3);
+        a.add_matrix(&b);
+    }
+
+    #[test]
+    fn row_dot_matches_manual_sum_in_both_backends() {
+        let a_dense = fill::<Dense>();
+        let b_dense = {
+            let mut m = fill::<Dense>();
+            m.add(2, 3, 10.0);
+            m
+        };
+        let a_atomic: CounterMatrix<f64, Atomic> = a_dense.to_backend();
+        let b_atomic: CounterMatrix<f64, Atomic> = b_dense.to_backend();
+        for row in 0..3 {
+            let expect: f64 = (0..4)
+                .map(|c| a_dense.get(row, c) * b_dense.get(row, c))
+                .sum();
+            assert_eq!(a_dense.row_dot(&b_dense, row), expect, "dense row {row}");
+            assert_eq!(a_atomic.row_dot(&b_atomic, row), expect, "atomic row {row}");
+        }
+    }
+
+    #[test]
+    fn backend_conversion_preserves_cells() {
+        let atomic = fill::<Atomic>();
+        let dense: CounterMatrix<f64, Dense> = atomic.to_backend();
+        assert_eq!(dense, atomic);
+        let back: CounterMatrix<f64, Atomic> = dense.to_backend();
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn u16_cells_work_in_both_backends() {
+        let mut d = CounterMatrix::<u16>::new(4, 1);
+        let mut a = CounterMatrix::<u16, Atomic>::new(4, 1);
+        for (i, delta) in [(0usize, 7u16), (1, 1), (0, 3)] {
+            d.add(0, i, delta);
+            a.add(0, i, delta);
+        }
+        assert_eq!(d.snapshot(), vec![10, 1, 0, 0]);
+        assert_eq!(d, a);
+        // Shared u16 adds go through the CAS path and wrap at 16 bits.
+        a.add_shared(0, 0, u16::MAX);
+        assert_eq!(a.get(0, 0), 10u16.wrapping_add(u16::MAX));
+    }
+
+    #[test]
+    fn i64_wrapping_matches_between_paths() {
+        let mut m = CounterMatrix::<i64, Atomic>::new(1, 1);
+        m.add(0, 0, i64::MAX);
+        m.add_shared(0, 0, 1); // fetch_add wraps in two's complement
+        assert_eq!(m.get(0, 0), i64::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn from_cells_rejects_bad_shape() {
+        let _ = CounterMatrix::<f64>::from_cells(3, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn backend_labels() {
+        assert_eq!(Dense::LABEL, "dense");
+        assert_eq!(Atomic::LABEL, "atomic");
+    }
+
+    #[test]
+    fn clone_decouples_atomic_storage() {
+        let m = fill::<Atomic>();
+        let mut c = m.clone();
+        c.add(0, 0, 100.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 0), 100.0);
+    }
+}

@@ -145,6 +145,49 @@ pub trait PointQuerySketch {
     }
 }
 
+/// A sketch whose counters can be fed through a **shared reference**,
+/// lock-free — the ingest contract behind
+/// `bas_pipeline::ConcurrentIngest`, where N threads feed *one*
+/// sketch (1× memory) instead of N same-seed shards (N× memory).
+///
+/// Implemented by the linear, matrix-backed sketches when their
+/// [`CounterBackend`](crate::storage::CounterBackend) supports shared
+/// accumulation (today: the [`Atomic`](crate::storage::Atomic)
+/// backend). Sketches whose updates are state-dependent (CM-CU,
+/// CML-CU, the bias-maintaining S/R types) cannot implement this —
+/// their read-modify-write cycles are exactly what lock-freedom per
+/// counter cannot express, the same structural property that already
+/// excludes them from merging.
+///
+/// # Exactness
+/// Shared updates land in nondeterministic order. For integer-valued
+/// deltas `f64` addition is exact and therefore order-independent:
+/// the concurrent result is bit-for-bit equal to any sequential
+/// ingest. For general reals, each counter may differ in the last ulp
+/// (same caveat as shard merging).
+///
+/// # Consistency
+/// Individual counter updates are atomic, but a query concurrent with
+/// ingest may observe some rows of an in-flight update and not others.
+/// Quiesce writers (as `ConcurrentIngest` does around `flush`) before
+/// querying for exact results.
+pub trait SharedSketch: PointQuerySketch + Sync {
+    /// Applies `x_item ← x_item + delta` through a shared reference.
+    fn update_shared(&self, item: u64, delta: f64);
+
+    /// Applies a batch of updates through a shared reference,
+    /// equivalent to calling
+    /// [`update_shared`](SharedSketch::update_shared) per item. The
+    /// matrix-backed sketches override it with the same
+    /// dispatch-hoisted pass as
+    /// [`update_batch`](PointQuerySketch::update_batch).
+    fn update_batch_shared(&self, items: &[(u64, f64)]) {
+        for &(item, delta) in items {
+            self.update_shared(item, delta);
+        }
+    }
+}
+
 /// Error returned when two sketches cannot be merged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MergeError {

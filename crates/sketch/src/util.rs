@@ -1,5 +1,7 @@
-//! Small numeric helpers shared by the sketches: medians and counter
-//! grids.
+//! Small numeric helpers shared by the sketches: medians over rows.
+//!
+//! (Counter storage lives in [`crate::storage`]; this module keeps the
+//! pure numeric routines.)
 
 /// Returns the median of a slice, averaging the two central elements for
 /// even lengths — the `median(x)` of the paper's notation table.
@@ -33,93 +35,40 @@ pub fn median(values: &[f64]) -> f64 {
     median_in_place(&mut buf)
 }
 
-/// A dense `depth × width` grid of `f64` counters stored row-major.
+/// Depths at or below this bound keep the scratch buffer of
+/// [`median_of_rows`] on the stack. Every practical configuration
+/// qualifies — the paper's experiments use `d ≤ 10`.
+pub const MEDIAN_SCRATCH_DEPTH: usize = 64;
+
+/// Computes `median_{row < depth} value_of_row(row)` — the recovery
+/// step shared by every median-recovery estimate path — **without a
+/// per-query heap allocation** for `depth ≤ `[`MEDIAN_SCRATCH_DEPTH`].
 ///
-/// All linear sketches are a counter grid plus hash functions; keeping
-/// the storage in one flat allocation keeps updates cache-friendly and
-/// makes merging a single vectorizable loop.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[derive(Debug, Clone, PartialEq)]
-pub struct CounterGrid {
-    cells: Vec<f64>,
-    width: usize,
-    depth: usize,
-}
-
-impl CounterGrid {
-    /// Creates a zeroed grid.
-    pub fn new(width: usize, depth: usize) -> Self {
-        Self {
-            cells: vec![0.0; width * depth],
-            width,
-            depth,
+/// Rows are evaluated in order (`0, 1, …, depth-1`), so replacing a
+/// collect-into-`Vec` loop with this helper is bit-for-bit neutral; it
+/// only moves the scratch buffer from the heap to the stack.
+///
+/// # Panics
+/// Panics if `depth` is zero.
+///
+/// ```
+/// use bas_sketch::util::median_of_rows;
+///
+/// let rows = [5.0, 1.0, 3.0];
+/// assert_eq!(median_of_rows(rows.len(), |r| rows[r]), 3.0);
+/// ```
+#[inline]
+pub fn median_of_rows<F: FnMut(usize) -> f64>(depth: usize, mut value_of_row: F) -> f64 {
+    assert!(depth > 0, "median of empty slice");
+    if depth <= MEDIAN_SCRATCH_DEPTH {
+        let mut scratch = [0.0f64; MEDIAN_SCRATCH_DEPTH];
+        for (row, slot) in scratch[..depth].iter_mut().enumerate() {
+            *slot = value_of_row(row);
         }
-    }
-
-    /// Grid width (buckets per row).
-    #[inline]
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Grid depth (number of rows).
-    #[inline]
-    pub fn depth(&self) -> usize {
-        self.depth
-    }
-
-    /// Immutable access to a cell.
-    #[inline]
-    pub fn get(&self, row: usize, col: usize) -> f64 {
-        debug_assert!(row < self.depth && col < self.width);
-        self.cells[row * self.width + col]
-    }
-
-    /// Adds `delta` to a cell.
-    #[inline]
-    pub fn add(&mut self, row: usize, col: usize, delta: f64) {
-        debug_assert!(row < self.depth && col < self.width);
-        self.cells[row * self.width + col] += delta;
-    }
-
-    /// Overwrites a cell (used by conservative update).
-    #[inline]
-    pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        debug_assert!(row < self.depth && col < self.width);
-        self.cells[row * self.width + col] = value;
-    }
-
-    /// A full row as a slice.
-    #[inline]
-    pub fn row(&self, row: usize) -> &[f64] {
-        &self.cells[row * self.width..(row + 1) * self.width]
-    }
-
-    /// A full row as a mutable slice, for callers that sweep one row
-    /// at a time (e.g. per-row batch passes over grids too large to
-    /// stay cache-resident).
-    #[inline]
-    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
-        &mut self.cells[row * self.width..(row + 1) * self.width]
-    }
-
-    /// Element-wise addition of another grid of identical shape.
-    pub fn add_grid(&mut self, other: &CounterGrid) {
-        assert_eq!(self.width, other.width);
-        assert_eq!(self.depth, other.depth);
-        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
-            *a += *b;
-        }
-    }
-
-    /// Number of counter cells.
-    pub fn len(&self) -> usize {
-        self.cells.len()
-    }
-
-    /// Whether the grid has no cells (never true for valid params).
-    pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        median_in_place(&mut scratch[..depth])
+    } else {
+        let mut scratch: Vec<f64> = (0..depth).map(value_of_row).collect();
+        median_in_place(&mut scratch)
     }
 }
 
@@ -183,37 +132,34 @@ mod tests {
     }
 
     #[test]
-    fn grid_accessors() {
-        let mut g = CounterGrid::new(4, 2);
-        assert_eq!(g.len(), 8);
-        assert!(!g.is_empty());
-        g.add(1, 3, 2.5);
-        g.add(1, 3, 0.5);
-        assert_eq!(g.get(1, 3), 3.0);
-        g.set(0, 0, -1.0);
-        assert_eq!(g.row(0), &[-1.0, 0.0, 0.0, 0.0]);
-        assert_eq!(g.row(1), &[0.0, 0.0, 0.0, 3.0]);
-        g.row_mut(0)[2] = 7.0;
-        assert_eq!(g.get(0, 2), 7.0);
+    fn median_of_rows_matches_vec_path() {
+        // Stack path (small depth) and heap path (depth > bound) must
+        // agree with the plain median of the same values.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for depth in [
+            1usize,
+            2,
+            9,
+            MEDIAN_SCRATCH_DEPTH,
+            MEDIAN_SCRATCH_DEPTH + 1,
+            200,
+        ] {
+            let vals: Vec<f64> = (0..depth).map(|_| next()).collect();
+            assert_eq!(
+                median_of_rows(depth, |r| vals[r]),
+                median(&vals),
+                "depth {depth}"
+            );
+        }
     }
 
     #[test]
-    fn grid_addition_is_elementwise() {
-        let mut a = CounterGrid::new(3, 2);
-        let mut b = CounterGrid::new(3, 2);
-        a.add(0, 1, 1.0);
-        b.add(0, 1, 2.0);
-        b.add(1, 2, 5.0);
-        a.add_grid(&b);
-        assert_eq!(a.get(0, 1), 3.0);
-        assert_eq!(a.get(1, 2), 5.0);
-    }
-
-    #[test]
-    #[should_panic]
-    fn grid_addition_shape_mismatch_panics() {
-        let mut a = CounterGrid::new(3, 2);
-        let b = CounterGrid::new(2, 3);
-        a.add_grid(&b);
+    #[should_panic(expected = "median of empty slice")]
+    fn median_of_rows_empty_panics() {
+        median_of_rows(0, |_| 0.0);
     }
 }

@@ -6,6 +6,14 @@
 //! module is the missing glue: it buffers updates into `(item, delta)`
 //! chunks and hands each full chunk to a sink — typically a closure
 //! calling `update_batch`, or a `bas-pipeline` sharded ingester.
+//!
+//! The driver is storage-agnostic: since the counter-matrix refactor
+//! the same chunks feed either an exclusive sketch
+//! (`|chunk| sketch.update_batch(chunk)`) or a shared atomic-backed one
+//! through its lock-free `&self` path
+//! (`|chunk| shared.update_batch_shared(chunk)`), which is exactly how
+//! a receive loop hands chunks to the sketch that `ConcurrentIngest`
+//! workers are feeding from other threads.
 
 use crate::update::StreamUpdate;
 

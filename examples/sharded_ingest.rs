@@ -1,18 +1,21 @@
-//! Sharded ingest: the three single-node ingest paths side by side.
+//! Sharded ingest: the single-node ingest paths side by side.
 //!
 //! A stream of per-second request counts (biased around a shared level,
 //! a few anomalous seconds) is fed through the same `CountSketch`
-//! configuration three ways:
+//! configuration four ways:
 //!
 //! 1. **single** — one `update` call per item, the classical hot path;
 //! 2. **batched** — `drive_chunked` + `update_batch`, the fast path
 //!    that hoists the hash-family dispatch out of the item loop;
 //! 3. **sharded** — `ShardedIngest`, batches fanned across per-thread
 //!    shard sketches merged once by linearity (the paper's distributed
-//!    protocol of §5.5 collapsed onto one machine).
+//!    protocol of §5.5 collapsed onto one machine) — k× counter memory;
+//! 4. **concurrent-shared** — `ConcurrentIngest`, the same worker
+//!    threads feeding **one** `Atomic`-backed sketch through lock-free
+//!    counter adds — 1× counter memory, no merge step.
 //!
-//! All three produce the *same sketch* (bit-for-bit on this
-//! integer-delta stream); only the throughput differs.
+//! All four produce the *same sketch* (bit-for-bit on this
+//! integer-delta stream); only throughput and memory differ.
 //!
 //! Run with: `cargo run --release --example sharded_ingest`
 
@@ -94,7 +97,31 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // Same sketch, three ways: spot-check estimates agree exactly.
+    // Path 4: worker threads feeding ONE shared atomic-backed sketch.
+    // ------------------------------------------------------------------
+    let mut shared_sketches = Vec::new();
+    for workers in [2usize, 4, 8] {
+        let t = Instant::now();
+        let mut ingest = ConcurrentIngest::new(workers, AtomicCountSketch::with_backend(&params));
+        ingest.extend_from_slice(&updates);
+        let sk = ingest.finish();
+        report(
+            &format!("concurrent-{workers}"),
+            total_updates,
+            t.elapsed().as_secs_f64(),
+            single_secs,
+        );
+        shared_sketches.push(sk);
+    }
+    let words = single.size_in_words();
+    println!(
+        "  (memory: concurrent-shared holds {words} counter words at any worker \
+         count; sharded-8 held {} until its merge)",
+        8 * words
+    );
+
+    // ------------------------------------------------------------------
+    // Same sketch, four ways: spot-check estimates agree exactly.
     // ------------------------------------------------------------------
     let mut checked = 0u32;
     for j in (0..n).step_by(37_021) {
@@ -103,11 +130,15 @@ fn main() {
         for sk in &sharded_sketches {
             assert_eq!(sk.estimate(j), reference, "sharded item {j}");
         }
+        for sk in &shared_sketches {
+            assert_eq!(sk.estimate(j), reference, "concurrent item {j}");
+        }
         checked += 1;
     }
     println!("\nall paths agree exactly on {checked} spot-checked estimates");
     println!(
-        "(linearity: merged same-seed shard sketches == the single-threaded sketch, paper §5.5)"
+        "(linearity: merged same-seed shard sketches == the single-threaded sketch, paper §5.5;\n \
+         order-independence: lock-free adds into one shared sketch == the same sketch again)"
     );
 }
 

@@ -22,8 +22,9 @@
 //!   order-statistic treap, the `Υ` sampler;
 //! * [`distributed`] — the sites-plus-coordinator
 //!   protocol with communication metering;
-//! * [`pipeline`] — batched + sharded single-node ingest:
-//!   per-thread shard sketches merged by linearity;
+//! * [`pipeline`] — batched, sharded, and concurrent-shared
+//!   single-node ingest: per-thread shard sketches merged by
+//!   linearity, or N threads feeding one atomic-backed sketch;
 //! * [`data`] — workload generators standing in for the
 //!   paper's datasets, plus from-scratch samplers;
 //! * [`eval`] — the figure-reproduction harness;
@@ -71,10 +72,12 @@ pub mod prelude {
         L2SketchRecover, SampleCount,
     };
     pub use bas_distributed::{DistributedRun, SiteData};
-    pub use bas_pipeline::ShardedIngest;
+    pub use bas_pipeline::{ConcurrentIngest, ShardedIngest};
     pub use bas_sketch::{
-        CountMedian, CountMin, CountMinLog, CountSketch, HeavyHitters, MergeableSketch,
-        PointQuerySketch, RangeSumSketch, SketchParams, UpdatePolicy,
+        storage, Atomic, AtomicCountMedian, AtomicCountMin, AtomicCountSketch, CountMedian,
+        CountMin, CountMinLog, CountSketch, CounterBackend, CounterMatrix, Dense, HeavyHitters,
+        MergeableSketch, PointQuerySketch, RangeSumSketch, SharedSketch, SketchParams,
+        UpdatePolicy,
     };
     pub use bas_stream::{drive_chunked, BiasHeap, ChunkedDriver, SortedSampler, StreamUpdate};
 }

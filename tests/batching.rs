@@ -7,7 +7,11 @@
 //! 2. `ShardedIngest` with `k` shards ≡ a single-threaded sketch
 //!    (bit-for-bit on integer-delta streams, where `f64` addition is
 //!    exact, so linearity holds with no rounding caveat);
-//! 3. the chunked driver delivers every update exactly once, in order.
+//! 3. the chunked driver delivers every update exactly once, in order;
+//! 4. storage-layer equivalences: the `Atomic` backend is unobservable
+//!    under sequential (exclusive) ingest, and `ConcurrentIngest` into
+//!    one shared sketch matches the single-threaded reference exactly
+//!    on integer deltas / within 1e-9 relative on fractional ones.
 
 use bias_aware_sketches::core::{
     L1Config, L1SketchRecover, L2BiasMaintenance, L2Config, L2SketchRecover,
@@ -35,8 +39,12 @@ fn arrivals() -> impl Strategy<Value = Vec<(u64, f64)>> {
         .prop_map(|v| v.into_iter().map(|(i, d)| (i, d as f64)).collect())
 }
 
-/// Asserts estimates agree bit-for-bit on the whole universe.
-fn assert_estimates_equal<S: PointQuerySketch>(a: &S, b: &S) -> Result<(), TestCaseError> {
+/// Asserts estimates agree bit-for-bit on the whole universe (the two
+/// sketches may differ in type — e.g. Dense- vs Atomic-backed).
+fn assert_estimates_equal<A: PointQuerySketch, B: PointQuerySketch>(
+    a: &A,
+    b: &B,
+) -> Result<(), TestCaseError> {
     for j in 0..N {
         prop_assert_eq!(a.estimate(j), b.estimate(j));
     }
@@ -191,6 +199,83 @@ proptest! {
         for j in 0..N {
             let (a, b) = (merged.estimate(j), reference.estimate(j));
             prop_assert!((a - b).abs() <= 1e-12 * scale, "item {}: {} vs {}", j, a, b);
+        }
+    }
+
+    /// Storage layer: under exclusive access the Atomic backend must
+    /// be bit-for-bit indistinguishable from Dense, for every sketch
+    /// update path.
+    #[test]
+    fn atomic_backend_sequential_equals_dense(updates in turnstile(), seed in 0u64..500) {
+        let p = SketchParams::new(N, 16, 3).with_seed(seed);
+        let mut dense = CountSketch::new(&p);
+        let mut atomic = AtomicCountSketch::with_backend(&p);
+        dense.update_batch(&updates);
+        atomic.update_batch(&updates);
+        assert_estimates_equal(&dense, &atomic)?;
+
+        let mut dense = CountMedian::new(&p);
+        let mut atomic = AtomicCountMedian::with_backend(&p);
+        for &(i, d) in &updates {
+            dense.update(i, d);
+            atomic.update(i, d);
+        }
+        assert_estimates_equal(&dense, &atomic)?;
+    }
+
+    /// Storage layer: shared (`&self`) ingest equals exclusive ingest
+    /// when applied sequentially — the atomic add itself is exact.
+    #[test]
+    fn shared_updates_equal_exclusive_updates(updates in turnstile(), seed in 0u64..500) {
+        let p = SketchParams::new(N, 16, 3).with_seed(seed);
+        let mut exclusive = AtomicCountSketch::with_backend(&p);
+        let shared = AtomicCountSketch::with_backend(&p);
+        for &(i, d) in &updates {
+            exclusive.update(i, d);
+            shared.update_shared(i, d);
+        }
+        assert_estimates_equal(&exclusive, &shared)?;
+    }
+
+    /// The tentpole concurrency claim: N threads feeding ONE shared
+    /// atomic-backed sketch equal the single-threaded sketch exactly on
+    /// integer deltas (exact addition is order-independent).
+    #[test]
+    fn concurrent_ingest_equals_single_threaded(
+        updates in arrivals(),
+        seed in 0u64..200,
+        workers in 1usize..5,
+        flush_at in 1usize..64,
+    ) {
+        let p = SketchParams::new(N, 16, 3).with_seed(seed);
+        let mut ingest = ConcurrentIngest::new(workers, AtomicCountSketch::with_backend(&p))
+            .with_flush_threshold(flush_at);
+        ingest.extend_from_slice(&updates);
+        let shared = ingest.finish();
+        let mut reference = CountSketch::new(&p);
+        for &(i, d) in &updates { reference.update(i, d); }
+        assert_estimates_equal(&shared, &reference)?;
+    }
+
+    /// General real deltas through the shared path: equal up to
+    /// reordered floating-point rounding.
+    #[test]
+    fn concurrent_ingest_real_deltas_close(
+        updates in turnstile(),
+        seed in 0u64..200,
+        workers in 2usize..5,
+    ) {
+        let p = SketchParams::new(N, 16, 3).with_seed(seed);
+        let mut ingest = ConcurrentIngest::new(workers, AtomicCountMedian::with_backend(&p))
+            .with_flush_threshold(16);
+        ingest.extend_from_slice(&updates);
+        let shared = ingest.finish();
+        let mut reference = CountMedian::new(&p);
+        reference.update_batch(&updates);
+        let scale: f64 = updates.iter().map(|(_, d)| d.abs()).sum::<f64>() + 1.0;
+        for j in 0..N {
+            let (a, b) = (shared.estimate(j), reference.estimate(j));
+            prop_assert!((a - b).abs() <= 1e-9 * scale, "item {}: {} vs {}", j, a, b);
         }
     }
 

@@ -1,6 +1,8 @@
 //! Linearity across the whole stack: merging sketches must equal
-//! sketching the summed stream, and the distributed protocol must be
-//! exactly equivalent to centralized sketching.
+//! sketching the summed stream, the distributed protocol must be
+//! exactly equivalent to centralized sketching, and the shared-counter
+//! ingest path must commute with both (atomic adds are just another
+//! order of the same sums).
 
 use bias_aware_sketches::prelude::*;
 
@@ -168,4 +170,75 @@ fn distributed_run_with_many_sites_scales_communication_linearly() {
         run8.total_words,
         "communication should double with twice the sites"
     );
+}
+
+#[test]
+fn atomic_backed_sketches_merge_like_dense_ones() {
+    // Linearity is a property of the counters' values, not their
+    // storage: merging Atomic-backed sketches equals merging Dense
+    // ones on the same shards.
+    let n = 400u64;
+    let (shards, _) = split_updates(n, 3, 41);
+    let params = SketchParams::new(n, 64, 5).with_seed(5);
+    let mut dense_merged = CountSketch::new(&params);
+    let mut atomic_merged = AtomicCountSketch::with_backend(&params);
+    for shard in &shards {
+        let mut dense_local = CountSketch::new(&params);
+        let mut atomic_local = AtomicCountSketch::with_backend(&params);
+        for &(i, d) in shard {
+            dense_local.update(i, d);
+            atomic_local.update(i, d);
+        }
+        dense_merged.merge_from(&dense_local).unwrap();
+        atomic_merged.merge_from(&atomic_local).unwrap();
+    }
+    for j in 0..n {
+        assert_eq!(
+            dense_merged.estimate(j),
+            atomic_merged.estimate(j),
+            "item {j}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_shared_ingest_is_linear_too() {
+    // One shared sketch fed by N threads == merging per-shard sketches
+    // == centralized ingest, on integer-delta streams. The three
+    // multi-party stories (shared counters, local merge, distributed
+    // protocol) describe the same linear object.
+    let n = 500u64;
+    let mut shards = vec![Vec::new(); 3];
+    for step in 0..4_000u64 {
+        // Integer deltas keep all paths bit-for-bit comparable.
+        let item = (step * 31 + 7) % n;
+        let delta = (step % 6) as f64;
+        shards[(step % 3) as usize].push((item, delta));
+    }
+    let params = SketchParams::new(n, 64, 5).with_seed(11);
+
+    let mut concurrent = ConcurrentIngest::new(3, AtomicCountMedian::with_backend(&params))
+        .with_flush_threshold(256);
+    for shard in &shards {
+        concurrent.extend_from_slice(shard);
+    }
+    let shared = concurrent.finish();
+
+    let mut merged = CountMedian::new(&params);
+    for shard in &shards {
+        let mut local = CountMedian::new(&params);
+        local.update_batch(shard);
+        merged.merge_from(&local).unwrap();
+    }
+
+    let sites: Vec<SiteData> = shards
+        .iter()
+        .map(|s| SiteData::from_updates(s.clone()))
+        .collect();
+    let run = DistributedRun::execute(&sites, || CountMedian::new(&params));
+
+    for j in 0..n {
+        assert_eq!(shared.estimate(j), merged.estimate(j), "shared item {j}");
+        assert_eq!(shared.estimate(j), run.global.estimate(j), "dist item {j}");
+    }
 }

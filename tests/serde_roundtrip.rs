@@ -8,6 +8,7 @@ use bias_aware_sketches::hashing::{
     BucketHasher, CarterWegman, SignHash, SignHasher, SplitMix64, Tabulation,
 };
 use bias_aware_sketches::prelude::*;
+use bias_aware_sketches::sketches::storage::{Atomic, CounterMatrix, Dense};
 
 fn populated<T: PointQuerySketch>(mut sk: T) -> T {
     for i in 0..400u64 {
@@ -130,4 +131,87 @@ fn configs_roundtrip() {
     let back: SketchParams =
         serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
     assert_eq!(params, back);
+}
+
+#[test]
+fn counter_matrix_roundtrips_dense() {
+    let mut m = CounterMatrix::<f64>::new(5, 3);
+    for row in 0..3 {
+        for col in 0..5 {
+            m.add(row, col, (row * 5 + col) as f64 * 0.5 - 3.0);
+        }
+    }
+    let json = serde_json::to_string(&m).unwrap();
+    let back: CounterMatrix<f64> = serde_json::from_str(&json).unwrap();
+    assert_eq!(m, back);
+    assert_eq!(back.width(), 5);
+    assert_eq!(back.depth(), 3);
+}
+
+#[test]
+fn counter_matrix_atomic_serializes_as_dense_snapshot() {
+    // The wire format is backend-independent: an Atomic matrix ships
+    // its dense snapshot and can be read back into either backend.
+    let atomic = {
+        let m = CounterMatrix::<f64, Atomic>::new(4, 2);
+        m.add_shared(0, 1, 7.5);
+        m.add_shared(1, 3, -2.0);
+        m
+    };
+    let wire_atomic = serde_json::to_string(&atomic).unwrap();
+    let dense: CounterMatrix<f64, Dense> = atomic.to_backend();
+    let wire_dense = serde_json::to_string(&dense).unwrap();
+    assert_eq!(wire_atomic, wire_dense, "identical bytes on the wire");
+
+    let back_dense: CounterMatrix<f64, Dense> = serde_json::from_str(&wire_atomic).unwrap();
+    let back_atomic: CounterMatrix<f64, Atomic> = serde_json::from_str(&wire_atomic).unwrap();
+    assert_eq!(back_dense, atomic);
+    assert_eq!(back_atomic, atomic);
+}
+
+#[test]
+fn counter_matrix_integer_cells_roundtrip() {
+    let mut m = CounterMatrix::<u64>::new(3, 2);
+    m.add(1, 2, 41);
+    m.add(1, 2, 1);
+    let back: CounterMatrix<u64> =
+        serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(m, back);
+}
+
+#[test]
+fn counter_matrix_rejects_shape_mismatch_on_the_wire() {
+    let bad = r#"{"cells":[1.0,2.0,3.0],"width":2,"depth":2}"#;
+    let res: Result<CounterMatrix<f64>, _> = serde_json::from_str(bad);
+    assert!(res.is_err());
+    let missing = r#"{"cells":[1.0,2.0],"width":2}"#;
+    let res: Result<CounterMatrix<f64>, _> = serde_json::from_str(missing);
+    assert!(res.is_err());
+}
+
+#[test]
+fn atomic_backed_sketch_roundtrips_through_dense_wire_format() {
+    // An Atomic-backed ingest sketch serializes to exactly the same
+    // bytes as its Dense twin and deserializes into either backend —
+    // so a ConcurrentIngest site can ship its sketch to a coordinator
+    // that knows nothing about storage backends.
+    use bias_aware_sketches::prelude::*;
+    let params = SketchParams::new(300, 32, 5).with_seed(9);
+    let mut atomic = AtomicCountSketch::with_backend(&params);
+    let mut dense = CountSketch::new(&params);
+    for i in 0..300u64 {
+        atomic.update(i, (i % 11) as f64);
+        dense.update(i, (i % 11) as f64);
+    }
+    let wire_atomic = serde_json::to_string(&atomic).unwrap();
+    let wire_dense = serde_json::to_string(&dense).unwrap();
+    assert_eq!(wire_atomic, wire_dense);
+
+    let back: CountSketch = serde_json::from_str(&wire_atomic).unwrap();
+    let mut merged: AtomicCountSketch = serde_json::from_str(&wire_dense).unwrap();
+    merged.merge_from(&atomic).unwrap();
+    for j in (0..300u64).step_by(7) {
+        assert_eq!(back.estimate(j), atomic.estimate(j), "item {j}");
+        assert!((merged.estimate(j) - 2.0 * atomic.estimate(j)).abs() < 1e-9);
+    }
 }
