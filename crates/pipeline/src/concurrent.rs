@@ -11,6 +11,7 @@
 //! last flush returns.
 
 use crate::buffer::IngestBuffer;
+use crate::epoch::EpochGuard;
 use bas_sketch::SharedSketch;
 use bas_stream::StreamUpdate;
 
@@ -154,17 +155,35 @@ impl<S: SharedSketch + Send> ConcurrentIngest<S> {
     /// `update_batch_shared` on its own scoped thread — all of them
     /// into the **same** counter plane. Returns with all workers
     /// joined, so the sketch is settled.
+    ///
+    /// If the sketch publishes a write epoch
+    /// ([`SharedSketch::write_epoch`], e.g. through an
+    /// [`EpochSketch`](crate::EpochSketch) wrapper), the whole flush —
+    /// spawn, apply, join — runs inside one write section, and the
+    /// stream position is advanced via [`SharedSketch::note_applied`]
+    /// before the section closes. Seqlock snapshot readers therefore
+    /// only ever capture flush *boundaries*: prefixes of the pushed
+    /// stream, never a mix of an in-flight flush. Plain sketches
+    /// publish no epoch and skip the bracket entirely.
     pub fn flush(&mut self) {
         let sketch = &self.sketch;
         let workers = self.workers;
         self.buf.drain(|pending| {
             let chunk = pending.len().div_ceil(workers);
+            let guard = sketch.write_epoch().map(EpochGuard::enter);
             crossbeam::scope(|scope| {
                 for chunk in pending.chunks(chunk) {
                     scope.spawn(move |_| sketch.update_batch_shared(chunk));
                 }
             })
             .expect("concurrent ingest worker panicked");
+            if guard.is_some() {
+                // Only epoch-published sketches track stream position;
+                // plain sketches' note_applied is a no-op, so skip the
+                // O(buffer) mass sum on their hot path.
+                sketch.note_applied(pending.len() as u64, pending.iter().map(|&(_, d)| d).sum());
+            }
+            drop(guard); // close the write section: the flush is visible
         });
     }
 

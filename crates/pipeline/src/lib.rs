@@ -43,6 +43,16 @@
 //! integer-delta streams (order-independence of exact addition); the
 //! `throughput_ingest` bench reports them head-to-head.
 //!
+//! ## Reading while writing: the epoch module
+//!
+//! [`epoch`] turns `ConcurrentIngest`'s write-only concurrency into a
+//! full read-while-write **query plane**: wrap the shared sketch in an
+//! [`EpochSketch`] and every flush runs inside a seqlock write section,
+//! so readers can [`pin`](EpochSketch::pin) consistent
+//! [`SnapshotHandle`]s — frozen views that always equal the sketch of a
+//! *prefix* of the pushed stream — while writers keep flushing. The
+//! `bas-serve` crate packages this split as a `QueryEngine`.
+//!
 //! Non-linear sketches (CM-CU, CML-CU) are rejected by the type
 //! system, exactly as in the distributed protocol: [`ShardedIngest`]
 //! requires [`MergeableSketch`](bas_sketch::MergeableSketch), and
@@ -61,7 +71,9 @@
 
 mod buffer;
 mod concurrent;
+pub mod epoch;
 mod sharded;
 
 pub use concurrent::ConcurrentIngest;
+pub use epoch::{EpochGuard, EpochHandle, EpochSketch, SnapshotHandle};
 pub use sharded::ShardedIngest;

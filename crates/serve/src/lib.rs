@@ -1,0 +1,468 @@
+//! # bas-serve — the live query plane
+//!
+//! Everything below this crate moves data *into* sketches; this crate
+//! serves queries *out of* one **while writers are still feeding it**.
+//! A [`QueryEngine`] owns the write side — a
+//! [`ConcurrentIngest`] fanning each
+//! flush across N worker threads into one shared `Atomic`-backed
+//! sketch — and hands out any number of cloneable [`QueryHandle`]s for
+//! the read side. Two read modes, chosen per query:
+//!
+//! * **live** ([`QueryHandle::estimate_live`]) — reads the atomic cells
+//!   directly, lock-free, never waits. Each cell is one atomic word,
+//!   so a single-cell read is always a real value; a multi-cell
+//!   estimate may mix counters from an in-flight flush. Right for
+//!   monitoring-grade point reads where a bounded smear across one
+//!   flush is acceptable.
+//! * **snapshot** ([`QueryHandle::pin`]) — freezes an epoch-consistent
+//!   dense copy via the seqlock in `bas_pipeline::epoch`. Every pinned
+//!   view equals the sketch of a **prefix** of the pushed stream, so
+//!   multi-cell queries (median-of-rows estimates, heavy-hitter scans,
+//!   range decompositions, inner products) are exactly as trustworthy
+//!   as on a quiesced sketch. [`SnapshotHandle::refresh`] re-pins into
+//!   the same buffer, so steady-state readers allocate nothing.
+//!
+//! The engine is generic over any sketch that is both
+//! [`SharedSketch`] (lock-free shared ingest)
+//! and [`Snapshottable`] (freezable counters): Count-Median,
+//! Count-Sketch, Count-Min (plain), and the dyadic range-sum stack.
+//!
+//! ```
+//! use bas_serve::QueryEngine;
+//! use bas_sketch::{AtomicCountMedian, SketchParams};
+//!
+//! let params = SketchParams::new(10_000, 256, 5).with_seed(8);
+//! let mut engine = QueryEngine::new(4, AtomicCountMedian::with_backend(&params));
+//!
+//! // Writer side: push updates; full buffers flush across 4 threads.
+//! for i in 0..20_000u64 {
+//!     engine.push(i % 10_000, 1.0);
+//! }
+//! engine.flush();
+//!
+//! // Reader side: live point reads and consistent snapshots. On a
+//! // quiesced engine the two modes agree bit-for-bit.
+//! let snap = engine.pin();
+//! assert_eq!(snap.applied(), 20_000);
+//! assert_eq!(snap.estimate(42), engine.estimate_live(42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bas_pipeline::{ConcurrentIngest, EpochHandle, SnapshotHandle};
+use bas_sketch::{
+    CountSketch, CounterBackend, HeavyHitter, MergeError, RangeSumSketch, SharedSketch,
+    Snapshottable,
+};
+use bas_stream::StreamUpdate;
+
+/// A query engine over one concurrently-fed sketch: the write side is
+/// a [`ConcurrentIngest`] (N worker threads, one shared counter
+/// plane), the read side is any number of [`QueryHandle`]s serving
+/// live and snapshot reads — see the crate docs for the mode choice.
+///
+/// The `&mut self` methods are the single-producer write side (hand
+/// the engine to your ingest thread); [`handle`](QueryEngine::handle)
+/// clones are the multi-consumer read side (hand one to each reader
+/// thread). Readers never block writers: snapshot pins retry across
+/// in-flight flushes instead of locking them out.
+#[derive(Debug)]
+pub struct QueryEngine<S: SharedSketch + Snapshottable + Send> {
+    ingest: ConcurrentIngest<EpochHandle<S>>,
+}
+
+impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
+    /// Creates an engine whose flushes fan across `workers` threads.
+    /// The sketch must be built on a shared-capable backend (e.g.
+    /// [`bas_sketch::Atomic`]).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, sketch: S) -> Self {
+        Self {
+            ingest: ConcurrentIngest::new(workers, EpochHandle::new(sketch)),
+        }
+    }
+
+    /// Overrides the flush threshold (see
+    /// [`ConcurrentIngest::with_flush_threshold`]). Smaller thresholds
+    /// mean fresher snapshots (more flush boundaries) at more
+    /// per-flush overhead.
+    ///
+    /// # Panics
+    /// Panics if `updates` is zero.
+    pub fn with_flush_threshold(mut self, updates: usize) -> Self {
+        self.ingest = self.ingest.with_flush_threshold(updates);
+        self
+    }
+
+    // ---- write side (single producer, `&mut self`) ----
+
+    /// Buffers one update, flushing across the workers when the buffer
+    /// fills.
+    pub fn push(&mut self, item: u64, delta: f64) {
+        self.ingest.push(item, delta);
+    }
+
+    /// Buffers a slice of updates, flushing as the buffer fills.
+    pub fn extend_from_slice(&mut self, updates: &[(u64, f64)]) {
+        self.ingest.extend_from_slice(updates);
+    }
+
+    /// Buffers a stream of [`StreamUpdate`]s, flushing as the buffer
+    /// fills.
+    pub fn extend_updates<I: IntoIterator<Item = StreamUpdate>>(&mut self, updates: I) {
+        self.ingest.extend_updates(updates);
+    }
+
+    /// Applies all buffered updates now. After this returns, the next
+    /// pinned snapshot captures everything pushed so far.
+    pub fn flush(&mut self) {
+        self.ingest.flush();
+    }
+
+    /// Flushes the remainder and returns the shared sketch handle; the
+    /// engine's write side is gone, readers (and their snapshots)
+    /// remain valid.
+    pub fn finish(mut self) -> EpochHandle<S> {
+        self.ingest.flush();
+        self.ingest.finish()
+    }
+
+    // ---- read side (`&self`; or clone a `QueryHandle` per thread) ----
+
+    /// A cloneable read handle for another thread.
+    pub fn handle(&self) -> QueryHandle<S> {
+        QueryHandle {
+            shared: self.ingest.sketch().clone(),
+        }
+    }
+
+    /// Live lock-free point estimate — see the crate docs for when the
+    /// live mode is appropriate.
+    pub fn estimate_live(&self, item: u64) -> f64 {
+        self.ingest.sketch().sketch().estimate(item)
+    }
+
+    /// Pins an epoch-consistent snapshot of everything flushed so far.
+    pub fn pin(&self) -> SnapshotHandle<S> {
+        self.ingest.sketch().pin()
+    }
+
+    /// Heavy hitters as of a pinned snapshot: every item whose
+    /// snapshot estimate reaches `phi` times the snapshot's total
+    /// mass, sorted by decreasing estimate. A full universe scan
+    /// (`O(n·d)`) — the serving-side complement of the streaming
+    /// [`bas_sketch::HeavyHitters`] tracker, with no tracker state to
+    /// maintain on the hot write path.
+    ///
+    /// An empty (or net-non-positive) snapshot has no heavy hitters:
+    /// with zero mass every threshold is vacuous, so the scan returns
+    /// the empty list rather than the whole universe.
+    ///
+    /// # Panics
+    /// Panics unless `0 < phi < 1`.
+    pub fn heavy_hitters_in(&self, snap: &SnapshotHandle<S>, phi: f64) -> Vec<HeavyHitter> {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
+        if snap.mass() <= 0.0 {
+            return Vec::new();
+        }
+        let sketch = self.ingest.sketch().sketch();
+        let threshold = phi * snap.mass();
+        let mut out: Vec<HeavyHitter> = (0..sketch.universe())
+            .filter_map(|item| {
+                let estimate = sketch.estimate_in(snap.snapshot(), item);
+                (estimate >= threshold).then_some(HeavyHitter { item, estimate })
+            })
+            .collect();
+        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.item.cmp(&b.item)));
+        out
+    }
+
+    /// Convenience: pin a fresh snapshot and scan it — see
+    /// [`heavy_hitters_in`](QueryEngine::heavy_hitters_in).
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<HeavyHitter> {
+        let snap = self.pin();
+        self.heavy_hitters_in(&snap, phi)
+    }
+
+    // ---- bookkeeping ----
+
+    /// Worker threads per flush.
+    pub fn workers(&self) -> usize {
+        self.ingest.workers()
+    }
+
+    /// Updates applied in completed flushes (what a snapshot pinned
+    /// now would capture).
+    pub fn applied(&self) -> u64 {
+        self.ingest.sketch().applied()
+    }
+
+    /// Updates buffered but not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.ingest.pending()
+    }
+
+    /// Total delta mass applied in completed flushes.
+    pub fn mass(&self) -> f64 {
+        self.ingest.sketch().mass()
+    }
+
+    /// The shared sketch (hash functions + live counters).
+    pub fn sketch(&self) -> &S {
+        self.ingest.sketch().sketch()
+    }
+}
+
+impl<B: CounterBackend> QueryEngine<RangeSumSketch<B>>
+where
+    RangeSumSketch<B>: SharedSketch,
+{
+    /// Range sum `Σ_{a ≤ i ≤ b} x_i` from a pinned snapshot: the whole
+    /// dyadic decomposition reads one consistent stream prefix.
+    ///
+    /// # Panics
+    /// Panics if `a > b` or `b ≥ n`.
+    pub fn range_sum_in(&self, snap: &SnapshotHandle<RangeSumSketch<B>>, a: u64, b: u64) -> f64 {
+        self.sketch().query_in(snap.snapshot(), a, b)
+    }
+
+    /// Convenience: pin a fresh snapshot and answer one range query.
+    pub fn range_sum(&self, a: u64, b: u64) -> f64 {
+        let snap = self.pin();
+        self.range_sum_in(&snap, a, b)
+    }
+}
+
+impl<B: CounterBackend> QueryEngine<CountSketch<B>>
+where
+    CountSketch<B>: SharedSketch,
+{
+    /// Inner-product estimate `⟨x, y⟩` between this engine's stream
+    /// and another engine's, from one pinned snapshot of each — the
+    /// join-size / correlation query, served without quiescing either
+    /// ingest path. Both engines must use identical sketch parameters
+    /// (same seed).
+    ///
+    /// # Errors
+    /// Returns a [`MergeError`] when the configurations differ.
+    pub fn inner_product_with<B2: CounterBackend>(
+        &self,
+        other: &QueryEngine<CountSketch<B2>>,
+    ) -> Result<f64, MergeError>
+    where
+        CountSketch<B2>: SharedSketch,
+    {
+        let mine = self.pin();
+        let theirs = other.pin();
+        self.sketch()
+            .inner_product_in(mine.snapshot(), other.sketch(), theirs.snapshot())
+    }
+}
+
+/// A cloneable, `Send` read handle to a [`QueryEngine`]'s sketch: one
+/// per reader thread. Offers the same read surface as the engine
+/// (live estimates and snapshot pins) without touching the write side.
+///
+/// ```
+/// use bas_serve::QueryEngine;
+/// use bas_sketch::{AtomicCountMedian, SketchParams};
+///
+/// let params = SketchParams::new(1_000, 64, 5).with_seed(3);
+/// let mut engine = QueryEngine::new(2, AtomicCountMedian::with_backend(&params));
+/// let reader = engine.handle();
+///
+/// std::thread::scope(|scope| {
+///     scope.spawn(move || {
+///         let mut snap = reader.pin(); // consistent even mid-ingest
+///         let _ = reader.estimate_live(7); // lock-free
+///         snap.refresh(); // allocation-free re-pin
+///     });
+///     for i in 0..10_000u64 {
+///         engine.push(i % 1_000, 1.0); // writer keeps writing
+///     }
+/// });
+/// ```
+#[derive(Debug)]
+pub struct QueryHandle<S: SharedSketch + Snapshottable + Send> {
+    shared: EpochHandle<S>,
+}
+
+impl<S: SharedSketch + Snapshottable + Send> Clone for QueryHandle<S> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<S: SharedSketch + Snapshottable + Send> QueryHandle<S> {
+    /// Live lock-free point estimate.
+    pub fn estimate_live(&self, item: u64) -> f64 {
+        self.shared.sketch().estimate(item)
+    }
+
+    /// Pins an epoch-consistent snapshot.
+    pub fn pin(&self) -> SnapshotHandle<S> {
+        self.shared.pin()
+    }
+
+    /// Updates applied in completed flushes.
+    pub fn applied(&self) -> u64 {
+        self.shared.applied()
+    }
+
+    /// Total delta mass applied in completed flushes.
+    pub fn mass(&self) -> f64 {
+        self.shared.mass()
+    }
+
+    /// The shared sketch (hash functions + live counters).
+    pub fn sketch(&self) -> &S {
+        self.shared.sketch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sketch::{
+        Atomic, AtomicCountMedian, AtomicCountSketch, CountMedian, PointQuerySketch, SketchParams,
+    };
+
+    fn params() -> SketchParams {
+        SketchParams::new(500, 64, 5).with_seed(77)
+    }
+
+    fn stream(len: u64) -> Vec<(u64, f64)> {
+        (0..len)
+            .map(|i| (i * 11 % 500, (1 + i % 3) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_equals_quiesced_reference_at_flush_boundary() {
+        let updates = stream(4_000);
+        let mut engine = QueryEngine::new(3, AtomicCountMedian::with_backend(&params()))
+            .with_flush_threshold(1_000);
+        engine.extend_from_slice(&updates);
+        let snap = engine.pin();
+        assert_eq!(snap.applied(), 4_000);
+        let mut reference = CountMedian::new(&params());
+        reference.update_batch(&updates);
+        for j in 0..500u64 {
+            assert_eq!(snap.estimate(j), reference.estimate(j), "item {j}");
+            assert_eq!(engine.estimate_live(j), reference.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn readers_run_concurrently_with_the_writer() {
+        let updates = stream(50_000);
+        let total_mass: f64 = updates.iter().map(|&(_, d)| d).sum();
+        let mut engine = QueryEngine::new(4, AtomicCountMedian::with_backend(&params()))
+            .with_flush_threshold(2_000);
+        let readers: Vec<QueryHandle<_>> = (0..2).map(|_| engine.handle()).collect();
+        std::thread::scope(|scope| {
+            for reader in readers {
+                scope.spawn(move || {
+                    let mut snap = reader.pin();
+                    for round in 0..50 {
+                        snap.refresh();
+                        // Non-negative stream: a consistent prefix can
+                        // never exceed the final mass.
+                        assert!(snap.mass() <= total_mass + 1e-9, "round {round}");
+                        for j in (0..500u64).step_by(41) {
+                            assert!(snap.estimate(j) <= snap.mass() + 1e-9);
+                            let _ = reader.estimate_live(j);
+                        }
+                    }
+                });
+            }
+            engine.extend_from_slice(&updates);
+            engine.flush();
+        });
+        assert_eq!(engine.applied(), 50_000);
+        assert_eq!(engine.mass(), total_mass);
+    }
+
+    #[test]
+    fn heavy_hitter_scan_finds_planted_items() {
+        let mut engine = QueryEngine::new(2, AtomicCountMedian::with_backend(&params()));
+        for _ in 0..300 {
+            engine.push(7, 1.0);
+            engine.push(9, 1.0);
+        }
+        for i in 0..400u64 {
+            engine.push(i, 1.0);
+        }
+        engine.flush();
+        let found = engine.heavy_hitters(0.2);
+        let items: Vec<u64> = found.iter().map(|h| h.item).collect();
+        assert!(items.contains(&7) && items.contains(&9), "{items:?}");
+        assert!(items.len() <= 4, "{items:?}");
+        // Sorted by decreasing estimate.
+        for w in found.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+    }
+
+    #[test]
+    fn range_sum_engine_serves_range_queries() {
+        let p = SketchParams::new(256, 128, 5).with_seed(6);
+        let mut engine = QueryEngine::new(2, RangeSumSketch::<Atomic>::with_backend(&p))
+            .with_flush_threshold(64);
+        engine.push(10, 5.0);
+        engine.push(20, 3.0);
+        engine.push(200, 2.0);
+        engine.flush();
+        let est = engine.range_sum(0, 100);
+        assert!((est - 8.0).abs() < 1.0, "est = {est}");
+        let snap = engine.pin();
+        assert_eq!(engine.range_sum_in(&snap, 0, 255), engine.range_sum(0, 255));
+    }
+
+    #[test]
+    fn inner_product_between_two_engines() {
+        let p = SketchParams::new(500, 256, 9).with_seed(41);
+        let mut a = QueryEngine::new(2, AtomicCountSketch::with_backend(&p));
+        let mut b = QueryEngine::new(2, AtomicCountSketch::with_backend(&p));
+        a.push(3, 10.0);
+        a.push(100, -2.0);
+        b.push(3, 5.0);
+        b.push(100, 6.0);
+        a.flush();
+        b.flush();
+        // True <x, y> = 50 - 12 = 38.
+        let est = a.inner_product_with(&b).unwrap();
+        assert!((est - 38.0).abs() < 8.0, "est = {est}");
+    }
+
+    #[test]
+    fn finish_leaves_readers_alive() {
+        let mut engine = QueryEngine::new(2, AtomicCountMedian::with_backend(&params()));
+        let reader = engine.handle();
+        engine.push(3, 4.0);
+        let shared = engine.finish();
+        assert_eq!(shared.sketch().estimate(3), 4.0);
+        assert_eq!(reader.estimate_live(3), 4.0);
+        assert_eq!(reader.pin().estimate(3), 4.0);
+    }
+
+    #[test]
+    fn heavy_hitters_on_an_empty_engine_is_empty() {
+        // Zero mass means every threshold is vacuous; the scan must
+        // return nothing, not the entire universe.
+        let engine = QueryEngine::new(2, AtomicCountMedian::with_backend(&params()));
+        assert!(engine.heavy_hitters(0.05).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in (0,1)")]
+    fn heavy_hitters_rejects_bad_phi() {
+        let engine = QueryEngine::new(1, AtomicCountMedian::with_backend(&params()));
+        let _ = engine.heavy_hitters(1.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Count-Median: CM-matrix sketching with median recovery.
 
+use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
 use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 use crate::util::median_of_rows;
@@ -185,6 +186,34 @@ where
     }
 }
 
+impl<B: CounterBackend> Snapshottable for CountMedian<B> {
+    type Snapshot = CounterMatrix<f64, Dense>;
+
+    fn make_snapshot(&self) -> Self::Snapshot {
+        CounterMatrix::new(self.params.width, self.params.depth)
+    }
+
+    fn snapshot_into(&self, snap: &mut Self::Snapshot) {
+        self.grid.snapshot_into(snap);
+    }
+
+    fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
+        median_of_rows(self.params.depth, |row| {
+            snap.get(row, self.hashers[row].bucket(item))
+        })
+    }
+
+    /// Count-Median is linear, so snapshots add: always `Ok`.
+    fn merge_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        snap.add_matrix(other);
+        Ok(())
+    }
+}
+
 impl<B: CounterBackend> MergeableSketch for CountMedian<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {
@@ -335,6 +364,41 @@ mod tests {
         for j in 0..200u64 {
             assert_eq!(exclusive.estimate(j), shared.estimate(j), "item {j}");
             assert_eq!(exclusive.estimate(j), batch_shared.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn snapshot_estimates_match_live_when_quiescent() {
+        let p = params(300, 32, 5);
+        let mut cm = CountMedian::new(&p);
+        let items: Vec<(u64, f64)> = (0..400u64)
+            .map(|i| (i * 13 % 300, (i % 7) as f64))
+            .collect();
+        cm.update_batch(&items);
+        let snap = cm.snapshot();
+        for j in 0..300u64 {
+            assert_eq!(cm.estimate_in(&snap, j), cm.estimate(j), "item {j}");
+        }
+        // The snapshot is frozen: further updates do not affect it.
+        let before = cm.estimate_in(&snap, 3);
+        cm.update(3, 50.0);
+        assert_eq!(cm.estimate_in(&snap, 3), before);
+    }
+
+    #[test]
+    fn merged_snapshots_equal_snapshot_of_merged_sketch() {
+        let p = params(200, 32, 5);
+        let mut a = CountMedian::new(&p);
+        let mut b = CountMedian::new(&p);
+        for i in 0..200u64 {
+            a.update(i, (i % 5) as f64);
+            b.update(i, (i % 3) as f64);
+        }
+        let mut snap = a.snapshot();
+        a.merge_snapshot(&mut snap, &b.snapshot()).unwrap();
+        a.merge_from(&b).unwrap();
+        for j in (0..200u64).step_by(11) {
+            assert_eq!(a.estimate_in(&snap, j), a.estimate(j), "item {j}");
         }
     }
 

@@ -1,5 +1,6 @@
 //! Count-Min with plain and conservative update policies.
 
+use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
 use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
@@ -266,6 +267,47 @@ where
     }
 }
 
+impl<B: CounterBackend> Snapshottable for CountMin<B> {
+    type Snapshot = CounterMatrix<f64, Dense>;
+
+    fn make_snapshot(&self) -> Self::Snapshot {
+        CounterMatrix::new(self.params.width, self.params.depth)
+    }
+
+    fn snapshot_into(&self, snap: &mut Self::Snapshot) {
+        self.grid.snapshot_into(snap);
+    }
+
+    /// Min-over-rows from the frozen counters. Works for both update
+    /// policies — queries only read.
+    fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
+        let mut best = f64::INFINITY;
+        for (row, h) in self.hashers.iter().enumerate() {
+            let v = snap.get(row, h.bucket(item));
+            if v < best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Snapshots add only under [`UpdatePolicy::Plain`]; conservative
+    /// counters are running maxima, not sums.
+    fn merge_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        if self.policy != UpdatePolicy::Plain {
+            return Err(MergeError::ShapeMismatch {
+                what: "update policies (conservative update is not linear)",
+            });
+        }
+        snap.add_matrix(other);
+        Ok(())
+    }
+}
+
 impl<B: CounterBackend> MergeableSketch for CountMin<B> {
     /// Only the [`UpdatePolicy::Plain`] variant is linear; merging a
     /// conservative-update sketch returns a shape error to prevent the
@@ -314,6 +356,42 @@ mod tests {
             assert!(cm.estimate(j) >= x[j as usize] - 1e-9, "plain item {j}");
             assert!(cu.estimate(j) >= x[j as usize] - 1e-9, "cu item {j}");
         }
+    }
+
+    #[test]
+    fn snapshot_estimates_match_live_for_both_policies() {
+        let p = params(400, 32, 4);
+        for policy in [UpdatePolicy::Plain, UpdatePolicy::Conservative] {
+            let mut cm = CountMin::new(&p, policy);
+            let items: Vec<(u64, f64)> =
+                (0..600u64).map(|i| (i * 7 % 400, (i % 4) as f64)).collect();
+            cm.update_batch(&items);
+            let snap = cm.snapshot();
+            for j in 0..400u64 {
+                assert_eq!(
+                    cm.estimate_in(&snap, j),
+                    cm.estimate(j),
+                    "{policy:?} item {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_respects_linearity_rules() {
+        let p = params(100, 16, 3);
+        let mut plain = CountMin::new(&p, UpdatePolicy::Plain);
+        let mut other = CountMin::new(&p, UpdatePolicy::Plain);
+        plain.update(3, 2.0);
+        other.update(3, 5.0);
+        let mut snap = plain.snapshot();
+        plain.merge_snapshot(&mut snap, &other.snapshot()).unwrap();
+        assert_eq!(plain.estimate_in(&snap, 3), 7.0);
+
+        let cu = CountMin::conservative(&p);
+        let mut cu_snap = cu.snapshot();
+        let cu_other = cu.snapshot();
+        assert!(cu.merge_snapshot(&mut cu_snap, &cu_other).is_err());
     }
 
     #[test]

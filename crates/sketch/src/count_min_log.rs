@@ -1,7 +1,8 @@
 //! Count-Min-Log with conservative update (CML-CU).
 
+use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense};
-use crate::traits::{PointQuerySketch, SketchParams};
+use crate::traits::{MergeError, PointQuerySketch, SketchParams};
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 
 /// Count-Min-Log sketch with conservative update (Pitel & Fouquier,
@@ -257,12 +258,66 @@ impl<B: CounterBackend> PointQuerySketch for CountMinLog<B> {
     }
 }
 
+impl<B: CounterBackend> Snapshottable for CountMinLog<B> {
+    /// The frozen view keeps the 16-bit log levels as-is; decoding to
+    /// counts happens at query time exactly as on the live sketch.
+    type Snapshot = CounterMatrix<u16, Dense>;
+
+    fn make_snapshot(&self) -> Self::Snapshot {
+        CounterMatrix::new(self.params.width, self.params.depth)
+    }
+
+    fn snapshot_into(&self, snap: &mut Self::Snapshot) {
+        self.levels.snapshot_into(snap);
+    }
+
+    fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
+        let mut best = u16::MAX;
+        for (row, h) in self.hashers.iter().enumerate() {
+            let v = snap.get(row, h.bucket(item));
+            if v < best {
+                best = v;
+            }
+        }
+        self.value_of_level(best)
+    }
+
+    /// Always an error: log-scale levels are not additive (the same
+    /// non-linearity that excludes CML-CU from merging and from the
+    /// distributed protocol).
+    fn merge_snapshot(
+        &self,
+        _snap: &mut Self::Snapshot,
+        _other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        Err(MergeError::ShapeMismatch {
+            what: "log-scale counters (CML-CU is not linear)",
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn params(n: u64, w: usize, d: usize) -> SketchParams {
         SketchParams::new(n, w, d).with_seed(23)
+    }
+
+    #[test]
+    fn snapshot_estimates_match_live_when_quiescent() {
+        let mut cml = CountMinLog::new(&params(200, 64, 4));
+        let items: Vec<(u64, f64)> = (0..300u64)
+            .map(|i| (i * 3 % 200, (1 + i % 6) as f64))
+            .collect();
+        cml.update_batch(&items);
+        let snap = cml.snapshot();
+        for j in 0..200u64 {
+            assert_eq!(cml.estimate_in(&snap, j), cml.estimate(j), "item {j}");
+        }
+        let other = cml.snapshot();
+        let mut snap2 = cml.snapshot();
+        assert!(cml.merge_snapshot(&mut snap2, &other).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Count-Sketch: CS-matrix sketching with signed median recovery.
 
+use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
 use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 use crate::util::median_of_rows;
@@ -127,6 +128,44 @@ impl<B: CounterBackend> CountSketch<B> {
         }))
     }
 
+    /// [`inner_product`](CountSketch::inner_product) over **frozen
+    /// snapshots**: estimates `⟨x, y⟩` from epoch-consistent copies of
+    /// two compatible Count-Sketches, so the estimate is not smeared by
+    /// writers feeding either sketch mid-query. `other` may use a
+    /// different storage backend — only the hash configuration must
+    /// match.
+    ///
+    /// # Errors
+    /// Returns a [`MergeError`] when the sketches are not compatible.
+    ///
+    /// # Panics
+    /// Panics if a snapshot's shape does not match its sketch.
+    pub fn inner_product_in<B2: CounterBackend>(
+        &self,
+        mine: &CounterMatrix<f64, Dense>,
+        other: &CountSketch<B2>,
+        theirs: &CounterMatrix<f64, Dense>,
+    ) -> Result<f64, MergeError> {
+        if self.params.width != other.params.width || self.params.depth != other.params.depth {
+            return Err(MergeError::ShapeMismatch {
+                what: "widths/depths",
+            });
+        }
+        if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
+        {
+            return Err(MergeError::SeedMismatch);
+        }
+        assert_eq!(mine.width(), self.params.width, "snapshot width mismatch");
+        assert_eq!(
+            theirs.width(),
+            other.params.width,
+            "snapshot width mismatch"
+        );
+        Ok(median_of_rows(self.params.depth, |row| {
+            mine.row_dot(theirs, row)
+        }))
+    }
+
     /// Per-bucket **signed** column sums `ψ_i` of each CS-matrix:
     /// `ψ_i[b] = Σ_{j : h_i(j)=b} r_i(j)` (paper, Algorithm 4 line 3),
     /// returned as a `depth × width` [`CounterMatrix`]. Needed by the
@@ -215,6 +254,35 @@ where
         bas_hash::bucket_rows_each(&self.hashers, items, |row, item, b, delta: f64| {
             grid.add_shared(row, b, signs[row].sign(item) as f64 * delta);
         });
+    }
+}
+
+impl<B: CounterBackend> Snapshottable for CountSketch<B> {
+    type Snapshot = CounterMatrix<f64, Dense>;
+
+    fn make_snapshot(&self) -> Self::Snapshot {
+        CounterMatrix::new(self.params.width, self.params.depth)
+    }
+
+    fn snapshot_into(&self, snap: &mut Self::Snapshot) {
+        self.grid.snapshot_into(snap);
+    }
+
+    fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
+        median_of_rows(self.params.depth, |row| {
+            let b = self.hashers[row].bucket(item);
+            self.signs[row].sign(item) as f64 * snap.get(row, b)
+        })
+    }
+
+    /// Count-Sketch is linear, so snapshots add: always `Ok`.
+    fn merge_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        snap.add_matrix(other);
+        Ok(())
     }
 }
 
@@ -433,6 +501,47 @@ mod tests {
         // Self inner product overestimates slightly (collision squares
         // add), but should be close for sparse input.
         assert!((est - truth).abs() < 0.15 * truth, "est = {est} vs {truth}");
+    }
+
+    #[test]
+    fn snapshot_estimates_match_live_when_quiescent() {
+        let p = params(300, 64, 5);
+        let mut cs = CountSketch::new(&p);
+        let items: Vec<(u64, f64)> = (0..500u64)
+            .map(|i| (i * 17 % 300, ((i % 9) as f64 - 4.0)))
+            .collect();
+        cs.update_batch(&items);
+        let snap = cs.snapshot();
+        for j in 0..300u64 {
+            assert_eq!(cs.estimate_in(&snap, j), cs.estimate(j), "item {j}");
+        }
+    }
+
+    #[test]
+    fn inner_product_in_matches_live_inner_product() {
+        let p = params(500, 256, 9);
+        let mut a = CountSketch::new(&p);
+        let mut b = CountSketch::new(&p);
+        a.update(3, 10.0);
+        a.update(100, -2.0);
+        b.update(3, 5.0);
+        b.update(100, 6.0);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(
+            a.inner_product_in(&sa, &b, &sb).unwrap(),
+            a.inner_product(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn inner_product_in_rejects_seed_mismatch() {
+        let a = CountSketch::new(&params(10, 8, 2));
+        let b = CountSketch::new(&SketchParams::new(10, 8, 2).with_seed(99));
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(
+            a.inner_product_in(&sa, &b, &sb),
+            Err(MergeError::SeedMismatch)
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! updated item's estimate, and items whose estimate clears the threshold
 //! stay in the set.
 
+use crate::snapshot::Snapshottable;
 use crate::traits::PointQuerySketch;
 use std::collections::HashMap;
 
@@ -123,6 +124,55 @@ impl<S: PointQuerySketch> HeavyHitters<S> {
     }
 }
 
+impl<S: Snapshottable> HeavyHitters<S> {
+    /// Freezes the wrapped sketch's counters into a dense snapshot (see
+    /// [`Snapshottable`]).
+    pub fn snapshot(&self) -> S::Snapshot {
+        self.sketch.snapshot()
+    }
+
+    /// Point estimate from a frozen snapshot of the wrapped sketch.
+    pub fn estimate_in(&self, snap: &S::Snapshot, item: u64) -> f64 {
+        self.sketch.estimate_in(snap, item)
+    }
+
+    /// The heavy hitters as judged **against a frozen snapshot**:
+    /// candidates are re-validated with snapshot estimates instead of
+    /// live counters, so the reported set is internally consistent even
+    /// if the live sketch is being fed while this runs. Unlike
+    /// [`heavy_hitters`](HeavyHitters::heavy_hitters) this takes
+    /// `&self` — it never mutates the candidate set.
+    ///
+    /// On a quiescent tracker the two report identical lists.
+    ///
+    /// ```
+    /// use bas_sketch::{CountMedian, HeavyHitters, SketchParams};
+    ///
+    /// let params = SketchParams::new(1_000, 256, 5).with_seed(5);
+    /// let mut hh = HeavyHitters::new(CountMedian::new(&params), 0.5);
+    /// hh.update_batch(&vec![(7, 1.0); 6]);
+    /// hh.update_batch(&vec![(9, 1.0); 4]);
+    /// let snap = hh.snapshot();
+    /// let frozen = hh.heavy_hitters_in(&snap);
+    /// assert_eq!(frozen.len(), 1);
+    /// assert_eq!(frozen[0].item, 7);
+    /// ```
+    pub fn heavy_hitters_in(&self, snap: &S::Snapshot) -> Vec<HeavyHitter> {
+        let threshold = self.threshold();
+        let mut out: Vec<HeavyHitter> = self
+            .candidates
+            .keys()
+            .map(|&item| HeavyHitter {
+                item,
+                estimate: self.sketch.estimate_in(snap, item),
+            })
+            .filter(|h| h.estimate >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.item.cmp(&b.item)));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +242,24 @@ mod tests {
     #[should_panic(expected = "phi must be in (0,1)")]
     fn invalid_phi_rejected() {
         tracker(1.5);
+    }
+
+    #[test]
+    fn snapshot_path_matches_live_path_when_quiescent() {
+        let mut hh = tracker(0.05);
+        for (item, count) in [(1u64, 600), (2, 350), (3, 40)] {
+            for _ in 0..count {
+                hh.update(item, 1.0);
+            }
+        }
+        let snap = hh.snapshot();
+        let frozen = hh.heavy_hitters_in(&snap);
+        let live = hh.heavy_hitters();
+        assert_eq!(frozen, live);
+        // The frozen list does not move with later updates.
+        for i in 100..600u64 {
+            hh.update(i, 1.0);
+        }
+        assert_eq!(hh.heavy_hitters_in(&snap), frozen);
     }
 }

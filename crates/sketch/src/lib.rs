@@ -92,6 +92,7 @@ mod count_min_log;
 mod count_sketch;
 mod heavy_hitters;
 mod range_sum;
+mod snapshot;
 pub mod storage;
 mod traits;
 pub mod util;
@@ -102,7 +103,8 @@ pub use count_min_log::CountMinLog;
 pub use count_sketch::CountSketch;
 pub use heavy_hitters::{HeavyHitter, HeavyHitters};
 pub use range_sum::RangeSumSketch;
-pub use storage::{Atomic, CounterBackend, CounterMatrix, CounterValue, Dense};
+pub use snapshot::Snapshottable;
+pub use storage::{Atomic, CounterBackend, CounterMatrix, CounterValue, Dense, EpochCounter};
 pub use traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 
 /// Count-Median over the [`Atomic`] backend: the lock-free

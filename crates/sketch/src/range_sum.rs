@@ -7,7 +7,8 @@
 //! a single point query at its level.
 
 use crate::count_median::CountMedian;
-use crate::storage::{CounterBackend, Dense, SharedCounterStore};
+use crate::snapshot::Snapshottable;
+use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
 use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 
 /// A turnstile range-sum sketch: `query(a, b) ≈ Σ_{a ≤ i ≤ b} x_i`.
@@ -19,7 +20,7 @@ use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch,
 /// each level inherits Count-Median's Theorem 1 `ℓ∞/ℓ1` guarantee.
 ///
 /// ```
-/// use bas_sketch::{RangeSumSketch, SketchParams};
+/// use bas_sketch::{PointQuerySketch, RangeSumSketch, SketchParams};
 ///
 /// let params = SketchParams::new(256, 128, 7).with_seed(11);
 /// let mut rs = RangeSumSketch::new(&params);
@@ -66,53 +67,17 @@ impl<B: CounterBackend> RangeSumSketch<B> {
         Self { n, levels }
     }
 
-    /// Universe size.
-    pub fn universe(&self) -> u64 {
-        self.n
-    }
-
     /// Number of dyadic levels.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
     }
 
-    /// Applies `x_item ← x_item + delta`.
-    pub fn update(&mut self, item: u64, delta: f64) {
-        assert!(item < self.n, "item outside universe");
-        for (l, sketch) in self.levels.iter_mut().enumerate() {
-            sketch.update(item >> l, delta);
-        }
-    }
-
-    /// Applies a batch of updates level-major: items are shifted into
-    /// each dyadic level's block coordinates incrementally, then handed
-    /// to that level's [`CountMedian::update_batch`] fast path. One
-    /// scratch buffer serves all levels. Bit-for-bit equivalent to
-    /// calling [`update`](RangeSumSketch::update) per item (each
-    /// counter sees the same deltas in the same order).
-    pub fn update_batch(&mut self, items: &[(u64, f64)]) {
-        for &(item, _) in items {
-            assert!(item < self.n, "item outside universe");
-        }
-        let mut shifted = items.to_vec();
-        for (l, sketch) in self.levels.iter_mut().enumerate() {
-            if l > 0 {
-                for u in &mut shifted {
-                    u.0 >>= 1;
-                }
-            }
-            sketch.update_batch(&shifted);
-        }
-    }
-
-    /// Estimates `Σ_{a ≤ i ≤ b} x_i` (inclusive bounds).
-    ///
-    /// # Panics
-    /// Panics if `a > b` or `b ≥ n`.
-    pub fn query(&self, a: u64, b: u64) -> f64 {
+    /// Standard dyadic decomposition shared by the live and snapshot
+    /// query paths: greedily take the largest aligned block starting at
+    /// `lo` that stays within `hi`, reading each block's estimate
+    /// through `block_estimate(level, block)`.
+    fn decompose(&self, a: u64, b: u64, mut block_estimate: impl FnMut(usize, u64) -> f64) -> f64 {
         assert!(a <= b && b < self.n, "invalid range [{a}, {b}]");
-        // Standard dyadic decomposition: greedily take the largest
-        // aligned block starting at `lo` that stays within `hi`.
         let mut lo = a;
         let hi = b;
         let mut sum = 0.0;
@@ -127,7 +92,7 @@ impl<B: CounterBackend> RangeSumSketch<B> {
             while l > 0 && lo + (1u64 << l) - 1 > hi {
                 l -= 1;
             }
-            sum += self.levels[l].estimate(lo >> l);
+            sum += block_estimate(l, lo >> l);
             let step = 1u64 << l;
             if lo > hi - (step - 1) {
                 break;
@@ -138,6 +103,37 @@ impl<B: CounterBackend> RangeSumSketch<B> {
             }
         }
         sum
+    }
+
+    /// Estimates `Σ_{a ≤ i ≤ b} x_i` (inclusive bounds).
+    ///
+    /// # Panics
+    /// Panics if `a > b` or `b ≥ n`.
+    pub fn query(&self, a: u64, b: u64) -> f64 {
+        self.decompose(a, b, |l, block| self.levels[l].estimate(block))
+    }
+
+    /// [`query`](RangeSumSketch::query) answered **from a frozen
+    /// snapshot** (see [`Snapshottable`]): every dyadic point estimate
+    /// reads the snapshot's counters, so the whole decomposition
+    /// reflects one consistent stream prefix even while writers feed
+    /// the live sketch.
+    ///
+    /// # Panics
+    /// Panics if `a > b`, `b ≥ n`, or the snapshot has the wrong shape.
+    pub fn query_in(&self, snap: &<Self as Snapshottable>::Snapshot, a: u64, b: u64) -> f64 {
+        assert_eq!(
+            snap.len(),
+            self.levels.len(),
+            "snapshot level count mismatch"
+        );
+        self.decompose(a, b, |l, block| self.levels[l].estimate_in(&snap[l], block))
+    }
+
+    /// [`rank`](RangeSumSketch::rank) from a frozen snapshot: the
+    /// prefix mass `Σ_{i ≤ v} x_i` as of the snapshot's stream prefix.
+    pub fn rank_in(&self, snap: &<Self as Snapshottable>::Snapshot, v: u64) -> f64 {
+        self.query_in(snap, 0, v)
     }
 
     /// Estimates the rank of `v`: `Σ_{i ≤ v} x_i` — the prefix mass up
@@ -170,14 +166,68 @@ impl<B: CounterBackend> RangeSumSketch<B> {
         }
         lo
     }
+}
 
-    /// Total size in words across all levels.
-    pub fn size_in_words(&self) -> usize {
+/// The point-query view of the range-sum stack: `estimate(j)` is the
+/// single-coordinate range query `query(j, j)`, answered directly from
+/// the finest dyadic level. Implementing the trait (rather than
+/// keeping `update` inherent, as before the query-plane refactor) is
+/// what lets the stack ride every generic ingest and serving path —
+/// `ShardedIngest`, `ConcurrentIngest`, `QueryEngine` — unchanged.
+impl<B: CounterBackend> PointQuerySketch for RangeSumSketch<B> {
+    fn update(&mut self, item: u64, delta: f64) {
+        assert!(item < self.n, "item outside universe");
+        for (l, sketch) in self.levels.iter_mut().enumerate() {
+            sketch.update(item >> l, delta);
+        }
+    }
+
+    /// Applies a batch of updates level-major: items are shifted into
+    /// each dyadic level's block coordinates incrementally, then handed
+    /// to that level's [`CountMedian::update_batch`] fast path. One
+    /// scratch buffer serves all levels. Bit-for-bit equivalent to
+    /// calling [`update`](PointQuerySketch::update) per item (each
+    /// counter sees the same deltas in the same order).
+    fn update_batch(&mut self, items: &[(u64, f64)]) {
+        for &(item, _) in items {
+            assert!(item < self.n, "item outside universe");
+        }
+        let mut shifted = items.to_vec();
+        for (l, sketch) in self.levels.iter_mut().enumerate() {
+            if l > 0 {
+                for u in &mut shifted {
+                    u.0 >>= 1;
+                }
+            }
+            sketch.update_batch(&shifted);
+        }
+    }
+
+    /// The finest level *is* the point sketch, so a point estimate
+    /// reads level 0 only — identical to `query(item, item)`, which the
+    /// dyadic decomposition also answers entirely at level 0.
+    fn estimate(&self, item: u64) -> f64 {
+        assert!(item < self.n, "item outside universe");
+        self.levels[0].estimate(item)
+    }
+
+    fn universe(&self) -> u64 {
+        self.n
+    }
+
+    fn size_in_words(&self) -> usize {
         self.levels.iter().map(|s| s.size_in_words()).sum()
     }
 
-    /// Merges another range-sum sketch built with identical parameters.
-    pub fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+    fn label(&self) -> &'static str {
+        "RS"
+    }
+}
+
+impl<B: CounterBackend> MergeableSketch for RangeSumSketch<B> {
+    /// Merges another range-sum sketch built with identical parameters,
+    /// level by level.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         if self.n != other.n || self.levels.len() != other.levels.len() {
             return Err(MergeError::ShapeMismatch { what: "universes" });
         }
@@ -188,15 +238,13 @@ impl<B: CounterBackend> RangeSumSketch<B> {
     }
 }
 
-impl<B: CounterBackend> RangeSumSketch<B>
+impl<B: CounterBackend> SharedSketch for RangeSumSketch<B>
 where
     B::Store<f64>: SharedCounterStore<f64>,
 {
     /// Applies `x_item ← x_item + delta` through a **shared** reference,
-    /// lock-free — one [`SharedSketch::update_shared`] per dyadic level.
-    /// (Inherent rather than a `SharedSketch` impl because the range-sum
-    /// stack exposes range queries, not the point-query trait.)
-    pub fn update_shared(&self, item: u64, delta: f64) {
+    /// lock-free — one shared update per dyadic level.
+    fn update_shared(&self, item: u64, delta: f64) {
         assert!(item < self.n, "item outside universe");
         for (l, sketch) in self.levels.iter().enumerate() {
             sketch.update_shared(item >> l, delta);
@@ -206,7 +254,7 @@ where
     /// Shared-reference batch update: shifts items into each level's
     /// block coordinates and feeds that level's
     /// [`SharedSketch::update_batch_shared`] fast path.
-    pub fn update_batch_shared(&self, items: &[(u64, f64)]) {
+    fn update_batch_shared(&self, items: &[(u64, f64)]) {
         for &(item, _) in items {
             assert!(item < self.n, "item outside universe");
         }
@@ -219,6 +267,44 @@ where
             }
             sketch.update_batch_shared(&shifted);
         }
+    }
+}
+
+impl<B: CounterBackend> Snapshottable for RangeSumSketch<B> {
+    /// One frozen Count-Median matrix per dyadic level, coarsest last.
+    type Snapshot = Vec<CounterMatrix<f64, Dense>>;
+
+    fn make_snapshot(&self) -> Self::Snapshot {
+        self.levels.iter().map(|s| s.make_snapshot()).collect()
+    }
+
+    fn snapshot_into(&self, snap: &mut Self::Snapshot) {
+        assert_eq!(
+            snap.len(),
+            self.levels.len(),
+            "snapshot level count mismatch"
+        );
+        for (sketch, level_snap) in self.levels.iter().zip(snap.iter_mut()) {
+            sketch.snapshot_into(level_snap);
+        }
+    }
+
+    fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
+        assert!(item < self.n, "item outside universe");
+        self.levels[0].estimate_in(&snap[0], item)
+    }
+
+    /// Linear level by level: always `Ok`.
+    fn merge_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        assert_eq!(snap.len(), other.len(), "snapshot level count mismatch");
+        for (sketch, (mine, theirs)) in self.levels.iter().zip(snap.iter_mut().zip(other.iter())) {
+            sketch.merge_snapshot(mine, theirs)?;
+        }
+        Ok(())
     }
 }
 
@@ -317,6 +403,48 @@ mod tests {
         }
         for (a, b) in [(0u64, 127u64), (3, 90), (64, 64), (10, 30)] {
             assert_eq!(batched.query(a, b), looped.query(a, b), "range [{a},{b}]");
+        }
+    }
+
+    #[test]
+    fn point_estimate_equals_single_coordinate_query() {
+        let (rs, _) = build_sparse(256);
+        for j in (0..256u64).step_by(7) {
+            assert_eq!(rs.estimate(j), rs.query(j, j), "item {j}");
+        }
+        assert_eq!(rs.label(), "RS");
+    }
+
+    #[test]
+    fn snapshot_queries_match_live_when_quiescent() {
+        let (mut rs, _) = build_sparse(256);
+        let snap = rs.snapshot();
+        for (a, b) in [(0u64, 255u64), (3, 90), (64, 64), (10, 30)] {
+            assert_eq!(rs.query_in(&snap, a, b), rs.query(a, b), "range [{a},{b}]");
+        }
+        for v in (0..256u64).step_by(31) {
+            assert_eq!(rs.rank_in(&snap, v), rs.rank(v), "v {v}");
+        }
+        // Frozen: later updates do not leak into the snapshot.
+        let before = rs.query_in(&snap, 0, 255);
+        rs.update(100, 500.0);
+        assert_eq!(rs.query_in(&snap, 0, 255), before);
+    }
+
+    #[test]
+    fn merged_snapshots_equal_snapshot_of_merged_stack() {
+        let params = SketchParams::new(128, 64, 5).with_seed(9);
+        let mut a = RangeSumSketch::new(&params);
+        let mut b = RangeSumSketch::new(&params);
+        for i in 0..128u64 {
+            a.update(i, 1.0);
+            b.update(i, (i % 3) as f64);
+        }
+        let mut snap = a.snapshot();
+        a.merge_snapshot(&mut snap, &b.snapshot()).unwrap();
+        a.merge_from(&b).unwrap();
+        for (lo, hi) in [(0u64, 127u64), (5, 60), (64, 100)] {
+            assert_eq!(a.query_in(&snap, lo, hi), a.query(lo, hi));
         }
     }
 

@@ -1,0 +1,104 @@
+//! Frozen query views: the [`Snapshottable`] trait.
+//!
+//! Single-cell reads on an `Atomic`-backed sketch are always safe to
+//! race with writers (each counter is one atomic word), but multi-cell
+//! queries — median-of-rows point estimates, heavy-hitter scans, range
+//! decompositions, inner products — combine many cells and can observe
+//! a *mix* of two in-flight flushes. The query plane's answer is to
+//! freeze a consistent dense copy of the counters and query that
+//! instead. This module defines the contract every sketch implements
+//! for it:
+//!
+//! * [`Snapshottable::snapshot_into`] copies the live counters into a
+//!   caller-owned [`Snapshot`](Snapshottable::Snapshot) (a plain dense
+//!   matrix, or a stack of them), reusing its storage so steady-state
+//!   snapshots allocate nothing;
+//! * `estimate_in` (and the sketch-specific `*_in` companions such as
+//!   [`RangeSumSketch::query_in`](crate::RangeSumSketch::query_in))
+//!   answer queries **from the snapshot's counters** using the live
+//!   sketch's hash functions, which are immutable after construction;
+//! * [`Snapshottable::merge_snapshot`] adds one snapshot into another —
+//!   linearity (`Φx = Φx¹ + Φx²`) holds at the snapshot level exactly
+//!   as it does at the sketch level, which is what lets a distributed
+//!   coordinator aggregate per-site snapshots.
+//!
+//! The *consistency* of the copy is not this trait's business: it only
+//! promises a faithful cell-by-cell copy of whatever the counters held
+//! during the copy. `bas_pipeline::epoch` layers the seqlock retry
+//! discipline on top (copy, check the write epoch, retry if a flush
+//! intervened), which upgrades the copy to "a settled state between
+//! flushes — a prefix of the update stream".
+
+use crate::traits::{MergeError, PointQuerySketch};
+
+/// A sketch that can freeze its counters into a dense, immutable,
+/// cheaply-queryable view.
+///
+/// Implemented by all six sketches in this crate. The snapshot holds
+/// *only counters*; hash functions stay on the live sketch (they are
+/// immutable after construction, so sharing them across threads is
+/// free), and every query method takes both.
+///
+/// ```
+/// use bas_sketch::{CountMedian, PointQuerySketch, SketchParams, Snapshottable};
+///
+/// let params = SketchParams::new(1_000, 64, 5).with_seed(2);
+/// let mut cm = CountMedian::new(&params);
+/// cm.update(7, 4.0);
+///
+/// let mut snap = cm.make_snapshot();
+/// cm.snapshot_into(&mut snap);
+/// cm.update(7, 10.0); // the live sketch moves on...
+///
+/// assert_eq!(cm.estimate_in(&snap, 7), 4.0); // ...the snapshot does not
+/// assert_eq!(cm.estimate(7), 14.0);
+/// ```
+pub trait Snapshottable: PointQuerySketch + Sync {
+    /// The frozen dense view: plain owned data (no atomics, no hash
+    /// state), safe to query from any thread.
+    type Snapshot: Send + Sync + std::fmt::Debug;
+
+    /// Allocates a zero-filled snapshot of the right shape for this
+    /// sketch. Done once per reader; afterwards
+    /// [`snapshot_into`](Snapshottable::snapshot_into) refills it
+    /// without allocating.
+    fn make_snapshot(&self) -> Self::Snapshot;
+
+    /// Copies the sketch's current counters into `snap`, reusing its
+    /// storage.
+    ///
+    /// # Panics
+    /// Panics if `snap` was made for a different configuration (shape
+    /// mismatch).
+    fn snapshot_into(&self, snap: &mut Self::Snapshot);
+
+    /// Point estimate of `x_item` computed from the snapshot's
+    /// counters — the frozen counterpart of
+    /// [`PointQuerySketch::estimate`]. On a quiescent sketch the two
+    /// agree bit-for-bit.
+    fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64;
+
+    /// Adds `other`'s counters into `snap` element-wise — linearity at
+    /// the snapshot level, used by the distributed coordinator to
+    /// aggregate per-site snapshots.
+    ///
+    /// # Errors
+    /// Returns a [`MergeError`] for sketches whose counters are not
+    /// additive (CML-CU's log-scale levels, Count-Min with conservative
+    /// update).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch between the two snapshots.
+    fn merge_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError>;
+
+    /// Convenience: allocate a snapshot and fill it in one call.
+    fn snapshot(&self) -> Self::Snapshot {
+        let mut snap = self.make_snapshot();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+}

@@ -44,6 +44,90 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A seqlock-style write-epoch sequence published by shared sketches to
+/// snapshot readers.
+///
+/// Writers bracket each batch of counter mutations (e.g. one
+/// `ConcurrentIngest` flush) with [`begin_write`]/[`end_write`]; the
+/// sequence is **odd exactly while a write section is open** and even
+/// between sections. A reader copies the counters and keeps the copy
+/// only if the epoch was even and unchanged across the copy — then the
+/// copy reflects a settled state from *between* write sections, i.e. a
+/// prefix of the applied update stream. The retry loop lives in
+/// `bas_pipeline::epoch`; this type is just the fence-free primitive
+/// the storage layer owns.
+///
+/// Because every counter cell is itself an atomic, a racing copy can
+/// never observe a torn *value* — the epoch only rules out a torn
+/// *schedule* (a mix of two write sections).
+///
+/// ```
+/// use bas_sketch::storage::EpochCounter;
+///
+/// let epoch = EpochCounter::new();
+/// let before = epoch.read();
+/// assert!(!EpochCounter::is_write_open(before));
+/// epoch.begin_write();
+/// assert!(EpochCounter::is_write_open(epoch.read()));
+/// epoch.end_write();
+/// assert_eq!(epoch.read(), before + 2);
+/// ```
+///
+/// [`begin_write`]: EpochCounter::begin_write
+/// [`end_write`]: EpochCounter::end_write
+#[derive(Debug, Default)]
+pub struct EpochCounter {
+    seq: AtomicU64,
+}
+
+impl EpochCounter {
+    /// A fresh counter at epoch 0 (no write section open).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a write section: the sequence becomes odd. Returns the new
+    /// (odd) value. Callers must pair this with
+    /// [`end_write`](EpochCounter::end_write); `bas_pipeline`'s
+    /// `EpochGuard` does so by RAII.
+    ///
+    /// # Panics
+    /// Panics if a write section is already open. Writers must be
+    /// serialized (ingest drivers take `&mut self` per flush, so this
+    /// only trips when two drivers are mistakenly built over clones of
+    /// one shared sketch) — and overlapping sections would make the
+    /// sequence even *mid-write*, silently handing readers torn
+    /// snapshots, so the overlap is a hard error even in release
+    /// builds.
+    pub fn begin_write(&self) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        assert!(
+            Self::is_write_open(seq),
+            "overlapping write sections: epoch writers must be serialized"
+        );
+        seq
+    }
+
+    /// Closes the current write section: the sequence becomes even
+    /// again. The `AcqRel` ordering makes every counter store in the
+    /// section visible to a reader that observes the new epoch.
+    pub fn end_write(&self) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        debug_assert!(!Self::is_write_open(seq), "unbalanced end_write");
+    }
+
+    /// The current sequence value (`Acquire`, so cell reads issued
+    /// after it observe at least the state the epoch advertises).
+    pub fn read(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Whether a sequence value was sampled inside a write section.
+    pub fn is_write_open(seq: u64) -> bool {
+        seq % 2 == 1
+    }
+}
+
 /// A primitive that can live in a counter cell: copyable, zeroable,
 /// addable, and bit-castable to `u64` for the atomic backend.
 pub trait CounterValue:
@@ -231,6 +315,18 @@ pub trait CounterStore<T: CounterValue>: Clone + std::fmt::Debug + Send + Sync +
     /// equality.
     fn snapshot(&self) -> Vec<T>;
 
+    /// Copies every cell into `out`, in index order, reusing `out`'s
+    /// capacity — the allocation-free form of
+    /// [`snapshot`](CounterStore::snapshot) that steady-state query
+    /// snapshots are built on.
+    fn snapshot_into(&self, out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(self.len());
+        for i in 0..self.len() {
+            out.push(self.get(i));
+        }
+    }
+
     /// Sum of `self[i] * other[i]` over `start..start + len` — the
     /// kernel of inner-product queries. The default reads cell by
     /// cell; [`DenseStore`] overrides it with a zipped slice loop the
@@ -330,6 +426,11 @@ impl<T: CounterValue> CounterStore<T> for DenseStore<T> {
 
     fn snapshot(&self) -> Vec<T> {
         self.cells.to_vec()
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<T>) {
+        out.clear();
+        out.extend_from_slice(&self.cells);
     }
 
     fn dot_range(&self, other: &Self, start: usize, len: usize) -> T {
@@ -586,6 +687,21 @@ impl<T: CounterValue, B: CounterBackend> CounterMatrix<T, B> {
     /// query copy).
     pub fn to_backend<B2: CounterBackend>(&self) -> CounterMatrix<T, B2> {
         CounterMatrix::from_cells(self.width, self.depth, self.snapshot())
+    }
+
+    /// Copies every cell into a caller-owned [`Dense`] matrix of the
+    /// same shape — the allocation-free freeze step behind the query
+    /// plane's epoch snapshots: one preallocated dense matrix is
+    /// refilled per snapshot, so steady-state reads allocate nothing.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn snapshot_into(&self, dst: &mut CounterMatrix<T, Dense>) {
+        assert_eq!(self.width, dst.width, "matrix widths differ");
+        assert_eq!(self.depth, dst.depth, "matrix depths differ");
+        for (i, slot) in dst.store.as_mut_slice().iter_mut().enumerate() {
+            *slot = self.store.get(i);
+        }
     }
 }
 
@@ -918,6 +1034,53 @@ mod tests {
     fn backend_labels() {
         assert_eq!(Dense::LABEL, "dense");
         assert_eq!(Atomic::LABEL, "atomic");
+    }
+
+    #[test]
+    fn snapshot_into_refills_without_reallocating() {
+        let src = fill::<Atomic>();
+        let mut dst = CounterMatrix::<f64, Dense>::new(4, 3);
+        src.snapshot_into(&mut dst);
+        assert_eq!(dst, src);
+        // Refill after the source moved on: same buffer, new values.
+        let mut src2 = src.clone();
+        src2.add(2, 1, 100.0);
+        src2.snapshot_into(&mut dst);
+        assert_eq!(dst.get(2, 1), src2.get(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn snapshot_into_rejects_shape_mismatch() {
+        let src = CounterMatrix::<f64, Atomic>::new(4, 2);
+        let mut dst = CounterMatrix::<f64, Dense>::new(2, 4);
+        src.snapshot_into(&mut dst);
+    }
+
+    #[test]
+    fn store_snapshot_into_matches_snapshot() {
+        let m = fill::<Atomic>();
+        let mut buf = Vec::new();
+        m.store.snapshot_into(&mut buf);
+        assert_eq!(buf, m.snapshot());
+        // Dense override agrees with the cell-by-cell default.
+        let d = fill::<Dense>();
+        let mut buf2 = Vec::with_capacity(32);
+        d.store.snapshot_into(&mut buf2);
+        assert_eq!(buf2, d.snapshot());
+    }
+
+    #[test]
+    fn epoch_counter_seqlock_protocol() {
+        let e = EpochCounter::new();
+        assert_eq!(e.read(), 0);
+        assert!(!EpochCounter::is_write_open(e.read()));
+        let odd = e.begin_write();
+        assert_eq!(odd, 1);
+        assert!(EpochCounter::is_write_open(e.read()));
+        e.end_write();
+        assert_eq!(e.read(), 2);
+        assert!(!EpochCounter::is_write_open(e.read()));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Shared configuration, traits and errors for all sketches.
 
+use crate::storage::EpochCounter;
 use bas_hash::HashKind;
 
 /// Configuration shared by every sketch in the workspace.
@@ -186,6 +187,28 @@ pub trait SharedSketch: PointQuerySketch + Sync {
             self.update_shared(item, delta);
         }
     }
+
+    /// The write-epoch counter this sketch publishes to snapshot
+    /// readers, if any.
+    ///
+    /// Plain shared sketches return `None` — they accept concurrent
+    /// ingest but offer readers no consistency discipline beyond
+    /// per-cell atomicity. Epoch-wrapped sketches
+    /// (`bas_pipeline::EpochSketch`) return their counter, and ingest
+    /// drivers such as `ConcurrentIngest` bracket every flush in a
+    /// write section so seqlock snapshot readers can detect (and retry
+    /// across) in-flight flushes.
+    fn write_epoch(&self) -> Option<&EpochCounter> {
+        None
+    }
+
+    /// Notes that a flush applying `updates` updates carrying `mass`
+    /// total delta has completed. Called by ingest drivers **inside**
+    /// the write section (after the workers join, before the epoch
+    /// closes), so epoch-consistent readers always observe a stream
+    /// position that matches the counters. Plain sketches keep no such
+    /// bookkeeping: the default is a no-op.
+    fn note_applied(&self, _updates: u64, _mass: f64) {}
 }
 
 /// Error returned when two sketches cannot be merged.

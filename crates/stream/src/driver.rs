@@ -55,6 +55,81 @@ where
     driver.finish(&mut sink)
 }
 
+/// Stream position handed to the probe callback of [`drive_probed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveProgress {
+    /// Updates delivered to the sink so far.
+    pub delivered: u64,
+    /// Full or final-partial chunks delivered so far.
+    pub chunks: u64,
+}
+
+/// [`drive_chunked`] with a mid-stream **probe**: after every
+/// `probe_every` delivered chunks — and once more after the final
+/// flush — `probe` runs with the current stream position, while the
+/// driver (and therefore the sink) is between chunks.
+///
+/// This is the glue for serving queries mid-stream: the sink feeds a
+/// query engine's ingest path and the probe issues queries against the
+/// same engine, so reads interleave with ingest at deterministic
+/// stream positions (every `probe_every · chunk_size` updates) instead
+/// of wherever a wall clock happens to fire. The driver stays
+/// sink-agnostic — the probe is just a callback, so any query plane
+/// (or none) plugs in.
+///
+/// ```
+/// use bas_stream::{drive_probed, StreamUpdate};
+///
+/// let stream = (0..10u64).map(StreamUpdate::arrival);
+/// let mut positions = Vec::new();
+/// let total = drive_probed(stream, 2, 2, |_chunk| {}, |p| positions.push(p.delivered));
+/// assert_eq!(total, 10);
+/// assert_eq!(positions, vec![4, 8, 10]); // every 2 chunks + final
+/// ```
+///
+/// # Panics
+/// Panics if `chunk_size` or `probe_every` is zero.
+pub fn drive_probed<I, F, P>(
+    updates: I,
+    chunk_size: usize,
+    probe_every: u64,
+    mut sink: F,
+    mut probe: P,
+) -> u64
+where
+    I: IntoIterator<Item = StreamUpdate>,
+    F: FnMut(&[(u64, f64)]),
+    P: FnMut(DriveProgress),
+{
+    assert!(probe_every > 0, "probe interval must be positive");
+    let mut driver = ChunkedDriver::new(chunk_size);
+    let mut chunks = 0u64;
+    for u in updates {
+        let before = driver.delivered();
+        driver.push(u, &mut sink);
+        if driver.delivered() != before {
+            chunks += 1;
+            if chunks % probe_every == 0 {
+                probe(DriveProgress {
+                    delivered: driver.delivered(),
+                    chunks,
+                });
+            }
+        }
+    }
+    let pending = driver.pending();
+    let total = driver.finish(&mut sink);
+    if pending > 0 {
+        chunks += 1;
+    }
+    // Final probe: the stream is fully delivered and quiescent.
+    probe(DriveProgress {
+        delivered: total,
+        chunks,
+    });
+    total
+}
+
 /// Incremental form of [`drive_chunked`] for callers that receive
 /// updates piecemeal (network handlers, pollers) rather than holding an
 /// iterator. Push updates as they arrive; every full chunk is delivered
@@ -175,5 +250,48 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_rejected() {
         ChunkedDriver::new(0);
+    }
+
+    #[test]
+    fn probed_driver_delivers_like_plain_driver() {
+        let mut plain = Vec::new();
+        drive_chunked(arrivals(11), 3, |c| plain.extend_from_slice(c));
+        let mut probed = Vec::new();
+        let total = drive_probed(arrivals(11), 3, 1, |c| probed.extend_from_slice(c), |_| {});
+        assert_eq!(total, 11);
+        assert_eq!(probed, plain);
+    }
+
+    #[test]
+    fn probes_fire_between_chunks_and_once_at_the_end() {
+        let seen = std::cell::Cell::new(0u64);
+        let mut delivered_at_probe = Vec::new();
+        drive_probed(
+            arrivals(10),
+            2,
+            2,
+            |c| seen.set(seen.get() + c.len() as u64),
+            |p| {
+                // The probe observes only fully delivered chunks.
+                assert_eq!(seen.get(), p.delivered);
+                delivered_at_probe.push((p.delivered, p.chunks));
+            },
+        );
+        assert_eq!(delivered_at_probe, vec![(4, 2), (8, 4), (10, 5)]);
+    }
+
+    #[test]
+    fn exact_multiple_probes_final_position_once_per_trigger() {
+        let mut probes = Vec::new();
+        let total = drive_probed(arrivals(8), 4, 1, |_| {}, |p| probes.push(p.delivered));
+        assert_eq!(total, 8);
+        // Two chunk probes plus the final quiescent probe.
+        assert_eq!(probes, vec![4, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe interval must be positive")]
+    fn zero_probe_interval_rejected() {
+        drive_probed(arrivals(4), 2, 0, |_| {}, |_| {});
     }
 }

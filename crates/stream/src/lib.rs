@@ -40,7 +40,7 @@ mod sampler;
 mod update;
 
 pub use bias_heap::BiasHeap;
-pub use driver::{drive_chunked, ChunkedDriver, DEFAULT_CHUNK_SIZE};
+pub use driver::{drive_chunked, drive_probed, ChunkedDriver, DriveProgress, DEFAULT_CHUNK_SIZE};
 pub use indexed_heap::{HeapOrder, IndexedHeap};
 pub use ostree::OrderStatTree;
 pub use reservoir::ReservoirSampler;

@@ -24,7 +24,12 @@
 //!   protocol with communication metering;
 //! * [`pipeline`] — batched, sharded, and concurrent-shared
 //!   single-node ingest: per-thread shard sketches merged by
-//!   linearity, or N threads feeding one atomic-backed sketch;
+//!   linearity, or N threads feeding one atomic-backed sketch, plus
+//!   the epoch-snapshot machinery for reading it while they do;
+//! * [`serve`] — the live query plane: a `QueryEngine` serving
+//!   point / heavy-hitter / range-sum / inner-product queries over a
+//!   concurrently-fed sketch, from lock-free live cells or pinned
+//!   epoch snapshots;
 //! * [`data`] — workload generators standing in for the
 //!   paper's datasets, plus from-scratch samplers;
 //! * [`eval`] — the figure-reproduction harness;
@@ -62,6 +67,7 @@ pub use bas_distributed as distributed;
 pub use bas_eval as eval;
 pub use bas_hash as hashing;
 pub use bas_pipeline as pipeline;
+pub use bas_serve as serve;
 pub use bas_sketch as sketches;
 pub use bas_stream as streaming;
 
@@ -71,13 +77,19 @@ pub mod prelude {
         oracle, BiasStrategy, L1Config, L1SketchRecover, L2BiasMaintenance, L2Config,
         L2SketchRecover, SampleCount,
     };
-    pub use bas_distributed::{DistributedRun, SiteData};
-    pub use bas_pipeline::{ConcurrentIngest, ShardedIngest};
+    pub use bas_distributed::{aggregate_live, DistributedRun, LiveAggregate, SiteData};
+    pub use bas_pipeline::{
+        ConcurrentIngest, EpochHandle, EpochSketch, ShardedIngest, SnapshotHandle,
+    };
+    pub use bas_serve::{QueryEngine, QueryHandle};
     pub use bas_sketch::{
         storage, Atomic, AtomicCountMedian, AtomicCountMin, AtomicCountSketch, CountMedian,
-        CountMin, CountMinLog, CountSketch, CounterBackend, CounterMatrix, Dense, HeavyHitters,
-        MergeableSketch, PointQuerySketch, RangeSumSketch, SharedSketch, SketchParams,
-        UpdatePolicy,
+        CountMin, CountMinLog, CountSketch, CounterBackend, CounterMatrix, Dense, EpochCounter,
+        HeavyHitter, HeavyHitters, MergeableSketch, PointQuerySketch, RangeSumSketch, SharedSketch,
+        SketchParams, Snapshottable, UpdatePolicy,
     };
-    pub use bas_stream::{drive_chunked, BiasHeap, ChunkedDriver, SortedSampler, StreamUpdate};
+    pub use bas_stream::{
+        drive_chunked, drive_probed, BiasHeap, ChunkedDriver, DriveProgress, SortedSampler,
+        StreamUpdate,
+    };
 }

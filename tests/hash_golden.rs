@@ -1,0 +1,126 @@
+//! Golden-vector pinning for the hash substrate.
+//!
+//! Every serialized sketch, every distributed deployment, and every
+//! epoch snapshot addresses counters through these hash functions: a
+//! seed fully determines the bucket layout, and two parties that
+//! disagree on `seed → layout` silently corrupt each other's counters.
+//! The ROADMAP calls for continued hot-path work on the hash families;
+//! these vectors make sure such optimisations cannot change outputs
+//! without tripping CI.
+//!
+//! The vectors were generated from the implementations at the time the
+//! query plane landed (PR 4) and are **frozen**: a mismatch here is a
+//! wire-format break, not a test to update casually. If an intentional
+//! format break is ever shipped, bump the seeds' documentation and the
+//! serde compatibility notes together.
+
+use bias_aware_sketches::hashing::*;
+use bias_aware_sketches::prelude::*;
+
+/// Probe items: small values, a mid-range value, and bit-pattern-heavy
+/// values that exercise the full 64-bit domain.
+const ITEMS: [u64; 8] = [0, 1, 2, 42, 1_000, 123_456_789, 0xDEAD_BEEF, u64::MAX / 3];
+
+#[test]
+fn carter_wegman_buckets_are_frozen() {
+    let mut seeder = SplitMix64::new(0x601D_0001);
+    let h = CarterWegman::sample(&mut seeder, 1024);
+    assert_eq!(
+        ITEMS.map(|i| h.bucket(i)),
+        [445, 624, 321, 410, 36, 30, 846, 590]
+    );
+}
+
+#[test]
+fn multiply_shift_buckets_are_frozen() {
+    let mut seeder = SplitMix64::new(0x601D_0002);
+    let h = MultiplyShift::sample(&mut seeder, 1024);
+    assert_eq!(
+        ITEMS.map(|i| h.bucket(i)),
+        [772, 380, 1012, 688, 881, 166, 278, 561]
+    );
+}
+
+#[test]
+fn tabulation_buckets_and_raw_hashes_are_frozen() {
+    let mut seeder = SplitMix64::new(0x601D_0003);
+    let h = Tabulation::sample(&mut seeder, 1024);
+    assert_eq!(
+        ITEMS.map(|i| h.bucket(i)),
+        [512, 205, 1021, 770, 88, 361, 661, 38]
+    );
+    // The full 64-bit output, not just the bucket reduction: range
+    // reductions may legitimately evolve (e.g. the power-of-two fast
+    // path), and pinning the raw hash localizes any future diff.
+    assert_eq!(
+        ITEMS.map(|i| h.hash64(i)),
+        [
+            9233374308909045668,
+            3705879141354101909,
+            18407899612362409849,
+            13882637777558442913,
+            1588709794580242374,
+            6507205377914553177,
+            11910397256932839377,
+            693523033042667323,
+        ]
+    );
+}
+
+#[test]
+fn sign_hash_is_frozen() {
+    let mut seeder = SplitMix64::new(0x601D_0004);
+    let h = SignHash::sample(&mut seeder);
+    assert_eq!(ITEMS.map(|i| h.sign(i)), [-1, 1, 1, 1, -1, -1, -1, 1]);
+    for i in ITEMS {
+        assert_eq!(h.sign_f64(i), h.sign(i) as f64);
+    }
+}
+
+/// Sketch-level layouts: seed → (row, item) → bucket through the whole
+/// `HashFamily` seeding chain. This is the exact property serde'd
+/// sketches rely on — a deserialized sketch re-derives nothing, but a
+/// *reconstructed* sketch (distributed sites, same-seed shards) must
+/// land on identical buckets.
+#[test]
+fn count_median_bucket_layouts_are_frozen_per_family() {
+    let expected: &[(HashKind, [[usize; 8]; 3])] = &[
+        (
+            HashKind::CarterWegman,
+            [
+                [90, 59, 364, 189, 120, 444, 77, 385],
+                [405, 33, 354, 133, 350, 401, 321, 397],
+                [234, 52, 203, 2, 337, 41, 189, 278],
+            ],
+        ),
+        (
+            HashKind::MultiplyShift,
+            [
+                [249, 505, 248, 229, 274, 497, 421, 318],
+                [396, 367, 337, 176, 477, 484, 433, 302],
+                [216, 122, 29, 376, 193, 217, 415, 59],
+            ],
+        ),
+        (
+            HashKind::Tabulation,
+            [
+                [157, 155, 384, 470, 285, 369, 367, 374],
+                [177, 140, 177, 330, 473, 317, 60, 164],
+                [465, 392, 134, 299, 298, 488, 434, 107],
+            ],
+        ),
+    ];
+    for (kind, rows) in expected {
+        let p = SketchParams::new(100_000, 512, 3)
+            .with_seed(9)
+            .with_hash_kind(*kind);
+        let cm = CountMedian::new(&p);
+        for (row, want) in rows.iter().enumerate() {
+            assert_eq!(
+                &ITEMS.map(|i| cm.bucket_of(row, i % 100_000)),
+                want,
+                "{kind:?} row {row}"
+            );
+        }
+    }
+}
