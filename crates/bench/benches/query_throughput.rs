@@ -27,6 +27,7 @@
 //! Knobs: `BAS_SCALE` scales the preload/query counts; `--test` (CI
 //! smoke) shrinks everything to run in seconds.
 
+use bas_bench::report::BenchReport;
 use bas_pipeline::EpochHandle;
 use bas_serve::{QueryEngine, QueryHandle};
 use bas_sketch::{AtomicCountMedian, CountMedian, PointQuerySketch, SketchParams, Snapshottable};
@@ -224,6 +225,8 @@ fn main() {
         passes.push(pass);
     }
 
+    let mut report = BenchReport::new("query_throughput", smoke);
+
     // Heavy-hitter scan rate over a pinned snapshot (full mode only —
     // a universe sweep is deliberately not a smoke-sized operation).
     if !smoke {
@@ -248,6 +251,7 @@ fn main() {
             "  heavy-hitter scans: {:.2} scans/s over the {n}-item universe",
             scans as f64 / secs
         );
+        report.record("heavy-hitter-scan", "scans_per_sec", scans as f64 / secs);
     }
 
     println!("--------------------------------------------------------");
@@ -264,6 +268,10 @@ fn main() {
                 String::new()
             }
         );
+        report.record(&p.label, "queries_per_sec", p.queries_per_sec);
+        if p.items_per_sec > 0.0 {
+            report.record(&p.label, "items_per_sec", p.items_per_sec);
+        }
     }
     let at4 = passes.last().expect("4-writer pass exists").queries_per_sec;
     println!(
@@ -276,4 +284,8 @@ fn main() {
         }
     );
     println!("total updates pushed across passes: {total_pushed}");
+    match report.write() {
+        Ok(path) => println!("machine-readable summary: {}", path.display()),
+        Err(e) => println!("WARNING: could not write bench summary: {e}"),
+    }
 }

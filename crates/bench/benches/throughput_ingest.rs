@@ -33,6 +33,7 @@
 //! 10M); `--test` (the CI smoke mode) shrinks the run to 100k updates
 //! and single passes so the harness stays green in seconds.
 
+use bas_bench::report::BenchReport;
 use bas_core::{L2Config, L2SketchRecover};
 use bas_pipeline::{ConcurrentIngest, ShardedIngest};
 use bas_sketch::{
@@ -254,6 +255,16 @@ fn main() {
 
     let shard_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
     let params = SketchParams::new(n, WIDTH, DEPTH).with_seed(7);
+    let mut report = BenchReport::new("throughput_ingest", smoke);
+    let record = |report: &mut BenchReport, name: &str, runs: &[Run]| {
+        for r in runs {
+            report.record(
+                &format!("{name}/{}", r.label),
+                "items_per_sec",
+                r.items_per_sec,
+            );
+        }
+    };
 
     let (cm_runs, cm_single_secs, cm_single) = bench_sketch(
         "Count-Median",
@@ -262,7 +273,8 @@ fn main() {
         || CountMedian::new(&params),
         shard_counts,
     );
-    bench_concurrent(
+    record(&mut report, "Count-Median", &cm_runs);
+    let cm_shared = bench_concurrent(
         "Count-Median",
         &updates,
         passes,
@@ -271,6 +283,7 @@ fn main() {
         cm_single_secs,
         &cm_single,
     );
+    record(&mut report, "Count-Median", &cm_shared);
     let (cs_runs, cs_single_secs, cs_single) = bench_sketch(
         "Count-Sketch",
         &updates,
@@ -278,7 +291,8 @@ fn main() {
         || CountSketch::new(&params),
         shard_counts,
     );
-    bench_concurrent(
+    record(&mut report, "Count-Sketch", &cs_runs);
+    let cs_shared = bench_concurrent(
         "Count-Sketch",
         &updates,
         passes,
@@ -287,6 +301,7 @@ fn main() {
         cs_single_secs,
         &cs_single,
     );
+    record(&mut report, "Count-Sketch", &cs_shared);
     let l2_cfg = L2Config::new(n, WIDTH, DEPTH).with_seed(7);
     // No concurrent-shared row for l2-S/R: its bias maintainers are
     // inherently sequential (no SharedSketch impl), so its multi-core
@@ -298,6 +313,7 @@ fn main() {
         || L2SketchRecover::new(&l2_cfg),
         shard_counts,
     );
+    record(&mut report, "l2-S/R", &l2_runs);
 
     // Verdict over all three sketches (geometric mean of the batched
     // speedups), so one noisy series cannot flip the report.
@@ -322,4 +338,9 @@ fn main() {
             " (WARNING: batching did not win on this machine/run)"
         }
     );
+    report.record("geomean", "batched_speedup_vs_single", geomean);
+    match report.write() {
+        Ok(path) => println!("machine-readable summary: {}", path.display()),
+        Err(e) => println!("WARNING: could not write bench summary: {e}"),
+    }
 }

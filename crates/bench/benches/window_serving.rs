@@ -1,0 +1,227 @@
+//! **Windowed serving throughput** — what the time-scoped query plane
+//! costs next to the since-boot one.
+//!
+//! The scenario is the windowed telemetry shape: one Count-Median
+//! `QueryEngine` under `Sliding(K)`, fed a timestamped Zipf stream
+//! (`bas_data::TimestampedStreamGen`, the same generator the window
+//! conformance suite uses) through `bas_stream::drive_timestamped`,
+//! whose interval boundaries drive `advance_interval()`. Three
+//! measurements:
+//!
+//! * **ingest + rotation** — items/sec for the full windowed write
+//!   path (chunked driving, concurrent flushes, one seal per
+//!   interval), next to the identical stream pushed into an unbounded
+//!   engine: the difference is the whole cost of rotation;
+//! * **window point queries** — queries/sec against a pinned
+//!   [`WindowSnapshot`] with periodic allocation-free
+//!   `refresh_window`, next to unbounded snapshot queries at the same
+//!   cadence: the marginal cost of the per-refresh plane subtraction;
+//! * **window heavy-hitter scans** — full-universe sweeps over the
+//!   window plane (full mode only; scans/sec).
+//!
+//! Throughput numbers are *reported*; the **exactness gate is
+//! asserted** in every mode: after the stream drains, the pinned
+//! window must equal a single-threaded sketch of exactly the last
+//! `K` intervals' updates, bit for bit (integer deltas). That gate is
+//! what CI's smoke mode (`--test`) runs.
+//!
+//! Knobs: `BAS_SCALE` scales the stream; `--test` (CI smoke) shrinks
+//! everything to run in seconds.
+
+use bas_bench::report::BenchReport;
+use bas_data::TimestampedStreamGen;
+use bas_serve::{QueryEngine, Sliding, WindowSnapshot};
+use bas_sketch::{AtomicCountMedian, CountMedian, PointQuerySketch, SketchParams};
+use bas_stream::drive_timestamped;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WIDTH: usize = 4_096;
+const DEPTH: usize = 9;
+const WINDOW: usize = 8; // sliding window length in intervals
+const CHUNK: usize = 8_192;
+const REFRESH_EVERY: usize = 1_024;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let scale = std::env::var("BAS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let n = 100_000u64;
+    let intervals = 24u64; // 3 windows' worth of rotation
+    let per_interval = if smoke {
+        8_000
+    } else {
+        (80_000f64 * scale) as usize
+    };
+    let queries = if smoke {
+        40_000
+    } else {
+        (400_000f64 * scale) as usize
+    };
+    let workers = 4;
+
+    println!("================ windowed serving throughput ================");
+    println!(
+        "universe {n}, width {WIDTH}, depth {DEPTH}; sliding({WINDOW}) over {intervals} \
+         intervals x {per_interval} updates; {queries} point queries{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let params = SketchParams::new(n, WIDTH, DEPTH).with_seed(7);
+    let gen = TimestampedStreamGen::zipf(n, intervals, per_interval, 1.1)
+        .with_seed(11)
+        .with_max_delta(4);
+    let stream = gen.generate();
+    let total_updates = stream.len() as f64;
+    let mut report = BenchReport::new("window_serving", smoke);
+
+    // ---- ingest + rotation vs unbounded ingest ----
+    let policy = Sliding::new(WINDOW).expect("non-zero window");
+    // RefCell because the sink and the boundary callback both drive the
+    // same engine (one buffers, one rotates) — single-threaded, so the
+    // dynamic borrows never overlap.
+    let engine = std::cell::RefCell::new(QueryEngine::with_policy(
+        workers,
+        AtomicCountMedian::with_backend(&params),
+        policy,
+    ));
+    let t = Instant::now();
+    drive_timestamped(
+        stream.iter().copied(),
+        CHUNK,
+        |chunk| engine.borrow_mut().extend_from_slice(chunk),
+        |_| {
+            engine.borrow_mut().advance_interval();
+        },
+    );
+    let mut engine = engine.into_inner();
+    engine.flush();
+    let windowed_secs = t.elapsed().as_secs_f64();
+
+    let mut unbounded = QueryEngine::new(workers, AtomicCountMedian::with_backend(&params));
+    let t = Instant::now();
+    drive_timestamped(
+        stream.iter().copied(),
+        CHUNK,
+        |chunk| unbounded.extend_from_slice(chunk),
+        |_| {}, // same boundaries, no rotation
+    );
+    unbounded.flush();
+    let unbounded_secs = t.elapsed().as_secs_f64();
+
+    println!(
+        "  ingest: windowed {:.2} M items/s vs unbounded {:.2} M items/s \
+         (rotation overhead {:.1}%)",
+        total_updates / windowed_secs / 1e6,
+        total_updates / unbounded_secs / 1e6,
+        (windowed_secs / unbounded_secs - 1.0) * 100.0
+    );
+    report.record(
+        "ingest/windowed",
+        "items_per_sec",
+        total_updates / windowed_secs,
+    );
+    report.record(
+        "ingest/unbounded",
+        "items_per_sec",
+        total_updates / unbounded_secs,
+    );
+
+    // ---- exactness gate: window == reference over the last K-1 closed
+    // intervals + the in-progress one (Sliding(K) covers intervals
+    // current-K+1 ..= current; the final interval `intervals - 1` is
+    // still in progress because drive_timestamped never closes it). ----
+    let window = engine.pin_window();
+    let current = engine.interval();
+    assert_eq!(current, intervals - 1, "final interval stays open");
+    assert_eq!(window.start_interval(), current - (WINDOW as u64 - 1));
+    let mut reference = CountMedian::new(&params);
+    let window_updates: Vec<(u64, f64)> = stream
+        [(window.start_interval() as usize * per_interval)..]
+        .iter()
+        .map(|u| (u.item, u.delta))
+        .collect();
+    reference.update_batch(&window_updates);
+    assert_eq!(window.applied(), window_updates.len() as u64);
+    for j in (0..n).step_by(9_973) {
+        assert_eq!(
+            window.estimate(j),
+            reference.estimate(j),
+            "window exactness gate failed at item {j}"
+        );
+    }
+
+    // ---- window point queries vs unbounded snapshot queries ----
+    let run_queries = |mut estimate: Box<dyn FnMut(usize, u64) -> f64>| -> f64 {
+        let t = Instant::now();
+        let mut item = 0xBEEFu64;
+        let mut acc = 0.0;
+        for q in 0..queries {
+            item = item.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc += estimate(q, item % n);
+        }
+        black_box(acc);
+        queries as f64 / t.elapsed().as_secs_f64()
+    };
+
+    let mut win: WindowSnapshot<AtomicCountMedian> = engine.pin_window();
+    let engine_ref = &engine;
+    let window_qps = run_queries(Box::new(move |q, item| {
+        if q % REFRESH_EVERY == 0 {
+            engine_ref.refresh_window(&mut win);
+        }
+        win.estimate(item)
+    }));
+    let mut snap = unbounded.pin();
+    let snapshot_qps = run_queries(Box::new(move |q, item| {
+        if q % REFRESH_EVERY == 0 {
+            snap.refresh(); // same cadence, allocation-free re-pin
+        }
+        snap.estimate(item)
+    }));
+    println!(
+        "  point queries: windowed {:.2} M qps vs unbounded snapshot {:.2} M qps \
+         (refresh every {REFRESH_EVERY})",
+        window_qps / 1e6,
+        snapshot_qps / 1e6
+    );
+    report.record("queries/window", "queries_per_sec", window_qps);
+    report.record(
+        "queries/unbounded-snapshot",
+        "queries_per_sec",
+        snapshot_qps,
+    );
+
+    // ---- window heavy-hitter scans (full mode only) ----
+    if !smoke {
+        let scans = 3;
+        let win = engine.pin_window();
+        let t = Instant::now();
+        let mut found = 0usize;
+        for _ in 0..scans {
+            found += win.heavy_hitters(1e-3).expect("valid phi").len();
+        }
+        let secs = t.elapsed().as_secs_f64();
+        black_box(found);
+        println!(
+            "  window heavy-hitter scans: {:.2} scans/s over the {n}-item universe",
+            scans as f64 / secs
+        );
+        report.record(
+            "heavy-hitter-scan/window",
+            "scans_per_sec",
+            scans as f64 / secs,
+        );
+    }
+
+    match report.write() {
+        Ok(path) => println!("machine-readable summary: {}", path.display()),
+        Err(e) => println!("WARNING: could not write bench summary: {e}"),
+    }
+    println!(
+        "window exactness gate passed ({} window updates)",
+        window_updates.len()
+    );
+}

@@ -1,0 +1,281 @@
+//! Machine-readable bench summaries: `BENCH_PR5.json`.
+//!
+//! Bench stdout is great for humans and useless for trend tracking:
+//! once the terminal scrolls away, the perf trajectory across PRs is
+//! gone. Each throughput-style bench therefore also emits its rows
+//! through a [`BenchReport`], which
+//!
+//! 1. writes the bench's own section as a *fragment* file under a
+//!    sections directory (`target/bench-sections/<bench>.json` by
+//!    default), and
+//! 2. regenerates the combined summary (`BENCH_PR5.json` by default)
+//!    from **every** fragment present — so the three throughput
+//!    benches can run in any order, each refreshing only its own
+//!    section, and the combined file always holds the latest row set
+//!    of each.
+//!
+//! The JSON is hand-assembled (the vendored `serde_json` subset has no
+//! `Value` tree), with escaping for the label strings; a unit test
+//! round-trips the output through the vendored parser to keep it
+//! honest. Knobs: `BAS_BENCH_JSON` overrides the combined path,
+//! `BAS_BENCH_JSON_DIR` the fragment directory.
+//!
+//! Combined format, one top-level key per bench:
+//!
+//! ```json
+//! {
+//!   "throughput_ingest": {
+//!     "mode": "full",
+//!     "rows": [
+//!       {"label": "Count-Median/single", "metric": "items_per_sec", "value": 2.1e7}
+//!     ]
+//!   }
+//! }
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default combined summary filename (resolved against the workspace
+/// root, not the bench's cwd — cargo runs bench binaries from the
+/// package directory).
+pub const DEFAULT_COMBINED_NAME: &str = "BENCH_PR5.json";
+
+/// Default fragment directory name under the workspace `target/`.
+pub const DEFAULT_SECTIONS_DIR: &str = "bench-sections";
+
+/// The workspace root, derived from this crate's manifest directory
+/// (`crates/bench` → two levels up). Keeps the default output location
+/// stable no matter which directory the bench binary runs from.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// One bench's summary rows, accumulated during the run and written at
+/// the end.
+#[derive(Debug)]
+pub struct BenchReport {
+    bench: String,
+    mode: String,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug)]
+struct Row {
+    label: String,
+    metric: String,
+    value: f64,
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes,
+/// control characters — the label alphabet here is tame, but the
+/// writer should not rely on that).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (JSON has no NaN/∞, so non-finite
+/// values become `null`).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchReport {
+    /// A report for the named bench, in `"smoke"` or `"full"` mode.
+    pub fn new(bench: &str, smoke: bool) -> Self {
+        Self {
+            bench: bench.to_string(),
+            mode: if smoke { "smoke" } else { "full" }.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one measured value (e.g. label `"Count-Median/single"`,
+    /// metric `"items_per_sec"`).
+    pub fn record(&mut self, label: &str, metric: &str, value: f64) {
+        self.rows.push(Row {
+            label: label.to_string(),
+            metric: metric.to_string(),
+            value,
+        });
+    }
+
+    /// This bench's section as a JSON object.
+    fn section_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"    {{"label": "{}", "metric": "{}", "value": {}}}"#,
+                    escape(&r.label),
+                    escape(&r.metric),
+                    number(r.value)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"mode\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}",
+            escape(&self.mode),
+            rows.join(",\n")
+        )
+    }
+
+    /// Writes this bench's fragment and regenerates the combined
+    /// summary from all fragments present. Returns the combined path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (unwritable directories).
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let root = workspace_root();
+        let dir = std::env::var("BAS_BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| root.join("target").join(DEFAULT_SECTIONS_DIR));
+        let combined = std::env::var("BAS_BENCH_JSON")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| root.join(DEFAULT_COMBINED_NAME));
+        self.write_to(&dir, &combined)
+    }
+
+    /// [`write`](BenchReport::write) with explicit paths (for tests).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, sections_dir: &Path, combined: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(sections_dir)?;
+        fs::write(
+            sections_dir.join(format!("{}.json", self.bench)),
+            self.section_json(),
+        )?;
+
+        // Regenerate the combined file from every fragment present.
+        let mut sections: Vec<(String, String)> = Vec::new();
+        for entry in fs::read_dir(sections_dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            sections.push((name.to_string(), fs::read_to_string(&path)?));
+        }
+        sections.sort_by(|a, b| a.0.cmp(&b.0));
+        let body: Vec<String> = sections
+            .iter()
+            .map(|(name, json)| {
+                // Indent the section under its key.
+                let indented = json.replace('\n', "\n  ");
+                format!("  \"{}\": {indented}", escape(name))
+            })
+            .collect();
+        fs::write(combined, format!("{{\n{}\n}}\n", body.join(",\n")))?;
+        Ok(combined.to_path_buf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bas-bench-report-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn combined_file_merges_sections_and_parses() {
+        let dir = temp_dir("merge");
+        let sections = dir.join("sections");
+        let combined = dir.join("BENCH_PR5.json");
+
+        let mut a = BenchReport::new("throughput_ingest", false);
+        a.record("Count-Median/single", "items_per_sec", 2.1e7);
+        a.record("Count-Median/concurrent-shared-4", "items_per_sec", 3.9e7);
+        a.write_to(&sections, &combined).unwrap();
+
+        let mut b = BenchReport::new("query_throughput", true);
+        b.record("quiescent", "queries_per_sec", 5.0e6);
+        b.write_to(&sections, &combined).unwrap();
+
+        let text = fs::read_to_string(&combined).unwrap();
+        // The vendored serde_json parses it (validity check) and both
+        // sections survive the second write.
+        #[derive(serde::Deserialize)]
+        struct Row {
+            label: String,
+            metric: String,
+            value: Option<f64>,
+        }
+        #[derive(serde::Deserialize)]
+        struct Section {
+            mode: String,
+            rows: Vec<Row>,
+        }
+        #[derive(serde::Deserialize)]
+        struct Combined {
+            throughput_ingest: Section,
+            query_throughput: Section,
+        }
+        let parsed: Combined = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.throughput_ingest.mode, "full");
+        assert_eq!(parsed.throughput_ingest.rows.len(), 2);
+        assert_eq!(
+            parsed.throughput_ingest.rows[0].label,
+            "Count-Median/single"
+        );
+        assert_eq!(parsed.throughput_ingest.rows[0].metric, "items_per_sec");
+        assert_eq!(parsed.throughput_ingest.rows[0].value, Some(2.1e7));
+        assert_eq!(parsed.query_throughput.mode, "smoke");
+        assert_eq!(parsed.query_throughput.rows[0].value, Some(5.0e6));
+
+        // Re-running a bench refreshes only its own section.
+        let mut a2 = BenchReport::new("throughput_ingest", true);
+        a2.record("Count-Median/single", "items_per_sec", 1.0e7);
+        a2.write_to(&sections, &combined).unwrap();
+        let parsed: Combined =
+            serde_json::from_str(&fs::read_to_string(&combined).unwrap()).unwrap();
+        assert_eq!(parsed.throughput_ingest.rows.len(), 1);
+        assert_eq!(parsed.query_throughput.rows.len(), 1, "other section kept");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_and_nonfinite_values() {
+        let dir = temp_dir("escape");
+        let sections = dir.join("sections");
+        let combined = dir.join("combined.json");
+        let mut r = BenchReport::new("weird", false);
+        r.record("label \"with\" quotes\\and\nnewline", "qps", f64::NAN);
+        r.write_to(&sections, &combined).unwrap();
+        let text = fs::read_to_string(&combined).unwrap();
+        assert!(text.contains("\\\"with\\\""));
+        assert!(text.contains("\"value\": null"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -29,6 +29,7 @@ pub mod graph;
 pub mod io;
 mod special;
 mod synthetic;
+mod timestamped;
 
 pub use graph::GraphStreamGen;
 pub use special::ln_gamma;
@@ -36,3 +37,4 @@ pub use synthetic::{
     GaussianGen, KinematicGen, MemeLengthGen, ShiftedGaussianGen, VectorGenerator, WebTrafficGen,
     ZipfFreqGen,
 };
+pub use timestamped::{StreamDist, TimestampedStreamGen};

@@ -1,0 +1,244 @@
+//! Timestamped stream workloads for the windowed query plane.
+//!
+//! Window tests and benches all need the same thing: a deterministic
+//! stream of updates tagged with monotone interval ids, over either a
+//! skewed (Zipf) or a uniform item population. Hand-rolling timestamps
+//! per test site invites drift between what the conformance suite
+//! checks and what the benches measure; this module is the one shared
+//! source.
+
+use crate::dist::Zipf;
+use bas_hash::SplitMix64;
+use bas_stream::TimestampedUpdate;
+
+/// Item-selection distribution for [`TimestampedStreamGen`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamDist {
+    /// Zipf-distributed items (rank 1 maps to item 0): the skewed
+    /// heavy-hitter workload.
+    Zipf {
+        /// Zipf exponent (1.0–1.5 covers most reported web workloads).
+        exponent: f64,
+    },
+    /// Uniformly distributed items: the collision-heavy, bias-free
+    /// workload.
+    Uniform,
+}
+
+/// A reproducible timestamped update stream: `intervals × per_interval`
+/// updates over a universe of `n` items, tagged with monotone interval
+/// ids `0 .. intervals`, with integer deltas in `1 ..= max_delta`
+/// (integer-valued so every ingest path stays bit-exact).
+///
+/// Equal seeds produce identical streams; the interval structure is
+/// exact (`per_interval` updates in each interval), so window oracles
+/// can slice the generated vector by position instead of re-parsing
+/// timestamps.
+///
+/// ```
+/// use bas_data::{StreamDist, TimestampedStreamGen};
+///
+/// let gen = TimestampedStreamGen::zipf(1_000, 4, 250, 1.1).with_seed(7);
+/// let stream = gen.generate();
+/// assert_eq!(stream.len(), 1_000);
+/// assert_eq!(stream[0].interval, 0);
+/// assert_eq!(stream[999].interval, 3);
+/// assert_eq!(gen.generate(), stream); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TimestampedStreamGen {
+    /// Universe size: items are in `[0, n)`.
+    pub n: u64,
+    /// Number of intervals the stream spans.
+    pub intervals: u64,
+    /// Updates per interval.
+    pub per_interval: usize,
+    /// Deltas are integers in `1 ..= max_delta`.
+    pub max_delta: u64,
+    /// Item-selection distribution.
+    pub dist: StreamDist,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl TimestampedStreamGen {
+    /// A Zipf-distributed stream.
+    ///
+    /// # Panics
+    /// Panics unless `n`, `intervals`, `per_interval` are positive and
+    /// `exponent > 0`.
+    pub fn zipf(n: u64, intervals: u64, per_interval: usize, exponent: f64) -> Self {
+        assert!(exponent > 0.0, "Zipf exponent must be positive");
+        Self::new(n, intervals, per_interval, StreamDist::Zipf { exponent })
+    }
+
+    /// A uniformly-distributed stream.
+    ///
+    /// # Panics
+    /// Panics unless `n`, `intervals`, `per_interval` are positive.
+    pub fn uniform(n: u64, intervals: u64, per_interval: usize) -> Self {
+        Self::new(n, intervals, per_interval, StreamDist::Uniform)
+    }
+
+    fn new(n: u64, intervals: u64, per_interval: usize, dist: StreamDist) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        assert!(intervals > 0, "need at least one interval");
+        assert!(per_interval > 0, "need at least one update per interval");
+        Self {
+            n,
+            intervals,
+            per_interval,
+            max_delta: 1,
+            dist,
+            seed: 0,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Draws deltas from `1 ..= max_delta` instead of all-ones, to
+    /// exercise mass bookkeeping (still integer-valued, so every
+    /// ingest path stays bit-exact).
+    ///
+    /// # Panics
+    /// Panics if `max_delta` is zero.
+    pub fn with_max_delta(mut self, max_delta: u64) -> Self {
+        assert!(max_delta > 0, "max delta must be positive");
+        self.max_delta = max_delta;
+        self
+    }
+
+    /// Total updates across all intervals.
+    pub fn len(&self) -> usize {
+        self.intervals as usize * self.per_interval
+    }
+
+    /// Whether the stream is empty (never, for validated parameters).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable name for experiment tables.
+    pub fn name(&self) -> String {
+        let dist = match self.dist {
+            StreamDist::Zipf { exponent } => format!("Zipf(s={exponent})"),
+            StreamDist::Uniform => "Uniform".to_string(),
+        };
+        format!(
+            "{dist} n={} intervals={} per_interval={}",
+            self.n, self.intervals, self.per_interval
+        )
+    }
+
+    /// Generates the full stream, interval-major (all of interval 0,
+    /// then interval 1, …), so `stream[t·per_interval .. (t+1)·per_interval]`
+    /// is exactly interval `t` — the slicing window oracles rely on.
+    pub fn generate(&self) -> Vec<TimestampedUpdate> {
+        let mut rng = SplitMix64::new(self.seed ^ 0xDA7A_0008);
+        let zipf = match self.dist {
+            StreamDist::Zipf { exponent } => Some(Zipf::new(self.n, exponent)),
+            StreamDist::Uniform => None,
+        };
+        let mut out = Vec::with_capacity(self.len());
+        for interval in 0..self.intervals {
+            for _ in 0..self.per_interval {
+                let item = match &zipf {
+                    // Ranks are 1-based; map rank r to item r−1.
+                    Some(z) => z.sample(&mut rng) - 1,
+                    None => rng.next_below(self.n),
+                };
+                let delta = if self.max_delta == 1 {
+                    1.0
+                } else {
+                    (1 + rng.next_below(self.max_delta)) as f64
+                };
+                out.push(TimestampedUpdate::new(interval, item, delta));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_structure_is_exact() {
+        let gen = TimestampedStreamGen::uniform(100, 5, 40).with_seed(3);
+        let stream = gen.generate();
+        assert_eq!(stream.len(), 200);
+        assert_eq!(gen.len(), 200);
+        assert!(!gen.is_empty());
+        for (k, u) in stream.iter().enumerate() {
+            assert_eq!(u.interval, (k / 40) as u64, "update {k}");
+            assert!(u.item < 100);
+            assert_eq!(u.delta, 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let gen = TimestampedStreamGen::zipf(500, 3, 100, 1.2).with_seed(9);
+        assert_eq!(gen.generate(), gen.generate());
+        let other = gen.with_seed(10).generate();
+        assert_ne!(gen.generate(), other);
+    }
+
+    #[test]
+    fn zipf_stream_is_skewed_uniform_is_not() {
+        let n = 1_000u64;
+        let count_top = |stream: &[bas_stream::TimestampedUpdate]| {
+            stream.iter().filter(|u| u.item < 10).count()
+        };
+        let zipf = TimestampedStreamGen::zipf(n, 2, 5_000, 1.2)
+            .with_seed(4)
+            .generate();
+        let uniform = TimestampedStreamGen::uniform(n, 2, 5_000)
+            .with_seed(4)
+            .generate();
+        // Top-10 items carry a large share under Zipf, ~1% uniform.
+        assert!(
+            count_top(&zipf) > 2_000,
+            "zipf top-10 = {}",
+            count_top(&zipf)
+        );
+        assert!(
+            count_top(&uniform) < 300,
+            "uniform top-10 = {}",
+            count_top(&uniform)
+        );
+    }
+
+    #[test]
+    fn max_delta_bounds_integer_deltas() {
+        let stream = TimestampedStreamGen::uniform(50, 2, 500)
+            .with_max_delta(4)
+            .with_seed(1)
+            .generate();
+        assert!(stream
+            .iter()
+            .all(|u| u.delta >= 1.0 && u.delta <= 4.0 && u.delta.fract() == 0.0));
+        assert!(stream.iter().any(|u| u.delta > 1.0));
+    }
+
+    #[test]
+    fn names_mention_parameters() {
+        assert!(TimestampedStreamGen::zipf(10, 2, 3, 1.1)
+            .name()
+            .contains("Zipf"));
+        assert!(TimestampedStreamGen::uniform(10, 2, 3)
+            .name()
+            .contains("Uniform"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_intervals_rejected() {
+        TimestampedStreamGen::uniform(10, 0, 3);
+    }
+}

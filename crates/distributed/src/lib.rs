@@ -63,7 +63,9 @@
 mod live;
 mod meter;
 mod protocol;
+mod window;
 
 pub use live::{aggregate_live, LiveAggregate};
 pub use meter::CommMeter;
 pub use protocol::{DistributedRun, SiteData};
+pub use window::{aggregate_windows, WindowAggregate};

@@ -162,6 +162,20 @@ impl<S: Snapshottable> EpochSketch<S> {
         }
     }
 
+    /// Runs the seqlock retry loop into a **caller-owned** snapshot
+    /// buffer and returns the `(epoch, applied, mass)` the capture
+    /// settled at — the primitive under both [`SnapshotHandle::refresh`]
+    /// and the window plane's allocation-free rotation/seal path
+    /// (`WindowedIngest` refills a recycled bank slot with it). Same
+    /// consistency contract as [`pin`](EpochSketch::pin): the buffer
+    /// always ends up holding a flush-boundary prefix of the stream.
+    ///
+    /// # Panics
+    /// Panics if `snap` was made for a different configuration.
+    pub fn pin_into(&self, snap: &mut S::Snapshot) -> (u64, u64, f64) {
+        self.fill(snap)
+    }
+
     /// The seqlock read loop: copy the counters and keep the copy only
     /// if the write epoch was even and unchanged across the copy.
     /// Returns `(epoch, applied, mass)` as of the captured state.
@@ -287,6 +301,14 @@ impl<S: Snapshottable> Snapshottable for EpochSketch<S> {
         other: &Self::Snapshot,
     ) -> Result<(), bas_sketch::MergeError> {
         self.sketch.merge_snapshot(snap, other)
+    }
+
+    fn subtract_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), bas_sketch::MergeError> {
+        self.sketch.subtract_snapshot(snap, other)
     }
 }
 

@@ -53,6 +53,18 @@
 //! *prefix* of the pushed stream — while writers keep flushing. The
 //! `bas-serve` crate packages this split as a `QueryEngine`.
 //!
+//! ## Bounded lifetimes: the window module
+//!
+//! [`window`] adds interval **rotation** on top of the epoch plane:
+//! a [`WindowedIngest`] seals the cumulative plane into a rotating
+//! [`PlaneBank`](bas_sketch::PlaneBank) at every
+//! [`advance_interval`](WindowedIngest::advance_interval) (flush, then
+//! copy through the same seqlock fill loop snapshot readers use, then
+//! recycle the oldest slot allocation-free). Because the sketches are
+//! linear, any time window is then one subtractive merge of two sealed
+//! planes — the mechanism behind `bas-serve`'s tumbling and sliding
+//! serving policies.
+//!
 //! Non-linear sketches (CM-CU, CML-CU) are rejected by the type
 //! system, exactly as in the distributed protocol: [`ShardedIngest`]
 //! requires [`MergeableSketch`](bas_sketch::MergeableSketch), and
@@ -73,7 +85,9 @@ mod buffer;
 mod concurrent;
 pub mod epoch;
 mod sharded;
+pub mod window;
 
 pub use concurrent::ConcurrentIngest;
 pub use epoch::{EpochGuard, EpochHandle, EpochSketch, SnapshotHandle};
 pub use sharded::ShardedIngest;
+pub use window::WindowedIngest;

@@ -3,7 +3,7 @@
 //! Everything below this crate moves data *into* sketches; this crate
 //! serves queries *out of* one **while writers are still feeding it**.
 //! A [`QueryEngine`] owns the write side — a
-//! [`ConcurrentIngest`] fanning each
+//! [`WindowedIngest`] fanning each
 //! flush across N worker threads into one shared `Atomic`-backed
 //! sketch — and hands out any number of cloneable [`QueryHandle`]s for
 //! the read side. Two read modes, chosen per query:
@@ -21,6 +21,30 @@
 //!   range decompositions, inner products) are exactly as trustworthy
 //!   as on a quiesced sketch. [`SnapshotHandle::refresh`] re-pins into
 //!   the same buffer, so steady-state readers allocate nothing.
+//!
+//! ## Serving policies: since-boot vs time-scoped
+//!
+//! The engine is generic over a [`ServingPolicy`] deciding *how much
+//! history* queries cover:
+//!
+//! * [`Unbounded`] (the default) — the since-boot accumulator, with
+//!   the exact pre-window behavior;
+//! * [`Tumbling`]`(K)` / [`Sliding`]`(K)` — **windowed** serving over
+//!   the last bucket / last `K` intervals. The write side gains one
+//!   verb, [`advance_interval`](QueryEngine::advance_interval) (flush
+//!   + seal the cumulative plane into a rotating bank), and the read
+//!   side gains window-scoped queries:
+//!   [`point_in_window`](QueryEngine::point_in_window),
+//!   [`heavy_hitters_in_window`](QueryEngine::heavy_hitters_in_window),
+//!   [`range_sum_in_window`](QueryEngine::range_sum_in_window), and
+//!   pinnable [`WindowSnapshot`]s. Window answers are **plane
+//!   arithmetic** — `cumulative(now) − sealed(boundary)`, exact for
+//!   the linear sketches by `Φx^{(a,t]} = Φx^{(0,t]} − Φx^{(0,a]}` —
+//!   so there is no second ingest path and no per-window counters.
+//!
+//! Bad query parameters (invalid `phi`, reversed ranges, zero-length
+//! windows) are rejected with the typed [`QueryError`]; the panicking
+//! conveniences panic with its `Display` message.
 //!
 //! The engine is generic over any sketch that is both
 //! [`SharedSketch`] (lock-free shared ingest)
@@ -46,21 +70,77 @@
 //! assert_eq!(snap.applied(), 20_000);
 //! assert_eq!(snap.estimate(42), engine.estimate_live(42));
 //! ```
+//!
+//! Windowed serving (the time-scoped shape — "heavy hitters in the
+//! current window", not "since boot"):
+//!
+//! ```
+//! use bas_serve::{QueryEngine, Sliding};
+//! use bas_sketch::{AtomicCountMedian, SketchParams};
+//!
+//! let params = SketchParams::new(1_000, 128, 5).with_seed(9);
+//! let policy = Sliding::new(2).unwrap(); // last 2 intervals
+//! let mut engine =
+//!     QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params), policy);
+//!
+//! for interval in 0..4u64 {
+//!     engine.push(7, 10.0); // item 7 gets 10 per interval
+//!     engine.advance_interval();
+//! }
+//! // Window = intervals 3..=4 (4 is in progress, still empty).
+//! let window = engine.pin_window();
+//! assert_eq!(window.estimate(7), 10.0); // one interval's worth, not 40
+//! assert_eq!(window.mass(), 10.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bas_pipeline::{ConcurrentIngest, EpochHandle, SnapshotHandle};
+mod error;
+mod policy;
+mod window;
+
+pub use error::QueryError;
+pub use policy::{ServingPolicy, Sliding, Tumbling, Unbounded, WindowPolicy};
+pub use window::WindowSnapshot;
+
+use bas_pipeline::{EpochHandle, SnapshotHandle, WindowedIngest};
 use bas_sketch::{
-    CountSketch, CounterBackend, HeavyHitter, MergeError, RangeSumSketch, SharedSketch,
-    Snapshottable,
+    CountSketch, CounterBackend, HeavyHitter, MergeError, PointQuerySketch, RangeSumSketch,
+    SharedSketch, Snapshottable,
 };
 use bas_stream::StreamUpdate;
 
+/// Scans a frozen plane for every item whose estimate reaches
+/// `phi · mass` — the one heavy-hitter kernel shared by the unbounded
+/// snapshot scan and the window scan.
+fn scan_heavy_hitters<S: Snapshottable>(
+    sketch: &S,
+    plane: &S::Snapshot,
+    mass: f64,
+    phi: f64,
+) -> Result<Vec<HeavyHitter>, QueryError> {
+    QueryError::check_phi(phi)?;
+    if mass <= 0.0 {
+        return Ok(Vec::new());
+    }
+    let threshold = phi * mass;
+    let mut out: Vec<HeavyHitter> = (0..sketch.universe())
+        .filter_map(|item| {
+            let estimate = sketch.estimate_in(plane, item);
+            (estimate >= threshold).then_some(HeavyHitter { item, estimate })
+        })
+        .collect();
+    out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.item.cmp(&b.item)));
+    Ok(out)
+}
+
 /// A query engine over one concurrently-fed sketch: the write side is
-/// a [`ConcurrentIngest`] (N worker threads, one shared counter
-/// plane), the read side is any number of [`QueryHandle`]s serving
-/// live and snapshot reads — see the crate docs for the mode choice.
+/// a [`WindowedIngest`] (N worker threads, one shared counter
+/// plane, plus interval rotation when the policy is windowed), the
+/// read side is any number of [`QueryHandle`]s serving live and
+/// snapshot reads — see the crate docs for the mode choice and the
+/// policy choice.
 ///
 /// The `&mut self` methods are the single-producer write side (hand
 /// the engine to your ingest thread); [`handle`](QueryEngine::handle)
@@ -68,33 +148,53 @@ use bas_stream::StreamUpdate;
 /// thread). Readers never block writers: snapshot pins retry across
 /// in-flight flushes instead of locking them out.
 #[derive(Debug)]
-pub struct QueryEngine<S: SharedSketch + Snapshottable + Send> {
-    ingest: ConcurrentIngest<EpochHandle<S>>,
+pub struct QueryEngine<S: SharedSketch + Snapshottable + Send, P: ServingPolicy = Unbounded> {
+    ingest: WindowedIngest<S>,
+    policy: P,
 }
 
 impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
-    /// Creates an engine whose flushes fan across `workers` threads.
-    /// The sketch must be built on a shared-capable backend (e.g.
-    /// [`bas_sketch::Atomic`]).
+    /// Creates an [`Unbounded`] (since-boot) engine whose flushes fan
+    /// across `workers` threads — the pre-window constructor,
+    /// behaviorally identical to it. The sketch must be built on a
+    /// shared-capable backend (e.g. [`bas_sketch::Atomic`]).
     ///
     /// # Panics
     /// Panics if `workers` is zero.
     pub fn new(workers: usize, sketch: S) -> Self {
+        Self::with_policy(workers, sketch, Unbounded)
+    }
+}
+
+impl<S: SharedSketch + Snapshottable + Send, P: ServingPolicy> QueryEngine<S, P> {
+    /// Creates an engine with an explicit serving policy (see the
+    /// crate docs). [`Unbounded`] allocates no plane bank; windowed
+    /// policies retain `policy.bank_capacity()` sealed planes.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_policy(workers: usize, sketch: S, policy: P) -> Self {
         Self {
-            ingest: ConcurrentIngest::new(workers, EpochHandle::new(sketch)),
+            ingest: WindowedIngest::new(workers, sketch, policy.bank_capacity()),
+            policy,
         }
     }
 
     /// Overrides the flush threshold (see
-    /// [`ConcurrentIngest::with_flush_threshold`]). Smaller thresholds
-    /// mean fresher snapshots (more flush boundaries) at more
-    /// per-flush overhead.
+    /// [`bas_pipeline::ConcurrentIngest::with_flush_threshold`]).
+    /// Smaller thresholds mean fresher snapshots (more flush
+    /// boundaries) at more per-flush overhead.
     ///
     /// # Panics
     /// Panics if `updates` is zero.
     pub fn with_flush_threshold(mut self, updates: usize) -> Self {
         self.ingest = self.ingest.with_flush_threshold(updates);
         self
+    }
+
+    /// The serving policy in effect.
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     // ---- write side (single producer, `&mut self`) ----
@@ -125,9 +225,9 @@ impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
     /// Flushes the remainder and returns the shared sketch handle; the
     /// engine's write side is gone, readers (and their snapshots)
     /// remain valid.
-    pub fn finish(mut self) -> EpochHandle<S> {
-        self.ingest.flush();
-        self.ingest.finish()
+    pub fn finish(self) -> EpochHandle<S> {
+        let (shared, _bank) = self.ingest.finish();
+        shared
     }
 
     // ---- read side (`&self`; or clone a `QueryHandle` per thread) ----
@@ -135,19 +235,22 @@ impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
     /// A cloneable read handle for another thread.
     pub fn handle(&self) -> QueryHandle<S> {
         QueryHandle {
-            shared: self.ingest.sketch().clone(),
+            shared: self.ingest.shared().clone(),
         }
     }
 
     /// Live lock-free point estimate — see the crate docs for when the
-    /// live mode is appropriate.
+    /// live mode is appropriate. Always since-boot: windowed scoping
+    /// requires a frozen plane to subtract from, which is what
+    /// [`pin_window`](QueryEngine::pin_window) provides.
     pub fn estimate_live(&self, item: u64) -> f64 {
-        self.ingest.sketch().sketch().estimate(item)
+        self.ingest.shared().sketch().estimate(item)
     }
 
-    /// Pins an epoch-consistent snapshot of everything flushed so far.
+    /// Pins an epoch-consistent **since-boot** snapshot of everything
+    /// flushed so far (the cumulative plane, under every policy).
     pub fn pin(&self) -> SnapshotHandle<S> {
-        self.ingest.sketch().pin()
+        self.ingest.shared().pin()
     }
 
     /// Heavy hitters as of a pinned snapshot: every item whose
@@ -161,30 +264,49 @@ impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
     /// with zero mass every threshold is vacuous, so the scan returns
     /// the empty list rather than the whole universe.
     ///
+    /// # Errors
+    /// Returns [`QueryError::InvalidPhi`] unless `0 < phi < 1`.
+    pub fn try_heavy_hitters_in(
+        &self,
+        snap: &SnapshotHandle<S>,
+        phi: f64,
+    ) -> Result<Vec<HeavyHitter>, QueryError> {
+        scan_heavy_hitters(
+            self.ingest.shared().sketch(),
+            snap.snapshot(),
+            snap.mass(),
+            phi,
+        )
+    }
+
+    /// Panicking convenience over
+    /// [`try_heavy_hitters_in`](QueryEngine::try_heavy_hitters_in).
+    ///
     /// # Panics
-    /// Panics unless `0 < phi < 1`.
+    /// Panics with the [`QueryError`] message unless `0 < phi < 1`.
     pub fn heavy_hitters_in(&self, snap: &SnapshotHandle<S>, phi: f64) -> Vec<HeavyHitter> {
-        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
-        if snap.mass() <= 0.0 {
-            return Vec::new();
-        }
-        let sketch = self.ingest.sketch().sketch();
-        let threshold = phi * snap.mass();
-        let mut out: Vec<HeavyHitter> = (0..sketch.universe())
-            .filter_map(|item| {
-                let estimate = sketch.estimate_in(snap.snapshot(), item);
-                (estimate >= threshold).then_some(HeavyHitter { item, estimate })
-            })
-            .collect();
-        out.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.item.cmp(&b.item)));
-        out
+        self.try_heavy_hitters_in(snap, phi)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience: pin a fresh snapshot and scan it — see
-    /// [`heavy_hitters_in`](QueryEngine::heavy_hitters_in).
-    pub fn heavy_hitters(&self, phi: f64) -> Vec<HeavyHitter> {
+    /// [`try_heavy_hitters_in`](QueryEngine::try_heavy_hitters_in).
+    ///
+    /// # Errors
+    /// Returns [`QueryError::InvalidPhi`] unless `0 < phi < 1`.
+    pub fn try_heavy_hitters(&self, phi: f64) -> Result<Vec<HeavyHitter>, QueryError> {
         let snap = self.pin();
-        self.heavy_hitters_in(&snap, phi)
+        self.try_heavy_hitters_in(&snap, phi)
+    }
+
+    /// Panicking convenience over
+    /// [`try_heavy_hitters`](QueryEngine::try_heavy_hitters).
+    ///
+    /// # Panics
+    /// Panics with the [`QueryError`] message unless `0 < phi < 1`.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<HeavyHitter> {
+        self.try_heavy_hitters(phi)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     // ---- bookkeeping ----
@@ -197,7 +319,7 @@ impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
     /// Updates applied in completed flushes (what a snapshot pinned
     /// now would capture).
     pub fn applied(&self) -> u64 {
-        self.ingest.sketch().applied()
+        self.ingest.applied()
     }
 
     /// Updates buffered but not yet flushed.
@@ -207,16 +329,165 @@ impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
 
     /// Total delta mass applied in completed flushes.
     pub fn mass(&self) -> f64 {
-        self.ingest.sketch().mass()
+        self.ingest.mass()
     }
 
     /// The shared sketch (hash functions + live counters).
     pub fn sketch(&self) -> &S {
-        self.ingest.sketch().sketch()
+        self.ingest.shared().sketch()
     }
 }
 
-impl<B: CounterBackend> QueryEngine<RangeSumSketch<B>>
+// ---- windowed serving (Tumbling / Sliding policies only) ----
+
+impl<S: SharedSketch + Snapshottable + Send, P: WindowPolicy> QueryEngine<S, P> {
+    /// Closes the current interval: flushes the buffered tail, seals
+    /// the cumulative plane into the rotating bank (recycling the
+    /// oldest slot allocation-free), and starts the next interval.
+    /// Returns the id of the interval just sealed. Drive it from a
+    /// wall-clock tick, a [`bas_stream::drive_timestamped`] boundary
+    /// callback, or any other notion of time.
+    pub fn advance_interval(&mut self) -> u64 {
+        self.ingest.advance_interval()
+    }
+
+    /// Id of the interval currently accepting updates.
+    pub fn interval(&self) -> u64 {
+        self.ingest.interval()
+    }
+
+    /// Flushes the remainder and returns the shared sketch handle
+    /// **plus the bank of sealed planes** — the windowed counterpart
+    /// of [`finish`](QueryEngine::finish), which drops the bank and
+    /// with it the ability to answer any window question after
+    /// shutdown (`window = cumulative − seal` needs the seals).
+    pub fn finish_windowed(self) -> (EpochHandle<S>, bas_sketch::PlaneBank<S::Snapshot>) {
+        self.ingest.finish()
+    }
+
+    /// Pins a [`WindowSnapshot`]: an epoch-consistent frozen plane of
+    /// exactly the policy's current window (`cumulative(now) −
+    /// sealed(boundary)`), with the window's own `applied`/`mass` for
+    /// thresholds. During warm-up (fewer closed intervals than the
+    /// window reaches back) the window covers everything since boot.
+    ///
+    /// Allocates one plane per call; steady-state readers hold a
+    /// snapshot and [`refresh_window`](QueryEngine::refresh_window) it.
+    pub fn pin_window(&self) -> WindowSnapshot<S> {
+        let current = self.ingest.interval();
+        let mut ws = WindowSnapshot {
+            owner: self.ingest.shared().clone(),
+            plane: self.ingest.shared().make_snapshot(),
+            start_interval: 0,
+            end_interval: current,
+            applied: 0,
+            mass: 0.0,
+        };
+        self.refresh_window(&mut ws);
+        ws
+    }
+
+    /// Re-pins `ws` against the policy's *current* window, reusing its
+    /// plane buffer — the allocation-free steady-state path (the
+    /// windowed counterpart of
+    /// [`SnapshotHandle::refresh`](bas_pipeline::SnapshotHandle::refresh)).
+    ///
+    /// # Panics
+    /// Panics if `ws` was pinned from a differently-configured engine
+    /// (plane shape mismatch).
+    pub fn refresh_window(&self, ws: &mut WindowSnapshot<S>) {
+        let current = self.ingest.interval();
+        let (_, applied, mass) = self.ingest.shared().pin_into(&mut ws.plane);
+        let (start, applied_w, mass_w) = match self.policy.window_boundary(current) {
+            None => (0, applied, mass),
+            Some(boundary) => {
+                let seal = self
+                    .ingest
+                    .bank()
+                    .sealed(boundary)
+                    .expect("policy boundaries stay within bank retention");
+                self.ingest
+                    .shared()
+                    .subtract_snapshot(&mut ws.plane, seal.plane())
+                    .expect("servable sketches subtract exactly");
+                (boundary + 1, applied - seal.applied(), mass - seal.mass())
+            }
+        };
+        ws.start_interval = start;
+        ws.end_interval = current;
+        ws.applied = applied_w;
+        ws.mass = mass_w;
+    }
+
+    /// Pins a window reaching back to the **end of interval
+    /// `boundary`** instead of the policy's own boundary — the manual
+    /// form for ad-hoc lookback (covers intervals
+    /// `boundary + 1 ..= current`).
+    ///
+    /// # Errors
+    /// Returns [`QueryError::WindowUnavailable`] when the bank no
+    /// longer retains interval `boundary`'s seal.
+    pub fn pin_window_since(&self, boundary: u64) -> Result<WindowSnapshot<S>, QueryError> {
+        let current = self.ingest.interval();
+        let seal = self
+            .ingest
+            .bank()
+            .sealed(boundary)
+            .ok_or(QueryError::WindowUnavailable { interval: boundary })?;
+        let snap = self.ingest.shared().pin();
+        let (applied, mass) = (snap.applied(), snap.mass());
+        let mut plane = snap.into_snapshot();
+        self.ingest
+            .shared()
+            .subtract_snapshot(&mut plane, seal.plane())
+            .expect("servable sketches subtract exactly");
+        Ok(WindowSnapshot {
+            owner: self.ingest.shared().clone(),
+            plane,
+            start_interval: boundary + 1,
+            end_interval: current,
+            applied: applied - seal.applied(),
+            mass: mass - seal.mass(),
+        })
+    }
+
+    /// Point estimate of `x_item` **within the current window** — the
+    /// windowed counterpart of a snapshot point read. Pins a fresh
+    /// window per call (allocates); batch several queries through one
+    /// [`pin_window`](QueryEngine::pin_window) instead when serving a
+    /// stream of them.
+    pub fn point_in_window(&self, item: u64) -> f64 {
+        self.pin_window().estimate(item)
+    }
+
+    /// Heavy hitters **within the current window**: every item whose
+    /// window estimate reaches `phi` times the window's mass, sorted
+    /// by decreasing estimate — "heavy in the last K intervals", the
+    /// time-scoped question operators actually ask.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::InvalidPhi`] unless `0 < phi < 1`.
+    pub fn heavy_hitters_in_window(&self, phi: f64) -> Result<Vec<HeavyHitter>, QueryError> {
+        QueryError::check_phi(phi)?; // fail before paying for the pin
+        self.pin_window().heavy_hitters(phi)
+    }
+}
+
+impl<B: CounterBackend, P: WindowPolicy> QueryEngine<RangeSumSketch<B>, P>
+where
+    RangeSumSketch<B>: SharedSketch,
+{
+    /// Range sum `Σ_{a ≤ i ≤ b} x_i` **within the current window**.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::InvalidRange`] if `a > b` or `b ≥ n`.
+    pub fn range_sum_in_window(&self, a: u64, b: u64) -> Result<f64, QueryError> {
+        QueryError::check_range(a, b, self.sketch().universe())?;
+        self.pin_window().range_sum(a, b)
+    }
+}
+
+impl<B: CounterBackend, P: ServingPolicy> QueryEngine<RangeSumSketch<B>, P>
 where
     RangeSumSketch<B>: SharedSketch,
 {
@@ -236,7 +507,7 @@ where
     }
 }
 
-impl<B: CounterBackend> QueryEngine<CountSketch<B>>
+impl<B: CounterBackend, P: ServingPolicy> QueryEngine<CountSketch<B>, P>
 where
     CountSketch<B>: SharedSketch,
 {
@@ -248,9 +519,9 @@ where
     ///
     /// # Errors
     /// Returns a [`MergeError`] when the configurations differ.
-    pub fn inner_product_with<B2: CounterBackend>(
+    pub fn inner_product_with<B2: CounterBackend, P2: ServingPolicy>(
         &self,
-        other: &QueryEngine<CountSketch<B2>>,
+        other: &QueryEngine<CountSketch<B2>, P2>,
     ) -> Result<f64, MergeError>
     where
         CountSketch<B2>: SharedSketch,
@@ -407,6 +678,8 @@ mod tests {
         for w in found.windows(2) {
             assert!(w[0].estimate >= w[1].estimate);
         }
+        // The typed path returns the same list.
+        assert_eq!(engine.try_heavy_hitters(0.2).unwrap(), found);
     }
 
     #[test]
@@ -464,5 +737,246 @@ mod tests {
     fn heavy_hitters_rejects_bad_phi() {
         let engine = QueryEngine::new(1, AtomicCountMedian::with_backend(&params()));
         let _ = engine.heavy_hitters(1.0);
+    }
+
+    #[test]
+    fn typed_rejection_carries_the_parameter() {
+        let engine = QueryEngine::new(1, AtomicCountMedian::with_backend(&params()));
+        assert_eq!(
+            engine.try_heavy_hitters(1.0),
+            Err(QueryError::InvalidPhi { phi: 1.0 })
+        );
+    }
+
+    // ---- windowed serving ----
+
+    /// One interval's worth of deterministic integer-delta traffic,
+    /// distinct per interval.
+    fn interval_stream(interval: u64, len: u64) -> Vec<(u64, f64)> {
+        (0..len)
+            .map(|i| {
+                (
+                    (i * 13 + interval * 29) % 500,
+                    (1 + (i + interval) % 4) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_window_matches_reference_over_exactly_k_intervals() {
+        let policy = Sliding::new(2).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        let mut per_interval = Vec::new();
+        for t in 0..5u64 {
+            let updates = interval_stream(t, 800);
+            engine.extend_from_slice(&updates);
+            per_interval.push(updates);
+            engine.advance_interval();
+        }
+        // Interval 5 is in progress and empty; window = intervals 4, 5.
+        assert_eq!(engine.interval(), 5);
+        let window = engine.pin_window();
+        assert_eq!(window.start_interval(), 4);
+        assert_eq!(window.end_interval(), 5);
+        assert_eq!(window.applied(), 800);
+        let mut reference = CountMedian::new(&params());
+        reference.update_batch(&per_interval[4]);
+        for j in 0..500u64 {
+            assert_eq!(window.estimate(j), reference.estimate(j), "item {j}");
+            assert_eq!(engine.point_in_window(j), reference.estimate(j));
+        }
+    }
+
+    #[test]
+    fn tumbling_window_resets_at_bucket_boundaries() {
+        let policy = Tumbling::new(2).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        // Bucket 0 = intervals 0,1; bucket 1 = intervals 2,3.
+        for _ in 0..3u64 {
+            engine.push(7, 10.0);
+            engine.advance_interval();
+        }
+        engine.push(7, 10.0);
+        engine.flush();
+        // In-progress interval 3: bucket 1 covers intervals 2..=3 only.
+        let window = engine.pin_window();
+        assert_eq!(window.start_interval(), 2);
+        assert_eq!(window.estimate(7), 20.0);
+        assert_eq!(window.mass(), 20.0);
+        // Since-boot reads are untouched by the policy.
+        assert_eq!(engine.estimate_live(7), 40.0);
+        assert_eq!(engine.pin().estimate(7), 40.0);
+    }
+
+    #[test]
+    fn warm_up_window_covers_since_boot() {
+        let policy = Sliding::new(4).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        engine.push(3, 5.0);
+        engine.advance_interval();
+        engine.push(3, 2.0);
+        engine.flush();
+        // Only 1 closed interval < window of 4: everything counts.
+        let window = engine.pin_window();
+        assert_eq!(window.start_interval(), 0);
+        assert_eq!(window.estimate(3), 7.0);
+        assert_eq!(window.mass(), 7.0);
+    }
+
+    #[test]
+    fn refresh_window_reuses_the_plane_and_tracks_rotation() {
+        let policy = Sliding::new(1).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        engine.push(9, 4.0);
+        engine.advance_interval();
+        let mut window = engine.pin_window();
+        assert_eq!(window.estimate(9), 0.0); // interval 1 is empty so far
+        engine.push(9, 6.0);
+        engine.advance_interval(); // now window = interval 2 (empty)
+        engine.push(9, 1.0);
+        engine.flush();
+        engine.refresh_window(&mut window);
+        assert_eq!(window.start_interval(), 2);
+        assert_eq!(window.estimate(9), 1.0);
+        assert_eq!(window.mass(), 1.0);
+    }
+
+    #[test]
+    fn window_heavy_hitters_see_only_the_window() {
+        let policy = Sliding::new(1).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        // Interval 0: item 7 dominates. Interval 1: item 9 dominates.
+        for _ in 0..100 {
+            engine.push(7, 1.0);
+        }
+        for i in 0..100u64 {
+            engine.push(i % 50, 1.0);
+        }
+        engine.advance_interval();
+        for _ in 0..100 {
+            engine.push(9, 1.0);
+        }
+        for i in 0..100u64 {
+            engine.push((i % 50) + 100, 1.0);
+        }
+        engine.flush();
+        let hot = engine.heavy_hitters_in_window(0.2).unwrap();
+        let items: Vec<u64> = hot.iter().map(|h| h.item).collect();
+        assert!(items.contains(&9), "{items:?}");
+        assert!(
+            !items.contains(&7),
+            "window must exclude interval 0: {items:?}"
+        );
+        // The since-boot scan still sees both.
+        let all: Vec<u64> = engine.heavy_hitters(0.2).iter().map(|h| h.item).collect();
+        assert!(all.contains(&7) && all.contains(&9), "{all:?}");
+    }
+
+    #[test]
+    fn windowed_range_sums_scope_the_decomposition() {
+        let p = SketchParams::new(256, 128, 5).with_seed(6);
+        let policy = Sliding::new(1).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, RangeSumSketch::<Atomic>::with_backend(&p), policy);
+        engine.push(10, 5.0);
+        engine.advance_interval();
+        engine.push(20, 3.0);
+        engine.flush();
+        let est = engine.range_sum_in_window(0, 100).unwrap();
+        assert!((est - 3.0).abs() < 1.0, "window est = {est}");
+        let since_boot = engine.range_sum(0, 100);
+        assert!(
+            (since_boot - 8.0).abs() < 1.0,
+            "since-boot est = {since_boot}"
+        );
+        assert_eq!(
+            engine.range_sum_in_window(10, 5),
+            Err(QueryError::InvalidRange {
+                a: 10,
+                b: 5,
+                n: 256
+            })
+        );
+    }
+
+    #[test]
+    fn pin_window_since_rejects_evicted_boundaries() {
+        let policy = Sliding::new(2).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        for t in 0..5u64 {
+            engine.push(t, 1.0);
+            engine.advance_interval();
+        }
+        // Bank capacity 2: seals 3 and 4 retained, 0..=2 evicted.
+        assert!(engine.pin_window_since(3).is_ok());
+        assert_eq!(
+            engine.pin_window_since(0).unwrap_err(),
+            QueryError::WindowUnavailable { interval: 0 }
+        );
+        let lookback = engine.pin_window_since(3).unwrap();
+        assert_eq!(lookback.start_interval(), 4);
+        assert_eq!(lookback.applied(), 1); // interval 4's single update
+    }
+
+    #[test]
+    fn window_snapshot_is_frozen_and_sendable() {
+        let policy = Sliding::new(1).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        engine.push(5, 3.0);
+        engine.advance_interval();
+        engine.push(5, 4.0);
+        engine.flush();
+        let window = engine.pin_window();
+        let frozen = window.estimate(5);
+        assert_eq!(frozen, 4.0);
+        engine.push(5, 100.0);
+        engine.flush();
+        // The pinned window does not move; queries work from any thread.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert_eq!(window.estimate(5), frozen);
+                assert_eq!(window.sketch().label(), "CM");
+            });
+        });
+    }
+
+    #[test]
+    fn finish_windowed_preserves_the_bank() {
+        let policy = Sliding::new(2).unwrap();
+        let mut engine =
+            QueryEngine::with_policy(2, AtomicCountMedian::with_backend(&params()), policy);
+        engine.push(3, 5.0);
+        engine.advance_interval();
+        engine.push(3, 2.0);
+        let (shared, bank) = engine.finish_windowed();
+        assert_eq!(shared.mass(), 7.0);
+        // The seal survives shutdown: window answers stay computable.
+        assert_eq!(bank.sealed(0).unwrap().mass(), 5.0);
+        let mut window = shared.pin().into_snapshot();
+        shared
+            .subtract_snapshot(&mut window, bank.sealed(0).unwrap().plane())
+            .unwrap();
+        assert_eq!(shared.estimate_in(&window, 3), 2.0);
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let engine = QueryEngine::new(1, AtomicCountMedian::with_backend(&params()));
+        assert_eq!(engine.policy().describe(), "unbounded");
+        let windowed = QueryEngine::with_policy(
+            1,
+            AtomicCountMedian::with_backend(&params()),
+            Sliding::new(3).unwrap(),
+        );
+        assert_eq!(windowed.policy().describe(), "sliding(3)");
+        assert_eq!(windowed.policy().window_len(), 3);
     }
 }

@@ -212,10 +212,20 @@ impl<B: CounterBackend> Snapshottable for CountMedian<B> {
         snap.add_matrix(other);
         Ok(())
     }
+
+    /// Linear, so snapshots subtract exactly: always `Ok`.
+    fn subtract_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        snap.sub_matrix(other);
+        Ok(())
+    }
 }
 
-impl<B: CounterBackend> MergeableSketch for CountMedian<B> {
-    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+impl<B: CounterBackend> CountMedian<B> {
+    fn check_compatible(&self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {
             return Err(MergeError::ShapeMismatch {
                 what: "widths/depths",
@@ -228,7 +238,21 @@ impl<B: CounterBackend> MergeableSketch for CountMedian<B> {
         {
             return Err(MergeError::SeedMismatch);
         }
+        Ok(())
+    }
+}
+
+impl<B: CounterBackend> MergeableSketch for CountMedian<B> {
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.check_compatible(other)?;
         self.grid.add_matrix(&other.grid);
+        Ok(())
+    }
+
+    /// Exact counter subtraction (Count-Median is linear).
+    fn subtract_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        self.check_compatible(other)?;
+        self.grid.sub_matrix(&other.grid);
         Ok(())
     }
 }

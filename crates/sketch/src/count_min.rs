@@ -306,18 +306,28 @@ impl<B: CounterBackend> Snapshottable for CountMin<B> {
         snap.add_matrix(other);
         Ok(())
     }
+
+    /// Subtracts cumulative snapshots. Under [`UpdatePolicy::Plain`]
+    /// the counters are sums and the result is **exact** window
+    /// arithmetic; under [`UpdatePolicy::Conservative`] the counters
+    /// are running maxima, so the difference of two cumulative CU
+    /// snapshots is only an **approximation** of the window's counters
+    /// (it can under-estimate, forfeiting Count-Min's one-sided
+    /// guarantee). CU subtraction is allowed — bounded-lifetime
+    /// rotation is still meaningful — but documented approximate-only;
+    /// pick a linear sketch when windows must be exact.
+    fn subtract_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        snap.sub_matrix(other);
+        Ok(())
+    }
 }
 
-impl<B: CounterBackend> MergeableSketch for CountMin<B> {
-    /// Only the [`UpdatePolicy::Plain`] variant is linear; merging a
-    /// conservative-update sketch returns a shape error to prevent the
-    /// silent accuracy loss the paper warns about.
-    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
-        if self.policy != UpdatePolicy::Plain || other.policy != UpdatePolicy::Plain {
-            return Err(MergeError::ShapeMismatch {
-                what: "update policies (conservative update is not linear)",
-            });
-        }
+impl<B: CounterBackend> CountMin<B> {
+    fn check_compatible(&self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {
             return Err(MergeError::ShapeMismatch {
                 what: "widths/depths",
@@ -330,7 +340,37 @@ impl<B: CounterBackend> MergeableSketch for CountMin<B> {
         {
             return Err(MergeError::SeedMismatch);
         }
+        Ok(())
+    }
+}
+
+impl<B: CounterBackend> MergeableSketch for CountMin<B> {
+    /// Only the [`UpdatePolicy::Plain`] variant is linear; merging a
+    /// conservative-update sketch returns a shape error to prevent the
+    /// silent accuracy loss the paper warns about.
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.policy != UpdatePolicy::Plain || other.policy != UpdatePolicy::Plain {
+            return Err(MergeError::ShapeMismatch {
+                what: "update policies (conservative update is not linear)",
+            });
+        }
+        self.check_compatible(other)?;
         self.grid.add_matrix(&other.grid);
+        Ok(())
+    }
+
+    /// Counter subtraction: exact under [`UpdatePolicy::Plain`],
+    /// **approximate only** under [`UpdatePolicy::Conservative`] (see
+    /// [`Snapshottable::subtract_snapshot`] on this type for why CU
+    /// differences merely approximate the window).
+    fn subtract_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.policy != other.policy {
+            return Err(MergeError::ShapeMismatch {
+                what: "update policies",
+            });
+        }
+        self.check_compatible(other)?;
+        self.grid.sub_matrix(&other.grid);
         Ok(())
     }
 }

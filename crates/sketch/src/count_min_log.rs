@@ -294,6 +294,31 @@ impl<B: CounterBackend> Snapshottable for CountMinLog<B> {
             what: "log-scale counters (CML-CU is not linear)",
         })
     }
+
+    /// **Approximate only.** Log-scale levels are not sums, so the
+    /// windowed plane arithmetic that is exact for the linear sketches
+    /// degenerates here to per-cell *saturating level subtraction*:
+    /// `level ← level − min(level, old_level)`. The result decodes to a
+    /// crude lower-bound-ish window estimate (a bucket whose level did
+    /// not move since the boundary decodes to 0, one that moved decodes
+    /// to far less than the window's true mass). Allowed so
+    /// bounded-lifetime rotation stays *possible* on every sketch in
+    /// the comparison set; callers needing faithful windows must use a
+    /// linear sketch — which is also why the windowed `QueryEngine`
+    /// never admits CML-CU (no `SharedSketch` impl).
+    fn subtract_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        for row in 0..snap.depth() {
+            for col in 0..snap.width() {
+                let diff = snap.get(row, col).saturating_sub(other.get(row, col));
+                snap.set(row, col, diff);
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -104,7 +104,10 @@ pub use count_sketch::CountSketch;
 pub use heavy_hitters::{HeavyHitter, HeavyHitters};
 pub use range_sum::RangeSumSketch;
 pub use snapshot::Snapshottable;
-pub use storage::{Atomic, CounterBackend, CounterMatrix, CounterValue, Dense, EpochCounter};
+pub use storage::{
+    Atomic, CounterBackend, CounterMatrix, CounterValue, Dense, EpochCounter, PlaneBank,
+    SealedPlane,
+};
 pub use traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
 
 /// Count-Median over the [`Atomic`] backend: the lock-free

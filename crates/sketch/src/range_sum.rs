@@ -236,6 +236,18 @@ impl<B: CounterBackend> MergeableSketch for RangeSumSketch<B> {
         }
         Ok(())
     }
+
+    /// Exact counter subtraction, level by level (every dyadic level is
+    /// a linear Count-Median).
+    fn subtract_from(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.n != other.n || self.levels.len() != other.levels.len() {
+            return Err(MergeError::ShapeMismatch { what: "universes" });
+        }
+        for (a, b) in self.levels.iter_mut().zip(other.levels.iter()) {
+            a.subtract_from(b)?;
+        }
+        Ok(())
+    }
 }
 
 impl<B: CounterBackend> SharedSketch for RangeSumSketch<B>
@@ -303,6 +315,21 @@ impl<B: CounterBackend> Snapshottable for RangeSumSketch<B> {
         assert_eq!(snap.len(), other.len(), "snapshot level count mismatch");
         for (sketch, (mine, theirs)) in self.levels.iter().zip(snap.iter_mut().zip(other.iter())) {
             sketch.merge_snapshot(mine, theirs)?;
+        }
+        Ok(())
+    }
+
+    /// Exact subtraction level by level: the whole dyadic stack is
+    /// linear, so a windowed range-sum plane is just per-level plane
+    /// arithmetic. Always `Ok`.
+    fn subtract_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError> {
+        assert_eq!(snap.len(), other.len(), "snapshot level count mismatch");
+        for (sketch, (mine, theirs)) in self.levels.iter().zip(snap.iter_mut().zip(other.iter())) {
+            sketch.subtract_snapshot(mine, theirs)?;
         }
         Ok(())
     }

@@ -20,7 +20,12 @@
 //! * [`Snapshottable::merge_snapshot`] adds one snapshot into another —
 //!   linearity (`Φx = Φx¹ + Φx²`) holds at the snapshot level exactly
 //!   as it does at the sketch level, which is what lets a distributed
-//!   coordinator aggregate per-site snapshots.
+//!   coordinator aggregate per-site snapshots;
+//! * [`Snapshottable::subtract_snapshot`] is its inverse — by the same
+//!   linearity, `Φx^{(a,b]} = Φx^{(0,b]} − Φx^{(0,a]}`, so the sketch
+//!   of a **time window** is one subtraction of two cumulative
+//!   snapshots. This is the plane-arithmetic primitive under the
+//!   tumbling/sliding serving policies in `bas_serve`.
 //!
 //! The *consistency* of the copy is not this trait's business: it only
 //! promises a faithful cell-by-cell copy of whatever the counters held
@@ -90,6 +95,33 @@ pub trait Snapshottable: PointQuerySketch + Sync {
     /// # Panics
     /// Panics on shape mismatch between the two snapshots.
     fn merge_snapshot(
+        &self,
+        snap: &mut Self::Snapshot,
+        other: &Self::Snapshot,
+    ) -> Result<(), MergeError>;
+
+    /// Subtracts `other`'s counters from `snap` element-wise — the
+    /// inverse of [`merge_snapshot`](Snapshottable::merge_snapshot).
+    ///
+    /// For the linear sketches (Count-Median, Count-Sketch, plain
+    /// Count-Min, the range-sum stack) this is **exact** plane
+    /// arithmetic: if `other` is a cumulative snapshot at an earlier
+    /// stream position, the result is bit-for-bit the sketch of the
+    /// updates in between (on integer-delta streams, where `f64`
+    /// addition is exact). The windowed query plane is built on this.
+    ///
+    /// For the state-dependent baselines — Count-Min with conservative
+    /// update and CML-CU — subtraction is **approximate only**: their
+    /// counters are running maxima / log-scale levels, not sums, so
+    /// the difference of two cumulative snapshots merely approximates
+    /// the window's counters (see the impls' docs for the exact
+    /// semantics). They still return `Ok` so bounded-lifetime rotation
+    /// remains *possible* on every sketch; callers needing exact
+    /// windows should pick a linear sketch.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch between the two snapshots.
+    fn subtract_snapshot(
         &self,
         snap: &mut Self::Snapshot,
         other: &Self::Snapshot,

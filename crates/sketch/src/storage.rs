@@ -141,6 +141,14 @@ pub trait CounterValue:
     /// total and branch-free).
     fn add(self, rhs: Self) -> Self;
 
+    /// Counter subtraction — the inverse of
+    /// [`add`](CounterValue::add): `-` for floats, wrapping for
+    /// integers. This is what makes window arithmetic possible: for
+    /// linear sketches, the counters of a time window are the
+    /// cumulative counters *now* minus the cumulative counters at the
+    /// window's start boundary.
+    fn sub(self, rhs: Self) -> Self;
+
     /// Counter multiplication (`*` for floats, wrapping for integers) —
     /// used by dot-product queries such as
     /// [`CounterMatrix::row_dot`].
@@ -179,6 +187,11 @@ impl CounterValue for f64 {
     }
 
     #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline]
     fn mul(self, rhs: Self) -> Self {
         self * rhs
     }
@@ -200,6 +213,11 @@ impl CounterValue for i64 {
     #[inline]
     fn add(self, rhs: Self) -> Self {
         self.wrapping_add(rhs)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
     }
 
     #[inline]
@@ -234,6 +252,11 @@ impl CounterValue for u64 {
     }
 
     #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
+    }
+
+    #[inline]
     fn mul(self, rhs: Self) -> Self {
         self.wrapping_mul(rhs)
     }
@@ -260,6 +283,11 @@ impl CounterValue for u16 {
     #[inline]
     fn add(self, rhs: Self) -> Self {
         self.wrapping_add(rhs)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.wrapping_sub(rhs)
     }
 
     #[inline]
@@ -309,6 +337,12 @@ pub trait CounterStore<T: CounterValue>: Clone + std::fmt::Debug + Send + Sync +
 
     /// `cells[idx] += delta` under exclusive access.
     fn add(&mut self, idx: usize, delta: T);
+
+    /// `cells[idx] -= delta` under exclusive access — the inverse of
+    /// [`add`](CounterStore::add), used by subtractive plane merges.
+    fn sub(&mut self, idx: usize, delta: T) {
+        self.set(idx, self.get(idx).sub(delta));
+    }
 
     /// A dense copy of all cells, in index order — the canonical
     /// (backend-independent) representation used for serialization and
@@ -658,6 +692,25 @@ impl<T: CounterValue, B: CounterBackend> CounterMatrix<T, B> {
         }
     }
 
+    /// Element-wise **subtraction** of another matrix of identical
+    /// shape — the inverse of [`add_matrix`](CounterMatrix::add_matrix).
+    ///
+    /// For linear sketches this is the window-arithmetic primitive: the
+    /// counter plane of the updates between two stream positions is the
+    /// cumulative plane at the later position minus the cumulative
+    /// plane at the earlier one (`Φx^{(a,b]} = Φx^{(0,b]} − Φx^{(0,a]}`
+    /// by linearity).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn sub_matrix(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width, "matrix widths differ");
+        assert_eq!(self.depth, other.depth, "matrix depths differ");
+        for i in 0..self.store.len() {
+            self.store.sub(i, other.store.get(i));
+        }
+    }
+
     /// A dense row-major copy of all cells — the backend-independent
     /// canonical form.
     pub fn snapshot(&self) -> Vec<T> {
@@ -794,6 +847,185 @@ impl<'de, T: CounterValue + serde::Deserialize<'de>, B: CounterBackend> serde::D
             )));
         }
         Ok(Self::from_cells(width, depth, cells))
+    }
+}
+
+/// One sealed plane in a [`PlaneBank`]: a frozen counter plane plus the
+/// stream position it was sealed at.
+///
+/// The plane type `P` is deliberately open — a single
+/// [`CounterMatrix`] for the matrix sketches, a stack of them for the
+/// dyadic range-sum sketch, or any other `Snapshot` type a
+/// [`Snapshottable`](crate::Snapshottable) sketch defines. All planes
+/// in one bank come from one sketch, so they share that sketch's hash
+/// configuration by construction.
+#[derive(Debug, Clone)]
+pub struct SealedPlane<P> {
+    plane: P,
+    interval: u64,
+    applied: u64,
+    mass: f64,
+}
+
+impl<P> SealedPlane<P> {
+    /// The frozen counter plane.
+    pub fn plane(&self) -> &P {
+        &self.plane
+    }
+
+    /// The interval id this seal closed (seal `t` captures the
+    /// cumulative state at the end of interval `t`).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Updates applied as of the seal — the length of the stream
+    /// prefix the plane reflects.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Total delta mass applied as of the seal.
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+}
+
+/// A bank of `K` rotating sealed counter planes: the storage substrate
+/// of windowed (tumbling / sliding) serving.
+///
+/// Any sketch state can be viewed as **current plane + ring of sealed
+/// planes**: the live sketch keeps accumulating since boot, and every
+/// `advance_interval` the rotation driver seals a copy of the
+/// *cumulative* plane into this bank. Because all the sketches here
+/// are linear, a window answer never needs per-interval planes kept
+/// explicitly — the plane of intervals `(a, t]` is
+/// `cumulative(now) − sealed(a)`, one subtractive merge — but the
+/// per-interval deltas remain recoverable as differences of adjacent
+/// seals (the window conformance tests exercise exactly that
+/// identity).
+///
+/// The ring recycles: once `capacity` planes are sealed, sealing
+/// interval `t` reuses the slot of interval `t − capacity`, refilled in
+/// place — steady-state rotation allocates nothing. Retention is
+/// therefore the **last `capacity` seals**, which is exactly what a
+/// window of `K` intervals needs (`capacity = K`).
+///
+/// ```
+/// use bas_sketch::storage::{CounterMatrix, PlaneBank};
+///
+/// let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(2);
+/// for t in 0..4u64 {
+///     bank.seal_with(
+///         t,
+///         || CounterMatrix::new(4, 1),
+///         |plane| {
+///             plane.set(0, 0, t as f64); // stand-in for a counter copy
+///             (t + 1, (t + 1) as f64)    // (applied, mass) at the seal
+///         },
+///     );
+/// }
+/// assert_eq!(bank.len(), 2);                  // ring recycled
+/// assert!(bank.sealed(1).is_none());          // evicted
+/// assert_eq!(bank.sealed(3).unwrap().applied(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlaneBank<P> {
+    /// Sealed planes, ordered oldest → newest by rotation (the vec is a
+    /// ring only in the recycling sense: `seal_with` pops the oldest
+    /// slot and pushes it back refilled, so iteration order stays
+    /// chronological).
+    ring: std::collections::VecDeque<SealedPlane<P>>,
+    capacity: usize,
+}
+
+impl<P> PlaneBank<P> {
+    /// An empty bank retaining at most `capacity` sealed planes.
+    /// Capacity 0 is allowed and makes every `seal_with` a no-op — the
+    /// unbounded (no-window) configuration costs nothing.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained seals.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of seals currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no plane has been sealed (or capacity is 0).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Seals a plane for `interval`: recycles the oldest slot's plane
+    /// allocation-free once the ring is full, otherwise allocates one
+    /// via `make`. `fill` copies the live counters into the slot and
+    /// returns the stream position `(applied, mass)` the copy captured.
+    ///
+    /// # Panics
+    /// Panics if `interval` does not increase monotonically (each
+    /// interval is sealed exactly once, in order).
+    pub fn seal_with(
+        &mut self,
+        interval: u64,
+        make: impl FnOnce() -> P,
+        fill: impl FnOnce(&mut P) -> (u64, f64),
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(latest) = self.ring.back() {
+            assert!(
+                interval > latest.interval,
+                "seals must advance: interval {interval} after {}",
+                latest.interval
+            );
+        }
+        let mut slot = if self.ring.len() == self.capacity {
+            self.ring.pop_front().expect("ring is full, so non-empty")
+        } else {
+            SealedPlane {
+                plane: make(),
+                interval: 0,
+                applied: 0,
+                mass: 0.0,
+            }
+        };
+        let (applied, mass) = fill(&mut slot.plane);
+        slot.interval = interval;
+        slot.applied = applied;
+        slot.mass = mass;
+        self.ring.push_back(slot);
+    }
+
+    /// The seal for a specific interval, if still retained.
+    pub fn sealed(&self, interval: u64) -> Option<&SealedPlane<P>> {
+        // The ring is sorted by interval; it is tiny (K slots), so a
+        // linear scan from the newest end beats bookkeeping.
+        self.ring.iter().rev().find(|s| s.interval == interval)
+    }
+
+    /// The most recent seal.
+    pub fn latest(&self) -> Option<&SealedPlane<P>> {
+        self.ring.back()
+    }
+
+    /// The oldest retained seal.
+    pub fn oldest(&self) -> Option<&SealedPlane<P>> {
+        self.ring.front()
+    }
+
+    /// Retained seals, oldest first.
+    pub fn planes(&self) -> impl Iterator<Item = &SealedPlane<P>> {
+        self.ring.iter()
     }
 }
 
@@ -963,6 +1195,76 @@ mod tests {
         a.add_matrix(&b);
         assert_eq!(a.get(0, 1), 3.0);
         assert_eq!(a.get(1, 2), 5.0);
+    }
+
+    #[test]
+    fn sub_matrix_inverts_add_matrix() {
+        let mut cumulative = fill::<Dense>();
+        let boundary = {
+            let mut m = CounterMatrix::<f64>::new(4, 3);
+            m.add(1, 2, 3.0);
+            m.add(2, 0, 1.5);
+            m
+        };
+        cumulative.add_matrix(&boundary);
+        cumulative.sub_matrix(&boundary);
+        assert_eq!(cumulative, fill::<Dense>());
+        // And in the atomic backend through the same store API.
+        let mut atomic = fill::<Atomic>();
+        atomic.sub_matrix(&fill::<Atomic>());
+        assert!(atomic.snapshot().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn sub_matrix_shape_mismatch_panics() {
+        let mut a = CounterMatrix::<f64>::new(3, 2);
+        let b = CounterMatrix::<f64>::new(2, 3);
+        a.sub_matrix(&b);
+    }
+
+    #[test]
+    fn plane_bank_recycles_oldest_slot() {
+        let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(3);
+        assert!(bank.is_empty() && bank.latest().is_none());
+        for t in 0..5u64 {
+            bank.seal_with(
+                t,
+                || CounterMatrix::new(2, 1),
+                |p| {
+                    p.set(0, 0, t as f64);
+                    (10 * (t + 1), (t + 1) as f64)
+                },
+            );
+        }
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.capacity(), 3);
+        assert!(bank.sealed(0).is_none() && bank.sealed(1).is_none());
+        let intervals: Vec<u64> = bank.planes().map(|s| s.interval()).collect();
+        assert_eq!(intervals, vec![2, 3, 4]);
+        assert_eq!(bank.oldest().unwrap().interval(), 2);
+        let latest = bank.latest().unwrap();
+        assert_eq!(latest.interval(), 4);
+        assert_eq!(latest.applied(), 50);
+        assert_eq!(latest.mass(), 5.0);
+        assert_eq!(latest.plane().get(0, 0), 4.0);
+        // The recycled slot was refilled, not stale.
+        assert_eq!(bank.sealed(2).unwrap().plane().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn zero_capacity_bank_ignores_seals() {
+        let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(0);
+        bank.seal_with(0, || panic!("must not allocate"), |_| (0, 0.0));
+        assert!(bank.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "seals must advance")]
+    fn non_monotone_seal_rejected() {
+        let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(2);
+        bank.seal_with(3, || CounterMatrix::new(1, 1), |_| (0, 0.0));
+        bank.seal_with(3, || CounterMatrix::new(1, 1), |_| (0, 0.0));
     }
 
     #[test]

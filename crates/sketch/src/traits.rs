@@ -222,6 +222,13 @@ pub enum MergeError {
     /// Seeds differ, so the sketches used different hash functions and
     /// their counters are not addressable by the same indices.
     SeedMismatch,
+    /// The operation has no inverse for this sketch — e.g. subtracting
+    /// from an S/R sketch whose sampler state cannot un-absorb
+    /// contributions.
+    NotInvertible {
+        /// Human-readable description of the non-invertible state.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for MergeError {
@@ -234,6 +241,9 @@ impl std::fmt::Display for MergeError {
                 f,
                 "cannot merge sketches built with different seeds (hash functions differ)"
             ),
+            MergeError::NotInvertible { what } => {
+                write!(f, "cannot subtract sketches: {what}")
+            }
         }
     }
 }
@@ -250,6 +260,28 @@ impl std::error::Error for MergeError {}
 pub trait MergeableSketch: PointQuerySketch {
     /// Adds `other`'s counters into `self`.
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>;
+
+    /// Subtracts `other`'s counters from `self` — the inverse of
+    /// [`merge_from`](MergeableSketch::merge_from), valid by the same
+    /// linearity read backwards: if `self` sketches a stream and
+    /// `other` sketches a *prefix* of it, the result sketches the
+    /// suffix (`Φx^{(a,b]} = Φx^{(0,b]} − Φx^{(0,a]}`). This is the
+    /// sketch-level form of the windowed query plane's plane
+    /// arithmetic.
+    ///
+    /// The default returns [`MergeError::NotInvertible`]: sketches
+    /// with auxiliary non-counter state (the S/R types' samplers)
+    /// cannot un-absorb a contribution. The matrix-backed linear
+    /// sketches override it with exact counter subtraction.
+    ///
+    /// # Errors
+    /// Returns a [`MergeError`] when the configurations differ or the
+    /// sketch state is not invertible.
+    fn subtract_from(&mut self, _other: &Self) -> Result<(), MergeError> {
+        Err(MergeError::NotInvertible {
+            what: "this sketch keeps non-counter state with no inverse",
+        })
+    }
 }
 
 #[cfg(test)]

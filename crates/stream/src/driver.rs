@@ -15,7 +15,7 @@
 //! a receive loop hands chunks to the sketch that `ConcurrentIngest`
 //! workers are feeding from other threads.
 
-use crate::update::StreamUpdate;
+use crate::update::{StreamUpdate, TimestampedUpdate};
 
 /// Default chunk size for [`drive_chunked`] / [`ChunkedDriver`]: big
 /// enough to amortize per-row setup, small enough that a chunk of
@@ -130,6 +130,90 @@ where
     total
 }
 
+/// Drives a **timestamped** stream into `sink` in chunks, firing
+/// `on_interval(t)` exactly once per closed interval `t`, in order —
+/// the glue between [`TimestampedUpdate`] producers and a windowed
+/// query plane's rotation verb.
+///
+/// Semantics, chosen so rotation is deterministic and loss-free:
+///
+/// * updates are delivered in chunks of `chunk_size`, exactly like
+///   [`drive_chunked`] — batching never changes sketch state;
+/// * intervals must be **monotone non-decreasing** (time moves
+///   forward); a regression panics;
+/// * before `on_interval(t)` fires, every update of interval `t` has
+///   been delivered to the sink (the partial chunk is flushed first),
+///   so a sink feeding an ingest engine plus an `on_interval` calling
+///   `advance_interval()` seals exactly interval `t`'s updates;
+/// * empty intervals (gaps in the ids, or a stream starting past
+///   interval 0) still fire their boundaries, one per skipped
+///   interval — wall-clock time does not pause because no traffic
+///   arrived. A boundary that seals a counter plane costs `O(s·d)`
+///   even when the plane did not change, so pick interval ids coarse
+///   enough that long idle gaps stay cheap (an hour-long gap at
+///   1-second intervals is 3 600 seals in a burst);
+/// * the final interval is **not** closed: it is still in progress
+///   when the stream ends (query it live, or close it yourself).
+///
+/// Returns the number of updates delivered.
+///
+/// ```
+/// use bas_stream::{drive_timestamped, TimestampedUpdate};
+///
+/// let stream = [
+///     TimestampedUpdate::arrival(0, 1),
+///     TimestampedUpdate::arrival(0, 2),
+///     TimestampedUpdate::arrival(2, 3), // interval 1 was empty
+/// ];
+/// let delivered = std::cell::Cell::new(0usize);
+/// let mut closed = Vec::new();
+/// let total = drive_timestamped(
+///     stream,
+///     2,
+///     |chunk| delivered.set(delivered.get() + chunk.len()),
+///     |t| closed.push((t, delivered.get())),
+/// );
+/// assert_eq!(total, 3);
+/// // Interval 0 closed after both its updates; empty interval 1
+/// // closed immediately after; interval 2 stays in progress.
+/// assert_eq!(closed, vec![(0, 2), (1, 2)]);
+/// ```
+///
+/// # Panics
+/// Panics if `chunk_size` is zero or an interval id decreases.
+pub fn drive_timestamped<I, F, R>(
+    updates: I,
+    chunk_size: usize,
+    mut sink: F,
+    mut on_interval: R,
+) -> u64
+where
+    I: IntoIterator<Item = TimestampedUpdate>,
+    F: FnMut(&[(u64, f64)]),
+    R: FnMut(u64),
+{
+    let mut driver = ChunkedDriver::new(chunk_size);
+    let mut current = 0u64;
+    for u in updates {
+        assert!(
+            u.interval >= current,
+            "interval ids must be monotone: {} after {current}",
+            u.interval
+        );
+        if u.interval > current {
+            // Close every interval before the update's: flush so the
+            // closing interval's updates are all delivered first.
+            driver.flush(&mut sink);
+            for t in current..u.interval {
+                on_interval(t);
+            }
+            current = u.interval;
+        }
+        driver.push(u.update(), &mut sink);
+    }
+    driver.finish(&mut sink)
+}
+
 /// Incremental form of [`drive_chunked`] for callers that receive
 /// updates piecemeal (network handlers, pollers) rather than holding an
 /// iterator. Push updates as they arrive; every full chunk is delivered
@@ -176,14 +260,22 @@ impl ChunkedDriver {
         }
     }
 
-    /// Flushes the final partial chunk and returns the total number of
-    /// updates delivered over the driver's lifetime.
-    pub fn finish<F: FnMut(&[(u64, f64)])>(mut self, mut sink: F) -> u64 {
+    /// Delivers the buffered partial chunk now (a mid-stream flush for
+    /// callers that need a delivery barrier — e.g.
+    /// [`drive_timestamped`] before closing an interval). A no-op when
+    /// nothing is buffered.
+    pub fn flush<F: FnMut(&[(u64, f64)])>(&mut self, mut sink: F) {
         if !self.buf.is_empty() {
             sink(&self.buf);
             self.delivered += self.buf.len() as u64;
             self.buf.clear();
         }
+    }
+
+    /// Flushes the final partial chunk and returns the total number of
+    /// updates delivered over the driver's lifetime.
+    pub fn finish<F: FnMut(&[(u64, f64)])>(mut self, sink: F) -> u64 {
+        self.flush(sink);
         self.delivered
     }
 }
@@ -293,5 +385,84 @@ mod tests {
     #[should_panic(expected = "probe interval must be positive")]
     fn zero_probe_interval_rejected() {
         drive_probed(arrivals(4), 2, 0, |_| {}, |_| {});
+    }
+
+    fn timed(spec: &[(u64, u64)]) -> Vec<TimestampedUpdate> {
+        spec.iter()
+            .map(|&(t, item)| TimestampedUpdate::arrival(t, item))
+            .collect()
+    }
+
+    #[test]
+    fn timestamped_closes_intervals_after_their_updates() {
+        let stream = timed(&[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5), (2, 6)]);
+        let delivered = std::cell::RefCell::new(Vec::new());
+        let mut closed = Vec::new();
+        let total = drive_timestamped(
+            stream,
+            2,
+            |chunk| delivered.borrow_mut().extend_from_slice(chunk),
+            |t| closed.push((t, delivered.borrow().len())),
+        );
+        assert_eq!(total, 6);
+        // Each boundary fires with its interval fully delivered, and
+        // the final interval (2) stays open.
+        assert_eq!(closed, vec![(0, 3), (1, 4)]);
+        assert_eq!(
+            delivered.into_inner(),
+            vec![(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0), (5, 1.0), (6, 1.0)]
+        );
+    }
+
+    #[test]
+    fn timestamped_fires_boundaries_for_empty_intervals() {
+        // Stream starts at interval 3: intervals 0..=2 were silent but
+        // time still passed.
+        let stream = timed(&[(3, 9)]);
+        let mut closed = Vec::new();
+        drive_timestamped(stream, 8, |_| {}, |t| closed.push(t));
+        assert_eq!(closed, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timestamped_delivery_matches_plain_chunking() {
+        let stream = timed(&[(0, 1), (1, 2), (1, 3), (4, 4), (4, 5)]);
+        let mut plain = Vec::new();
+        drive_chunked(stream.iter().map(|u| u.update()), 2, |c| {
+            plain.extend_from_slice(c)
+        });
+        let mut via_timed = Vec::new();
+        let total = drive_timestamped(stream, 2, |c| via_timed.extend_from_slice(c), |_| {});
+        assert_eq!(total, 5);
+        assert_eq!(via_timed, plain);
+    }
+
+    #[test]
+    fn empty_timestamped_stream_closes_nothing() {
+        let mut closed = Vec::new();
+        let total = drive_timestamped(Vec::new(), 4, |_| {}, |t| closed.push(t));
+        assert_eq!(total, 0);
+        assert!(closed.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn timestamped_rejects_time_regressions() {
+        drive_timestamped(timed(&[(2, 1), (1, 2)]), 4, |_| {}, |_| {});
+    }
+
+    #[test]
+    fn driver_flush_is_a_mid_stream_barrier() {
+        let mut driver = ChunkedDriver::new(10);
+        let mut out = Vec::new();
+        for u in arrivals(3) {
+            driver.push(u, |c: &[(u64, f64)]| out.extend_from_slice(c));
+        }
+        assert!(out.is_empty()); // chunk not full yet
+        driver.flush(|c: &[(u64, f64)]| out.extend_from_slice(c));
+        assert_eq!(out.len(), 3);
+        assert_eq!(driver.pending(), 0);
+        assert_eq!(driver.delivered(), 3);
+        driver.flush(|_: &[(u64, f64)]| panic!("flush of empty buffer must not deliver"));
     }
 }

@@ -27,6 +27,11 @@
 //!   batches a stream of [`StreamUpdate`]s into `(item, delta)` chunks
 //!   for the sketches' `update_batch` fast path (and for the sharded
 //!   ingester in `bas-pipeline`).
+//! * [`drive_timestamped`] — the same driver over
+//!   [`TimestampedUpdate`]s: fires an interval-boundary callback once
+//!   per closed interval, with that interval's updates fully
+//!   delivered first — the deterministic clock behind the windowed
+//!   query plane's rotation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,9 +45,12 @@ mod sampler;
 mod update;
 
 pub use bias_heap::BiasHeap;
-pub use driver::{drive_chunked, drive_probed, ChunkedDriver, DriveProgress, DEFAULT_CHUNK_SIZE};
+pub use driver::{
+    drive_chunked, drive_probed, drive_timestamped, ChunkedDriver, DriveProgress,
+    DEFAULT_CHUNK_SIZE,
+};
 pub use indexed_heap::{HeapOrder, IndexedHeap};
 pub use ostree::OrderStatTree;
 pub use reservoir::ReservoirSampler;
 pub use sampler::SortedSampler;
-pub use update::StreamUpdate;
+pub use update::{StreamUpdate, TimestampedUpdate};

@@ -24,9 +24,60 @@ impl StreamUpdate {
     }
 }
 
+/// A [`StreamUpdate`] tagged with the **interval** it belongs to — the
+/// unit of time the windowed query plane rotates on.
+///
+/// Interval ids are monotone non-decreasing along a stream (time moves
+/// forward); what an interval *means* — a wall-clock second, a
+/// 5-minute bucket, a row-count quota — is the producer's business,
+/// which keeps every consumer (drivers, tests, benches) deterministic.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimestampedUpdate {
+    /// Interval the update belongs to.
+    pub interval: u64,
+    /// Coordinate being updated.
+    pub item: u64,
+    /// Signed change to the coordinate.
+    pub delta: f64,
+}
+
+impl TimestampedUpdate {
+    /// An arbitrary update tagged with its interval.
+    pub fn new(interval: u64, item: u64, delta: f64) -> Self {
+        Self {
+            interval,
+            item,
+            delta,
+        }
+    }
+
+    /// A unit insertion of `item` in `interval` — the arrival model.
+    pub fn arrival(interval: u64, item: u64) -> Self {
+        Self::new(interval, item, 1.0)
+    }
+
+    /// The untimed view of the update.
+    pub fn update(&self) -> StreamUpdate {
+        StreamUpdate {
+            item: self.item,
+            delta: self.delta,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timestamped_carries_interval_and_projects_update() {
+        let u = TimestampedUpdate::new(3, 7, -2.5);
+        assert_eq!(u.interval, 3);
+        assert_eq!(u.update(), StreamUpdate::new(7, -2.5));
+        let a = TimestampedUpdate::arrival(0, 42);
+        assert_eq!(a.delta, 1.0);
+    }
 
     #[test]
     fn arrival_is_unit_delta() {

@@ -77,19 +77,25 @@ pub mod prelude {
         oracle, BiasStrategy, L1Config, L1SketchRecover, L2BiasMaintenance, L2Config,
         L2SketchRecover, SampleCount,
     };
-    pub use bas_distributed::{aggregate_live, DistributedRun, LiveAggregate, SiteData};
-    pub use bas_pipeline::{
-        ConcurrentIngest, EpochHandle, EpochSketch, ShardedIngest, SnapshotHandle,
+    pub use bas_data::{StreamDist, TimestampedStreamGen};
+    pub use bas_distributed::{
+        aggregate_live, aggregate_windows, DistributedRun, LiveAggregate, SiteData, WindowAggregate,
     };
-    pub use bas_serve::{QueryEngine, QueryHandle};
+    pub use bas_pipeline::{
+        ConcurrentIngest, EpochHandle, EpochSketch, ShardedIngest, SnapshotHandle, WindowedIngest,
+    };
+    pub use bas_serve::{
+        QueryEngine, QueryError, QueryHandle, ServingPolicy, Sliding, Tumbling, Unbounded,
+        WindowPolicy, WindowSnapshot,
+    };
     pub use bas_sketch::{
         storage, Atomic, AtomicCountMedian, AtomicCountMin, AtomicCountSketch, CountMedian,
         CountMin, CountMinLog, CountSketch, CounterBackend, CounterMatrix, Dense, EpochCounter,
-        HeavyHitter, HeavyHitters, MergeableSketch, PointQuerySketch, RangeSumSketch, SharedSketch,
-        SketchParams, Snapshottable, UpdatePolicy,
+        HeavyHitter, HeavyHitters, MergeableSketch, PlaneBank, PointQuerySketch, RangeSumSketch,
+        SealedPlane, SharedSketch, SketchParams, Snapshottable, UpdatePolicy,
     };
     pub use bas_stream::{
-        drive_chunked, drive_probed, BiasHeap, ChunkedDriver, DriveProgress, SortedSampler,
-        StreamUpdate,
+        drive_chunked, drive_probed, drive_timestamped, BiasHeap, ChunkedDriver, DriveProgress,
+        SortedSampler, StreamUpdate, TimestampedUpdate,
     };
 }
