@@ -16,21 +16,31 @@
 //!   [`WindowSnapshot`] with periodic allocation-free
 //!   `refresh_window`, next to unbounded snapshot queries at the same
 //!   cadence: the marginal cost of the per-refresh plane subtraction;
+//! * **estimate-space window serving** — the same stream through a
+//!   seed-rotating [`RotatingEngine`] (one hasher config per
+//!   interval): ingest + rotation items/sec, and `window_estimate`
+//!   queries/sec, where each answer sums one estimate per window
+//!   generation instead of reading one merged counter plane. The gap
+//!   to the counter-space numbers is the measured price of
+//!   adaptive-adversary robustness;
 //! * **window heavy-hitter scans** — full-universe sweeps over the
 //!   window plane (full mode only; scans/sec).
 //!
-//! Throughput numbers are *reported*; the **exactness gate is
+//! Throughput numbers are *reported*; the **exactness gates are
 //! asserted** in every mode: after the stream drains, the pinned
 //! window must equal a single-threaded sketch of exactly the last
-//! `K` intervals' updates, bit for bit (integer deltas). That gate is
-//! what CI's smoke mode (`--test`) runs.
+//! `K` intervals' updates, bit for bit (integer deltas), and the
+//! rotating engine's window answers must equal the sum of
+//! single-threaded per-generation references built under the
+//! schedule's seeds. That is what CI's smoke mode (`--test`) runs.
 //!
 //! Knobs: `BAS_SCALE` scales the stream; `--test` (CI smoke) shrinks
 //! everything to run in seconds.
 
 use bas_bench::report::BenchReport;
 use bas_data::TimestampedStreamGen;
-use bas_serve::{QueryEngine, Sliding, WindowSnapshot};
+use bas_hash::SeedSchedule;
+use bas_serve::{QueryEngine, RotatingEngine, Sliding, WindowSnapshot};
 use bas_sketch::{AtomicCountMedian, CountMedian, PointQuerySketch, SketchParams};
 use bas_stream::drive_timestamped;
 use std::hint::black_box;
@@ -192,6 +202,87 @@ fn main() {
         "queries/unbounded-snapshot",
         "queries_per_sec",
         snapshot_qps,
+    );
+
+    // ---- estimate-space window serving: the rotating engine ----
+    // Same stream, same boundaries, but every interval runs under its
+    // own hasher seed; window answers sum one estimate per generation.
+    let schedule = SeedSchedule::new(7);
+    let rotating = std::cell::RefCell::new(
+        RotatingEngine::new(
+            workers,
+            AtomicCountMedian::with_backend(&params),
+            schedule,
+            WINDOW,
+        )
+        .expect("non-zero window"),
+    );
+    let t = Instant::now();
+    drive_timestamped(
+        stream.iter().copied(),
+        CHUNK,
+        |chunk| rotating.borrow_mut().extend_from_slice(chunk),
+        |_| {
+            rotating.borrow_mut().advance_interval();
+        },
+    );
+    let mut rotating = rotating.into_inner();
+    rotating.flush();
+    let rotating_secs = t.elapsed().as_secs_f64();
+    println!(
+        "  ingest: rotating {:.2} M items/s (vs windowed counter-space {:.2} M items/s)",
+        total_updates / rotating_secs / 1e6,
+        total_updates / windowed_secs / 1e6,
+    );
+    report.record(
+        "ingest/rotating",
+        "items_per_sec",
+        total_updates / rotating_secs,
+    );
+
+    // Exactness gate: each window generation must equal a
+    // single-threaded reference built under the schedule's seed for
+    // that interval, so the engine's window answer is the sum of the
+    // per-generation reference estimates (integer deltas → exact sums).
+    assert_eq!(rotating.interval(), intervals - 1);
+    let generation_reference = |g: u64| {
+        let mut reference =
+            CountMedian::new(&SketchParams::new(n, WIDTH, DEPTH).with_seed(schedule.seed_for(g)));
+        let start = g as usize * per_interval;
+        let end = stream.len().min(start + per_interval);
+        let updates: Vec<(u64, f64)> = stream[start..end]
+            .iter()
+            .map(|u| (u.item, u.delta))
+            .collect();
+        reference.update_batch(&updates);
+        reference
+    };
+    let window_start = intervals - WINDOW as u64;
+    let references: Vec<CountMedian> = (window_start..intervals)
+        .map(generation_reference)
+        .collect();
+    for j in (0..n).step_by(9_973) {
+        let expected: f64 = references.iter().map(|r| r.estimate(j)).sum();
+        assert_eq!(
+            rotating.window_estimate(j),
+            expected,
+            "rotating window exactness gate failed at item {j}"
+        );
+    }
+
+    let rotating_ref = &rotating;
+    let estimate_space_qps =
+        run_queries(Box::new(move |_q, item| rotating_ref.window_estimate(item)));
+    println!(
+        "  point queries: estimate-space window {:.2} M qps vs counter-space window {:.2} M qps \
+         ({WINDOW} generations per answer)",
+        estimate_space_qps / 1e6,
+        window_qps / 1e6
+    );
+    report.record(
+        "queries/window-estimate-space",
+        "queries_per_sec",
+        estimate_space_qps,
     );
 
     // ---- window heavy-hitter scans (full mode only) ----

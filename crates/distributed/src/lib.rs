@@ -68,4 +68,4 @@ mod window;
 pub use live::{aggregate_live, LiveAggregate};
 pub use meter::CommMeter;
 pub use protocol::{DistributedRun, SiteData};
-pub use window::{aggregate_windows, WindowAggregate};
+pub use window::{aggregate_window_estimates, aggregate_windows, WindowAggregate};

@@ -15,8 +15,8 @@
 //! — at exactly the batch protocol's per-site upload cost.
 
 use crate::meter::CommMeter;
-use bas_serve::WindowSnapshot;
-use bas_sketch::{MergeError, SharedSketch, Snapshottable};
+use bas_serve::{combine_plane_estimates, EstimateCombine, WindowSnapshot};
+use bas_sketch::{MergeError, Reseedable, SharedSketch, Snapshottable};
 
 /// The coordinator's view after one round of windowed aggregation: the
 /// merged global window plane plus the per-site positions and the
@@ -54,11 +54,17 @@ pub struct WindowAggregate<S: Snapshottable> {
 ///
 /// All sites must cover the same interval range — window planes over
 /// different ranges sum to the sketch of no meaningful vector, so a
-/// mismatch is rejected rather than silently blended.
+/// mismatch is rejected rather than silently blended. The sites must
+/// also share one hasher configuration (seed included): counter-space
+/// addition presumes bucket `(r, c)` means the same colliding set at
+/// every site, so mismatched-seed planes are rejected with
+/// [`MergeError::PlaneSeedMismatch`] — combine their **estimates**
+/// with [`aggregate_window_estimates`] instead.
 ///
 /// # Errors
 /// Returns a [`MergeError`] if the windows cover different interval
-/// ranges or the planes cannot be added (mismatched configuration).
+/// ranges, were pinned under different hasher configurations, or the
+/// planes cannot be added.
 ///
 /// # Panics
 /// Panics if `windows` is empty.
@@ -73,6 +79,7 @@ where
     let end_interval = windows[0].end_interval();
     let words_per_site = reference.size_in_words() as u64;
 
+    let reference_config = windows[0].config();
     let mut applied_per_site = Vec::with_capacity(windows.len());
     let mut mass = 0.0;
     let mut global = reference.make_snapshot();
@@ -82,6 +89,7 @@ where
                 what: "window interval ranges",
             });
         }
+        reference_config.check_counter_compatible(&window.config())?;
         meter.record_upload(words_per_site);
         applied_per_site.push(window.applied());
         mass += window.mass();
@@ -97,6 +105,49 @@ where
         words_per_site,
         total_words: meter.total_words(),
     })
+}
+
+/// Aggregates per-site windows in **estimate space**: each site's
+/// plane is queried through its own hashers and the per-site estimates
+/// are combined per item — the path that stays sound when the sites'
+/// hasher configurations differ (independent seeds, per-site rotation
+/// schedules), where [`aggregate_windows`] must refuse to add
+/// counters.
+///
+/// For disjoint site streams use [`EstimateCombine::Sum`]; for
+/// replicated streams (every site saw the same updates) use `Mean` or
+/// `Median`. On homogeneous-seed sites the `Sum` path counter-merges
+/// internally and agrees with [`aggregate_windows`] bit for bit
+/// (`tests/estimate_space.rs`); on heterogeneous seeds each site
+/// contributes its own error term.
+///
+/// # Errors
+/// Returns a [`MergeError`] if the windows cover different interval
+/// ranges.
+///
+/// # Panics
+/// Panics if `windows` or `items` is empty-of-sites (at least one site
+/// window is required).
+pub fn aggregate_window_estimates<S>(
+    windows: &[WindowSnapshot<S>],
+    items: &[u64],
+    combine: EstimateCombine,
+) -> Result<Vec<f64>, MergeError>
+where
+    S: Snapshottable + SharedSketch + Reseedable + Send,
+{
+    assert!(!windows.is_empty(), "need at least one site window");
+    let (start_interval, end_interval) = (windows[0].start_interval(), windows[0].end_interval());
+    for window in windows {
+        if window.start_interval() != start_interval || window.end_interval() != end_interval {
+            return Err(MergeError::ShapeMismatch {
+                what: "window interval ranges",
+            });
+        }
+    }
+    let entries: Vec<(&S, &S::Snapshot)> =
+        windows.iter().map(|w| (w.sketch(), w.plane())).collect();
+    Ok(combine_plane_estimates(&entries, items, combine))
 }
 
 #[cfg(test)]
@@ -181,5 +232,95 @@ mod tests {
     #[should_panic(expected = "at least one site")]
     fn empty_sites_rejected() {
         let _ = aggregate_windows::<AtomicCountSketch>(&[]);
+    }
+
+    #[test]
+    fn mismatched_seed_counter_merge_rejected() {
+        // Two sites on the same interval clock but different seeds:
+        // counter-space aggregation must refuse, not silently blend.
+        let policy = Sliding::new(1).unwrap();
+        let mut a = QueryEngine::with_policy(2, AtomicCountSketch::with_backend(&params()), policy);
+        let mut b = QueryEngine::with_policy(
+            2,
+            AtomicCountSketch::with_backend(&params().with_seed(20)),
+            policy,
+        );
+        a.push(1, 1.0);
+        b.push(1, 1.0);
+        a.flush();
+        b.flush();
+        let err = aggregate_windows(&[a.pin_window(), b.pin_window()]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MergeError::PlaneSeedMismatch {
+                    left: 19,
+                    right: 20
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("combine their estimates"));
+    }
+
+    #[test]
+    fn heterogeneous_seed_sites_aggregate_in_estimate_space() {
+        let policy = Sliding::new(1).unwrap();
+        let mut a = QueryEngine::with_policy(2, AtomicCountSketch::with_backend(&params()), policy);
+        let mut b = QueryEngine::with_policy(
+            2,
+            AtomicCountSketch::with_backend(&params().with_seed(21)),
+            policy,
+        );
+        // Sparse disjoint streams on a wide sketch: per-site estimates
+        // are exact, so the Sum aggregate is exact.
+        a.push(7, 30.0);
+        a.push(9, 5.0);
+        b.push(7, 12.0);
+        b.push(11, 4.0);
+        a.flush();
+        b.flush();
+        let windows = [a.pin_window(), b.pin_window()];
+        let out = aggregate_window_estimates(&windows, &[7, 9, 11], EstimateCombine::Sum).unwrap();
+        assert_eq!(out, vec![42.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn estimate_space_aggregation_still_checks_interval_ranges() {
+        let policy = Sliding::new(1).unwrap();
+        let mut a = QueryEngine::with_policy(2, AtomicCountSketch::with_backend(&params()), policy);
+        let mut b = QueryEngine::with_policy(2, AtomicCountSketch::with_backend(&params()), policy);
+        a.advance_interval();
+        a.flush();
+        b.flush();
+        let err = aggregate_window_estimates(
+            &[a.pin_window(), b.pin_window()],
+            &[1],
+            EstimateCombine::Sum,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MergeError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn homogeneous_sites_estimate_space_equals_counter_space() {
+        let policy = Sliding::new(1).unwrap();
+        let mut engines: Vec<QueryEngine<AtomicCountSketch, Sliding>> = (0..3)
+            .map(|_| {
+                QueryEngine::with_policy(2, AtomicCountSketch::with_backend(&params()), policy)
+            })
+            .collect();
+        for (s, engine) in engines.iter_mut().enumerate() {
+            engine.extend_from_slice(&site_stream(s as u64, 0, 900));
+            engine.flush();
+        }
+        let windows: Vec<_> = engines.iter().map(|e| e.pin_window()).collect();
+        let agg = aggregate_windows(&windows).unwrap();
+        let items: Vec<u64> = (0..N).collect();
+        let est = aggregate_window_estimates(&windows, &items, EstimateCombine::Sum).unwrap();
+        let reference = engines[0].sketch();
+        for (j, &e) in items.iter().zip(&est) {
+            assert_eq!(e, reference.estimate_in(&agg.global, *j), "item {j}");
+        }
     }
 }

@@ -39,6 +39,7 @@ mod carter_wegman;
 mod family;
 mod multiply_shift;
 mod prime;
+mod schedule;
 mod seed;
 mod sign;
 mod tabulation;
@@ -49,6 +50,7 @@ pub use family::{
 };
 pub use multiply_shift::MultiplyShift;
 pub use prime::{add_mod_p61, mul_mod_p61, reduce_p61, P61};
+pub use schedule::SeedSchedule;
 pub use seed::{mix64, SplitMix64};
 pub use sign::SignHash;
 pub use tabulation::Tabulation;

@@ -29,7 +29,7 @@
 //! "Query plane" section says which read mode fits which query.
 
 use bas_sketch::storage::EpochCounter;
-use bas_sketch::{PointQuerySketch, SharedSketch, Snapshottable};
+use bas_sketch::{PointQuerySketch, Reseedable, SharedSketch, Snapshottable};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -312,6 +312,21 @@ impl<S: Snapshottable> Snapshottable for EpochSketch<S> {
     }
 }
 
+impl<S: Reseedable> Reseedable for EpochSketch<S> {
+    fn config(&self) -> bas_sketch::SketchParams {
+        self.sketch.config()
+    }
+
+    /// A **fresh** epoch plane over the reseeded sketch: empty
+    /// counters, epoch 0, nothing applied. Rotation drivers swap this
+    /// in as the next generation's live plane; the old plane (with its
+    /// frozen seed *and* counters) stays queryable through any handles
+    /// still holding it.
+    fn reseeded(&self, seed: u64) -> Self {
+        EpochSketch::new(self.sketch.reseeded(seed))
+    }
+}
+
 /// A cloneable shared handle to an [`EpochSketch`]: the type that lets
 /// a `ConcurrentIngest` own one end of the sketch while any number of
 /// reader handles hold the other — the writer/reader split behind
@@ -403,6 +418,19 @@ impl<S: SharedSketch + Send> SharedSketch for EpochHandle<S> {
 
     fn note_applied(&self, updates: u64, mass: f64) {
         self.0.note_applied(updates, mass);
+    }
+}
+
+impl<S: Reseedable> Reseedable for EpochHandle<S> {
+    fn config(&self) -> bas_sketch::SketchParams {
+        self.0.config()
+    }
+
+    /// A fresh handle over a fresh [`EpochSketch`] (see
+    /// [`EpochSketch::reseeded`]) — a **new** `Arc`, sharing nothing
+    /// with `self` or its clones.
+    fn reseeded(&self, seed: u64) -> Self {
+        EpochHandle::new(self.0.sketch().reseeded(seed))
     }
 }
 

@@ -84,10 +84,12 @@
 mod buffer;
 mod concurrent;
 pub mod epoch;
+pub mod rotate;
 mod sharded;
 pub mod window;
 
 pub use concurrent::ConcurrentIngest;
 pub use epoch::{EpochGuard, EpochHandle, EpochSketch, SnapshotHandle};
+pub use rotate::{RotatingGeneration, RotatingIngest};
 pub use sharded::ShardedIngest;
 pub use window::WindowedIngest;

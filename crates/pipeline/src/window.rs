@@ -36,7 +36,7 @@
 use crate::concurrent::ConcurrentIngest;
 use crate::epoch::EpochHandle;
 use bas_sketch::storage::PlaneBank;
-use bas_sketch::{SharedSketch, Snapshottable};
+use bas_sketch::{Reseedable, SharedSketch, Snapshottable};
 use bas_stream::StreamUpdate;
 
 /// A concurrent ingester with interval rotation: the write side of a
@@ -77,7 +77,7 @@ use bas_stream::StreamUpdate;
 ///     .unwrap();
 /// ```
 #[derive(Debug)]
-pub struct WindowedIngest<S: SharedSketch + Snapshottable + Send> {
+pub struct WindowedIngest<S: SharedSketch + Snapshottable + Reseedable + Send> {
     ingest: ConcurrentIngest<EpochHandle<S>>,
     bank: PlaneBank<S::Snapshot>,
     /// Id of the interval currently accepting updates; seals exist for
@@ -85,7 +85,7 @@ pub struct WindowedIngest<S: SharedSketch + Snapshottable + Send> {
     interval: u64,
 }
 
-impl<S: SharedSketch + Snapshottable + Send> WindowedIngest<S> {
+impl<S: SharedSketch + Snapshottable + Reseedable + Send> WindowedIngest<S> {
     /// Creates a windowed ingester whose flushes fan across `workers`
     /// threads and whose bank retains the last `bank_capacity` sealed
     /// planes. Capacity 0 disables sealing entirely — the unbounded
@@ -156,6 +156,7 @@ impl<S: SharedSketch + Snapshottable + Send> WindowedIngest<S> {
         let shared = self.ingest.sketch();
         self.bank.seal_with(
             sealed,
+            shared.config(),
             || shared.make_snapshot(),
             |slot| {
                 let (_, applied, mass) = shared.pin_into(slot);

@@ -37,6 +37,17 @@ pub enum QueryError {
         /// The boundary interval that was requested.
         interval: u64,
     },
+    /// An audited handle refused the query: the key has already been
+    /// asked about `limit` times in the current plane lifetime (see
+    /// [`AuditPolicy`](crate::AuditPolicy)). Answering further probes
+    /// would hand an adaptive adversary the per-key feedback budget the
+    /// robustness analysis bounds.
+    AuditRejected {
+        /// The item whose query budget is exhausted.
+        item: u64,
+        /// The per-key, per-lifetime query cap that was reached.
+        limit: u64,
+    },
 }
 
 impl QueryError {
@@ -86,6 +97,13 @@ impl std::fmt::Display for QueryError {
                     "sealed plane for interval {interval} is no longer retained by the bank"
                 )
             }
+            QueryError::AuditRejected { item, limit } => {
+                write!(
+                    f,
+                    "query audit rejected item {item}: per-key budget of {limit} queries \
+                     for this plane lifetime is exhausted"
+                )
+            }
         }
     }
 }
@@ -128,6 +146,11 @@ mod tests {
         assert!(QueryError::WindowUnavailable { interval: 7 }
             .to_string()
             .contains("interval 7"));
+        let rejected = QueryError::AuditRejected { item: 3, limit: 10 }.to_string();
+        assert!(
+            rejected.contains("item 3") && rejected.contains("10"),
+            "{rejected}"
+        );
         // It is a std error like MergeError.
         let e: Box<dyn std::error::Error> = Box::new(QueryError::InvalidWindowLen { len: 0 });
         assert!(e.to_string().contains("at least 1"));

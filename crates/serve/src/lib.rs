@@ -96,18 +96,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod error;
+mod estimate;
 mod policy;
+mod rotate;
 mod window;
 
+pub use audit::{AuditPolicy, AuditedHandle};
 pub use error::QueryError;
+pub use estimate::{combine_plane_estimates, heavy_hitters_across, EstimateCombine};
 pub use policy::{ServingPolicy, Sliding, Tumbling, Unbounded, WindowPolicy};
+pub use rotate::RotatingEngine;
 pub use window::WindowSnapshot;
 
 use bas_pipeline::{EpochHandle, SnapshotHandle, WindowedIngest};
 use bas_sketch::{
     CountSketch, CounterBackend, HeavyHitter, MergeError, PointQuerySketch, RangeSumSketch,
-    SharedSketch, Snapshottable,
+    Reseedable, SharedSketch, Snapshottable,
 };
 use bas_stream::StreamUpdate;
 
@@ -148,12 +154,15 @@ fn scan_heavy_hitters<S: Snapshottable>(
 /// thread). Readers never block writers: snapshot pins retry across
 /// in-flight flushes instead of locking them out.
 #[derive(Debug)]
-pub struct QueryEngine<S: SharedSketch + Snapshottable + Send, P: ServingPolicy = Unbounded> {
+pub struct QueryEngine<
+    S: SharedSketch + Snapshottable + Reseedable + Send,
+    P: ServingPolicy = Unbounded,
+> {
     ingest: WindowedIngest<S>,
     policy: P,
 }
 
-impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
+impl<S: SharedSketch + Snapshottable + Reseedable + Send> QueryEngine<S> {
     /// Creates an [`Unbounded`] (since-boot) engine whose flushes fan
     /// across `workers` threads — the pre-window constructor,
     /// behaviorally identical to it. The sketch must be built on a
@@ -166,7 +175,7 @@ impl<S: SharedSketch + Snapshottable + Send> QueryEngine<S> {
     }
 }
 
-impl<S: SharedSketch + Snapshottable + Send, P: ServingPolicy> QueryEngine<S, P> {
+impl<S: SharedSketch + Snapshottable + Reseedable + Send, P: ServingPolicy> QueryEngine<S, P> {
     /// Creates an engine with an explicit serving policy (see the
     /// crate docs). [`Unbounded`] allocates no plane bank; windowed
     /// policies retain `policy.bank_capacity()` sealed planes.
@@ -340,7 +349,7 @@ impl<S: SharedSketch + Snapshottable + Send, P: ServingPolicy> QueryEngine<S, P>
 
 // ---- windowed serving (Tumbling / Sliding policies only) ----
 
-impl<S: SharedSketch + Snapshottable + Send, P: WindowPolicy> QueryEngine<S, P> {
+impl<S: SharedSketch + Snapshottable + Reseedable + Send, P: WindowPolicy> QueryEngine<S, P> {
     /// Closes the current interval: flushes the buffered tail, seals
     /// the cumulative plane into the rotating bank (recycling the
     /// oldest slot allocation-free), and starts the next interval.
@@ -378,6 +387,7 @@ impl<S: SharedSketch + Snapshottable + Send, P: WindowPolicy> QueryEngine<S, P> 
         let mut ws = WindowSnapshot {
             owner: self.ingest.shared().clone(),
             plane: self.ingest.shared().make_snapshot(),
+            params: self.sketch().config(),
             start_interval: 0,
             end_interval: current,
             applied: 0,
@@ -444,6 +454,7 @@ impl<S: SharedSketch + Snapshottable + Send, P: WindowPolicy> QueryEngine<S, P> 
         Ok(WindowSnapshot {
             owner: self.ingest.shared().clone(),
             plane,
+            params: self.sketch().config(),
             start_interval: boundary + 1,
             end_interval: current,
             applied: applied - seal.applied(),
@@ -593,6 +604,16 @@ impl<S: SharedSketch + Snapshottable + Send> QueryHandle<S> {
     /// The shared sketch (hash functions + live counters).
     pub fn sketch(&self) -> &S {
         self.shared.sketch()
+    }
+
+    /// Wraps this handle in a query-audit layer: per-key query
+    /// counting with an optional noise/quantize answer policy, the
+    /// serving-side defense against adaptive feedback (see
+    /// [`AuditPolicy`]). The underlying handle stays usable through
+    /// [`AuditedHandle::inner`]; clone before wrapping to keep an
+    /// unaudited handle for trusted readers.
+    pub fn audited(self, policy: AuditPolicy) -> AuditedHandle<S> {
+        AuditedHandle::new(self, policy)
     }
 }
 

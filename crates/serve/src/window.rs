@@ -4,7 +4,8 @@
 use crate::error::QueryError;
 use bas_pipeline::EpochHandle;
 use bas_sketch::{
-    CounterBackend, HeavyHitter, PointQuerySketch, RangeSumSketch, SharedSketch, Snapshottable,
+    CounterBackend, HeavyHitter, PointQuerySketch, RangeSumSketch, SharedSketch, SketchParams,
+    Snapshottable,
 };
 
 /// A pinned, epoch-consistent frozen view of **one window** of the
@@ -26,6 +27,12 @@ use bas_sketch::{
 pub struct WindowSnapshot<S: SharedSketch + Snapshottable + Send> {
     pub(crate) owner: EpochHandle<S>,
     pub(crate) plane: S::Snapshot,
+    /// The hasher configuration (seed included) the plane was pinned
+    /// under: carried explicitly so a coordinator can refuse to
+    /// counter-merge windows sealed under different seeds (see
+    /// `bas_distributed::aggregate_windows`) instead of silently
+    /// combining incompatible planes.
+    pub(crate) params: SketchParams,
     pub(crate) start_interval: u64,
     pub(crate) end_interval: u64,
     pub(crate) applied: u64,
@@ -60,6 +67,15 @@ impl<S: SharedSketch + Snapshottable + Send> WindowSnapshot<S> {
     /// The sketch this window was pinned from (hash functions).
     pub fn sketch(&self) -> &S {
         self.owner.sketch()
+    }
+
+    /// The hasher configuration the window's plane was pinned under.
+    /// Counter-space combination of two windows is only sound when
+    /// their configs pass
+    /// [`SketchParams::check_counter_compatible`]; otherwise combine
+    /// their **estimates** (see [`crate::combine_plane_estimates`]).
+    pub fn config(&self) -> SketchParams {
+        self.params
     }
 
     /// First interval the window covers.

@@ -2,7 +2,9 @@
 
 use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+use crate::traits::{
+    MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
+};
 use crate::util::median_of_rows;
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 
@@ -115,6 +117,16 @@ impl<B: CounterBackend> CountMedian<B> {
             }
         }
         pis
+    }
+}
+
+impl<B: CounterBackend> Reseedable for CountMedian<B> {
+    fn config(&self) -> SketchParams {
+        self.params
+    }
+
+    fn reseeded(&self, seed: u64) -> Self {
+        Self::with_backend(&self.params.with_seed(seed))
     }
 }
 

@@ -2,7 +2,9 @@
 
 use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+use crate::traits::{
+    MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
+};
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
 
 /// Update policy for [`CountMin`].
@@ -157,6 +159,17 @@ impl<B: CounterBackend> CountMin<B> {
             delta >= 0.0,
             "Count-Min requires the cash-register model (delta >= 0), got {delta}"
         );
+    }
+}
+
+impl<B: CounterBackend> Reseedable for CountMin<B> {
+    fn config(&self) -> SketchParams {
+        self.params
+    }
+
+    /// The reseeded sketch keeps the update policy (Plain vs CU).
+    fn reseeded(&self, seed: u64) -> Self {
+        Self::with_backend(&self.params.with_seed(seed), self.policy)
     }
 }
 

@@ -2,7 +2,9 @@
 
 use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+use crate::traits::{
+    MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
+};
 use crate::util::median_of_rows;
 use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SignHash, SignHasher, SplitMix64};
 
@@ -179,6 +181,16 @@ impl<B: CounterBackend> CountSketch<B> {
             }
         }
         psis
+    }
+}
+
+impl<B: CounterBackend> Reseedable for CountSketch<B> {
+    fn config(&self) -> SketchParams {
+        self.params
+    }
+
+    fn reseeded(&self, seed: u64) -> Self {
+        Self::with_backend(&self.params.with_seed(seed))
     }
 }
 

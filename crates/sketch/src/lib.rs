@@ -108,7 +108,9 @@ pub use storage::{
     Atomic, CounterBackend, CounterMatrix, CounterValue, Dense, EpochCounter, PlaneBank,
     SealedPlane,
 };
-pub use traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+pub use traits::{
+    MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
+};
 
 /// Count-Median over the [`Atomic`] backend: the lock-free
 /// shared-ingest configuration (implements [`SharedSketch`]).

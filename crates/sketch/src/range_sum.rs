@@ -9,7 +9,9 @@
 use crate::count_median::CountMedian;
 use crate::snapshot::Snapshottable;
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
-use crate::traits::{MergeError, MergeableSketch, PointQuerySketch, SharedSketch, SketchParams};
+use crate::traits::{
+    MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
+};
 
 /// A turnstile range-sum sketch: `query(a, b) ≈ Σ_{a ≤ i ≤ b} x_i`.
 ///
@@ -174,6 +176,24 @@ impl<B: CounterBackend> RangeSumSketch<B> {
 /// keeping `update` inherent, as before the query-plane refactor) is
 /// what lets the stack ride every generic ingest and serving path —
 /// `ShardedIngest`, `ConcurrentIngest`, `QueryEngine` — unchanged.
+impl<B: CounterBackend> Reseedable for RangeSumSketch<B> {
+    /// The top-level parameters are reconstructed from level 0: the
+    /// struct stores only `n` and the per-level sketches (the serde
+    /// wire format predates rotation), and level `l`'s seed is
+    /// `master + 0x9E37·(l+1)` by construction, so the master is
+    /// exactly `level0.seed − 0x9E37`.
+    fn config(&self) -> SketchParams {
+        let mut p = self.levels[0].config();
+        p.n = self.n;
+        p.seed = p.seed.wrapping_sub(0x9E37);
+        p
+    }
+
+    fn reseeded(&self, seed: u64) -> Self {
+        Self::with_backend(&self.config().with_seed(seed))
+    }
+}
+
 impl<B: CounterBackend> PointQuerySketch for RangeSumSketch<B> {
     fn update(&mut self, item: u64, delta: f64) {
         assert!(item < self.n, "item outside universe");

@@ -856,12 +856,17 @@ impl<'de, T: CounterValue + serde::Deserialize<'de>, B: CounterBackend> serde::D
 /// The plane type `P` is deliberately open — a single
 /// [`CounterMatrix`] for the matrix sketches, a stack of them for the
 /// dyadic range-sum sketch, or any other `Snapshot` type a
-/// [`Snapshottable`](crate::Snapshottable) sketch defines. All planes
-/// in one bank come from one sketch, so they share that sketch's hash
-/// configuration by construction.
+/// [`Snapshottable`](crate::Snapshottable) sketch defines. Counters
+/// alone do not determine which vector a plane sketches, so every seal
+/// also records the hasher configuration it was counted under
+/// ([`config`](SealedPlane::config)) — in a fixed-seed deployment all
+/// seals share it, but under seed rotation adjacent seals differ, and
+/// combining them in counter space must be rejected, not silently
+/// performed.
 #[derive(Debug, Clone)]
 pub struct SealedPlane<P> {
     plane: P,
+    params: crate::traits::SketchParams,
     interval: u64,
     applied: u64,
     mass: f64,
@@ -871,6 +876,18 @@ impl<P> SealedPlane<P> {
     /// The frozen counter plane.
     pub fn plane(&self) -> &P {
         &self.plane
+    }
+
+    /// The hasher configuration the plane's counters were addressed
+    /// under. Carried **per seal** rather than inherited from the bank:
+    /// under seed rotation, planes sealed across a rotation boundary
+    /// have different hash functions, and a recycled slot must never
+    /// keep the old generation's configuration implicitly. Counter-
+    /// space combination of two seals is valid only when
+    /// [`SketchParams::check_counter_compatible`](crate::SketchParams::check_counter_compatible)
+    /// accepts their configs.
+    pub fn config(&self) -> crate::traits::SketchParams {
+        self.params
     }
 
     /// The interval id this seal closed (seal `t` captures the
@@ -913,11 +930,14 @@ impl<P> SealedPlane<P> {
 ///
 /// ```
 /// use bas_sketch::storage::{CounterMatrix, PlaneBank};
+/// use bas_sketch::SketchParams;
 ///
+/// let config = SketchParams::new(16, 4, 1).with_seed(7);
 /// let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(2);
 /// for t in 0..4u64 {
 ///     bank.seal_with(
 ///         t,
+///         config,
 ///         || CounterMatrix::new(4, 1),
 ///         |plane| {
 ///             plane.set(0, 0, t as f64); // stand-in for a counter copy
@@ -928,6 +948,7 @@ impl<P> SealedPlane<P> {
 /// assert_eq!(bank.len(), 2);                  // ring recycled
 /// assert!(bank.sealed(1).is_none());          // evicted
 /// assert_eq!(bank.sealed(3).unwrap().applied(), 4);
+/// assert_eq!(bank.sealed(3).unwrap().config(), config);
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlaneBank<P> {
@@ -969,6 +990,10 @@ impl<P> PlaneBank<P> {
     /// allocation-free once the ring is full, otherwise allocates one
     /// via `make`. `fill` copies the live counters into the slot and
     /// returns the stream position `(applied, mass)` the copy captured.
+    /// `config` is the hasher configuration the counters were addressed
+    /// under at seal time — recorded on the seal (a recycled slot is
+    /// fully overwritten, so it can never carry a previous generation's
+    /// configuration implicitly).
     ///
     /// # Panics
     /// Panics if `interval` does not increase monotonically (each
@@ -976,6 +1001,7 @@ impl<P> PlaneBank<P> {
     pub fn seal_with(
         &mut self,
         interval: u64,
+        config: crate::traits::SketchParams,
         make: impl FnOnce() -> P,
         fill: impl FnOnce(&mut P) -> (u64, f64),
     ) {
@@ -994,12 +1020,14 @@ impl<P> PlaneBank<P> {
         } else {
             SealedPlane {
                 plane: make(),
+                params: config,
                 interval: 0,
                 applied: 0,
                 mass: 0.0,
             }
         };
         let (applied, mass) = fill(&mut slot.plane);
+        slot.params = config;
         slot.interval = interval;
         slot.applied = applied;
         slot.mass = mass;
@@ -1228,8 +1256,10 @@ mod tests {
         let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(3);
         assert!(bank.is_empty() && bank.latest().is_none());
         for t in 0..5u64 {
+            // Rotate the seed per seal: each slot must carry its own.
             bank.seal_with(
                 t,
+                crate::SketchParams::new(4, 2, 1).with_seed(t),
                 || CounterMatrix::new(2, 1),
                 |p| {
                     p.set(0, 0, t as f64);
@@ -1250,12 +1280,27 @@ mod tests {
         assert_eq!(latest.plane().get(0, 0), 4.0);
         // The recycled slot was refilled, not stale.
         assert_eq!(bank.sealed(2).unwrap().plane().get(0, 0), 2.0);
+        // ...including its hasher configuration: the slot sealed at
+        // t = 4 reused t = 1's allocation but must carry t = 4's seed.
+        assert_eq!(latest.config().seed, 4);
+        assert_eq!(bank.sealed(2).unwrap().config().seed, 2);
+        assert!(bank
+            .sealed(2)
+            .unwrap()
+            .config()
+            .check_counter_compatible(&latest.config())
+            .is_err());
     }
 
     #[test]
     fn zero_capacity_bank_ignores_seals() {
         let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(0);
-        bank.seal_with(0, || panic!("must not allocate"), |_| (0, 0.0));
+        bank.seal_with(
+            0,
+            crate::SketchParams::new(4, 2, 1),
+            || panic!("must not allocate"),
+            |_| (0, 0.0),
+        );
         assert!(bank.is_empty());
     }
 
@@ -1263,8 +1308,9 @@ mod tests {
     #[should_panic(expected = "seals must advance")]
     fn non_monotone_seal_rejected() {
         let mut bank: PlaneBank<CounterMatrix<f64>> = PlaneBank::new(2);
-        bank.seal_with(3, || CounterMatrix::new(1, 1), |_| (0, 0.0));
-        bank.seal_with(3, || CounterMatrix::new(1, 1), |_| (0, 0.0));
+        let cfg = crate::SketchParams::new(4, 1, 1);
+        bank.seal_with(3, cfg, || CounterMatrix::new(1, 1), |_| (0, 0.0));
+        bank.seal_with(3, cfg, || CounterMatrix::new(1, 1), |_| (0, 0.0));
     }
 
     #[test]

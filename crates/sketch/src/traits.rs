@@ -58,6 +58,68 @@ impl SketchParams {
     pub fn counter_words(&self) -> usize {
         self.width * self.depth
     }
+
+    /// Checks that counter planes built under `self` and `other` may
+    /// be combined **in counter space** (added or subtracted cell by
+    /// cell): same shape, same universe, and — the part an adaptive-
+    /// robustness rotation makes easy to violate — the same hasher
+    /// configuration. Two planes whose seeds differ address their
+    /// counters through different hash functions; adding them cell by
+    /// cell produces the sketch of no meaningful vector, so the
+    /// mismatch is a typed error, never a silent blend. Heterogeneous-
+    /// seed planes combine in *estimate space* instead
+    /// (`bas_serve::EstimateCombine`).
+    ///
+    /// # Errors
+    /// [`MergeError::ShapeMismatch`] when widths, depths, or universes
+    /// differ; [`MergeError::PlaneSeedMismatch`] when shapes agree but
+    /// the hasher configurations (seed or hash family) do not.
+    pub fn check_counter_compatible(&self, other: &SketchParams) -> Result<(), MergeError> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(MergeError::ShapeMismatch {
+                what: "widths/depths",
+            });
+        }
+        if self.n != other.n {
+            return Err(MergeError::ShapeMismatch { what: "universes" });
+        }
+        if self.seed != other.seed || self.hash_kind != other.hash_kind {
+            return Err(MergeError::PlaneSeedMismatch {
+                left: self.seed,
+                right: other.seed,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A sketch whose hasher configuration can be read back and replaced —
+/// the construction-level primitive under bounded-lifetime seed
+/// rotation.
+///
+/// [`config`](Reseedable::config) exposes the *effective*
+/// [`SketchParams`] (after any width normalization the hash family
+/// performed), so a second party can reconstruct an identically-hashed
+/// sketch, and a sealed plane can carry the configuration it was
+/// counted under. [`reseeded`](Reseedable::reseeded) builds a fresh,
+/// empty sketch of the same shape under a new seed — same universe,
+/// width, depth, backend and policy; new hash functions, zeroed
+/// counters. Rotation drivers call it at every interval boundary so no
+/// seed's lifetime exceeds the serving window.
+///
+/// Implemented by the servable grid sketches (Count-Median,
+/// Count-Sketch, Count-Min, the dyadic range-sum stack) and delegated
+/// by the epoch wrappers in `bas_pipeline`. The non-linear baselines
+/// could implement it too, but nothing rotates them today.
+pub trait Reseedable: Sized {
+    /// The effective parameters this sketch was built with (width may
+    /// have been rounded up by the hash family; the stored value is
+    /// the rounded one).
+    fn config(&self) -> SketchParams;
+
+    /// A fresh, empty sketch identical to `self` in every respect
+    /// except the seed: new hash functions, zeroed counters.
+    fn reseeded(&self, seed: u64) -> Self;
 }
 
 /// A frequency sketch answering point queries: "what is `x_i`?".
@@ -229,6 +291,19 @@ pub enum MergeError {
         /// Human-readable description of the non-invertible state.
         what: &'static str,
     },
+    /// Two counter planes were sealed under different hasher
+    /// configurations (a seed-rotation boundary lies between them);
+    /// combining them cell by cell is meaningless. Unlike the bare
+    /// [`SeedMismatch`](MergeError::SeedMismatch), this variant names
+    /// both seeds, because in a rotating deployment "which rotation
+    /// did this plane come from" is the first diagnostic question.
+    /// Heterogeneous-seed planes combine in estimate space instead.
+    PlaneSeedMismatch {
+        /// Seed of the left-hand (accumulating) plane.
+        left: u64,
+        /// Seed of the right-hand (incoming) plane.
+        right: u64,
+    },
 }
 
 impl std::fmt::Display for MergeError {
@@ -243,6 +318,14 @@ impl std::fmt::Display for MergeError {
             ),
             MergeError::NotInvertible { what } => {
                 write!(f, "cannot subtract sketches: {what}")
+            }
+            MergeError::PlaneSeedMismatch { left, right } => {
+                write!(
+                    f,
+                    "cannot combine counter planes sealed under different hasher \
+                     configurations (seeds {left} vs {right}); combine their \
+                     estimates instead"
+                )
             }
         }
     }
@@ -354,5 +437,32 @@ mod tests {
         let e = MergeError::ShapeMismatch { what: "widths" };
         assert!(e.to_string().contains("widths"));
         assert!(MergeError::SeedMismatch.to_string().contains("seeds"));
+        let e = MergeError::PlaneSeedMismatch { left: 3, right: 9 };
+        let msg = e.to_string();
+        assert!(msg.contains("seeds 3 vs 9"), "{msg}");
+        assert!(msg.contains("estimate"), "{msg}");
+    }
+
+    #[test]
+    fn counter_compatibility_checks_shape_before_seed() {
+        let base = SketchParams::new(100, 8, 3).with_seed(1);
+        assert_eq!(base.check_counter_compatible(&base), Ok(()));
+        assert!(matches!(
+            base.check_counter_compatible(&SketchParams::new(100, 16, 3).with_seed(1)),
+            Err(MergeError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            base.check_counter_compatible(&SketchParams::new(200, 8, 3).with_seed(1)),
+            Err(MergeError::ShapeMismatch { what: "universes" })
+        ));
+        assert_eq!(
+            base.check_counter_compatible(&base.with_seed(2)),
+            Err(MergeError::PlaneSeedMismatch { left: 1, right: 2 })
+        );
+        // Same seed, different family: still different hash functions.
+        assert!(matches!(
+            base.check_counter_compatible(&base.with_hash_kind(HashKind::Tabulation)),
+            Err(MergeError::PlaneSeedMismatch { .. })
+        ));
     }
 }

@@ -79,20 +79,24 @@ pub mod prelude {
     };
     pub use bas_data::{StreamDist, TimestampedStreamGen};
     pub use bas_distributed::{
-        aggregate_live, aggregate_windows, DistributedRun, LiveAggregate, SiteData, WindowAggregate,
+        aggregate_live, aggregate_window_estimates, aggregate_windows, DistributedRun,
+        LiveAggregate, SiteData, WindowAggregate,
     };
+    pub use bas_hash::SeedSchedule;
     pub use bas_pipeline::{
-        ConcurrentIngest, EpochHandle, EpochSketch, ShardedIngest, SnapshotHandle, WindowedIngest,
+        ConcurrentIngest, EpochHandle, EpochSketch, RotatingGeneration, RotatingIngest,
+        ShardedIngest, SnapshotHandle, WindowedIngest,
     };
     pub use bas_serve::{
-        QueryEngine, QueryError, QueryHandle, ServingPolicy, Sliding, Tumbling, Unbounded,
-        WindowPolicy, WindowSnapshot,
+        combine_plane_estimates, heavy_hitters_across, AuditPolicy, AuditedHandle, EstimateCombine,
+        QueryEngine, QueryError, QueryHandle, RotatingEngine, ServingPolicy, Sliding, Tumbling,
+        Unbounded, WindowPolicy, WindowSnapshot,
     };
     pub use bas_sketch::{
         storage, Atomic, AtomicCountMedian, AtomicCountMin, AtomicCountSketch, CountMedian,
         CountMin, CountMinLog, CountSketch, CounterBackend, CounterMatrix, Dense, EpochCounter,
         HeavyHitter, HeavyHitters, MergeableSketch, PlaneBank, PointQuerySketch, RangeSumSketch,
-        SealedPlane, SharedSketch, SketchParams, Snapshottable, UpdatePolicy,
+        Reseedable, SealedPlane, SharedSketch, SketchParams, Snapshottable, UpdatePolicy,
     };
     pub use bas_stream::{
         drive_chunked, drive_probed, drive_timestamped, BiasHeap, ChunkedDriver, DriveProgress,

@@ -266,7 +266,7 @@ fn range_sum_union_bound() {
 /// queries for the captured **prefix**.
 fn snapshot_failures<S, F>(sketch: S, stream: &[(u64, f64)], mut fails: F) -> (u64, u64)
 where
-    S: SharedSketch + Snapshottable + Send,
+    S: SharedSketch + Snapshottable + Reseedable + Send,
     F: FnMut(&S, &S::Snapshot, &[f64], f64) -> (u64, u64),
 {
     let threshold = stream.len() / 4;

@@ -124,3 +124,66 @@ fn count_median_bucket_layouts_are_frozen_per_family() {
         }
     }
 }
+
+#[test]
+fn seed_schedule_rotations_are_frozen() {
+    // Per-rotation seed derivations are wire format exactly like the
+    // bucket layouts above: a rotating engine's generation `g` hashes
+    // under `schedule.seed_for(g)`, and any party holding the master
+    // (a distributed site, a replayed test, a coordinator recomputing
+    // a window) must derive the identical seed on every platform.
+    // Rotation 0 is the master itself — a rotating engine starts
+    // bit-for-bit as the fixed-seed engine it hardens.
+    let schedule = SeedSchedule::new(0x601D_0007);
+    assert_eq!(
+        (0..8u64).map(|k| schedule.seed_for(k)).collect::<Vec<_>>(),
+        [
+            1612513287, // = 0x601D_0007, the master
+            10822839527881363700,
+            8526779390653754557,
+            10485937235800801980,
+            14210377385415376661,
+            8838749625152650670,
+            16384431798479111979,
+            16603601188124656886,
+        ]
+    );
+    // The derivation is a pure O(1) function of (master, rotation):
+    // distant rotations are reachable directly, no chain to replay.
+    assert_eq!(schedule.seed_for(1_000_000), 5636232674825921307);
+    assert_eq!(schedule.seed_for(u64::MAX), 528157662320012325);
+}
+
+#[test]
+fn seed_schedule_is_frozen_across_masters() {
+    let forty_two = SeedSchedule::new(42);
+    assert_eq!(
+        (0..8u64).map(|k| forty_two.seed_for(k)).collect::<Vec<_>>(),
+        [
+            42,
+            9554799360678215545,
+            11836169062379096736,
+            13093966982728061751,
+            18197782009148678115,
+            15485773583346261208,
+            3220611602083887250,
+            17935198292825672957,
+        ]
+    );
+    // The all-zero master is not a degenerate schedule: its rotations
+    // still derive full-entropy seeds.
+    let zero = SeedSchedule::new(0);
+    assert_eq!(
+        (0..8u64).map(|k| zero.seed_for(k)).collect::<Vec<_>>(),
+        [
+            0,
+            17782723280797572726,
+            14459302267397174899,
+            9437828404600283244,
+            8507782939316570728,
+            5120246733239443578,
+            15561760378592926737,
+            15485824515548776986,
+        ]
+    );
+}

@@ -47,7 +47,7 @@ fn stream(len: u64) -> Vec<(u64, f64)> {
 /// invariants throughout. Returns after the full stream is applied.
 fn hammer<S>(sketch: S, workers: usize, readers: usize, updates: &[(u64, f64)])
 where
-    S: SharedSketch + Snapshottable + Send,
+    S: SharedSketch + Snapshottable + Reseedable + Send,
 {
     let total_mass: f64 = updates.iter().map(|&(_, d)| d).sum();
     let total_updates = updates.len() as u64;
