@@ -24,7 +24,12 @@
 //!   to the counter-space numbers is the measured price of
 //!   adaptive-adversary robustness;
 //! * **window heavy-hitter scans** — full-universe sweeps over the
-//!   window plane (full mode only; scans/sec).
+//!   window plane (full mode only; scans/sec);
+//! * **multi-tenant fabric serving** — the same stream fanned across
+//!   a `bas_server::Fabric` at 4 / 16 / 64 tenants (each tenant its
+//!   own seed, four shards): ingest items/sec through admission
+//!   control and point queries/sec through request dispatch. The gap
+//!   to the single-engine numbers is the fabric's per-request tax.
 //!
 //! Throughput numbers are *reported*; the **exactness gates are
 //! asserted** in every mode: after the stream drains, the pinned
@@ -41,6 +46,8 @@ use bas_bench::report::BenchReport;
 use bas_data::TimestampedStreamGen;
 use bas_hash::SeedSchedule;
 use bas_serve::{QueryEngine, RotatingEngine, Sliding, WindowSnapshot};
+use bas_server::wire::{IngestFrame, PointQuery, TenantRef};
+use bas_server::{Fabric, FabricConfig, Request, Response, TenantSpec};
 use bas_sketch::{AtomicCountMedian, CountMedian, PointQuerySketch, SketchParams};
 use bas_stream::drive_timestamped;
 use std::hint::black_box;
@@ -304,6 +311,74 @@ fn main() {
             "heavy-hitter-scan/window",
             "scans_per_sec",
             scans as f64 / secs,
+        );
+    }
+
+    // ---- multi-tenant fabric serving at 4 / 16 / 64 tenants ----
+    // Each tenant gets its own seed (hash isolation); the stream is
+    // fanned round-robin in CHUNK-sized ingest frames through the
+    // fabric's admission path, then queried round-robin through
+    // request dispatch.
+    for &tenants in &[4u64, 16, 64] {
+        let mut fabric = Fabric::new(FabricConfig::new(params.clone()).with_workers(workers));
+        for shard in 0..4 {
+            fabric.add_shard(shard, 1.0).expect("fresh shard id");
+        }
+        for tenant in 0..tenants {
+            fabric
+                .register_tenant(TenantSpec::frequency(tenant, 1_000 + tenant))
+                .expect("fresh tenant id");
+        }
+
+        let t = Instant::now();
+        for (i, chunk) in stream.chunks(CHUNK).enumerate() {
+            let updates: Vec<(u64, f64)> = chunk.iter().map(|u| (u.item, u.delta)).collect();
+            let frame = IngestFrame {
+                tenant: i as u64 % tenants,
+                updates,
+            };
+            match fabric.handle(Request::Ingest(frame)) {
+                Response::Admitted(_) => {}
+                other => panic!("fabric refused ingest: {other:?}"),
+            }
+        }
+        for tenant in 0..tenants {
+            fabric.handle(Request::Flush(TenantRef { tenant }));
+        }
+        let fabric_ingest = total_updates / t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut item = 0xBEEFu64;
+        let mut acc = 0.0;
+        for q in 0..queries {
+            item = item.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let query = PointQuery {
+                tenant: q as u64 % tenants,
+                item: item % n,
+            };
+            match fabric.handle(Request::Point(query)) {
+                Response::Value(v) => acc += v.value,
+                other => panic!("fabric refused query: {other:?}"),
+            }
+        }
+        black_box(acc);
+        let fabric_qps = queries as f64 / t.elapsed().as_secs_f64();
+
+        println!(
+            "  fabric x{tenants}: ingest {:.2} M items/s, point queries {:.2} M qps \
+             (4 shards, per-tenant seeds)",
+            fabric_ingest / 1e6,
+            fabric_qps / 1e6
+        );
+        report.record(
+            &format!("fabric/ingest/{tenants}-tenants"),
+            "items_per_sec",
+            fabric_ingest,
+        );
+        report.record(
+            &format!("fabric/queries/{tenants}-tenants"),
+            "queries_per_sec",
+            fabric_qps,
         );
     }
 

@@ -29,7 +29,9 @@
 //! "Query plane" section says which read mode fits which query.
 
 use bas_sketch::storage::EpochCounter;
-use bas_sketch::{PointQuerySketch, Reseedable, SharedSketch, Snapshottable};
+use bas_sketch::{
+    AbsorbPlane, MergeError, PointQuerySketch, Reseedable, SharedSketch, Snapshottable,
+};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -202,6 +204,34 @@ impl<S: Snapshottable> EpochSketch<S> {
             }
             std::thread::yield_now();
         }
+    }
+}
+
+impl<S: AbsorbPlane> EpochSketch<S> {
+    /// Absorbs a transferred cumulative counter plane into the live
+    /// sketch inside **one write section**, advancing the stream
+    /// position by the updates/mass the plane represents — the
+    /// destination half of a tenant rebalance. Epoch-consistent readers
+    /// either see the sketch entirely without the plane or entirely
+    /// with it, with `applied()`/`mass()` matching either way.
+    ///
+    /// Must not race another write section: the caller serializes it
+    /// against flushes exactly as ingest drivers do (overlap is a hard
+    /// error in [`EpochCounter::begin_write`]).
+    ///
+    /// # Errors
+    /// Propagates the sketch's [`AbsorbPlane`] rejection (e.g.
+    /// conservative-update Count-Min) with the counters untouched.
+    pub fn absorb_plane(
+        &self,
+        plane: &S::Snapshot,
+        applied: u64,
+        mass: f64,
+    ) -> Result<(), MergeError> {
+        let _guard = EpochGuard::enter(&self.epoch);
+        self.sketch.absorb_plane_shared(plane)?;
+        SharedSketch::note_applied(self, applied, mass);
+        Ok(())
     }
 }
 

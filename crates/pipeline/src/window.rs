@@ -36,7 +36,7 @@
 use crate::concurrent::ConcurrentIngest;
 use crate::epoch::EpochHandle;
 use bas_sketch::storage::PlaneBank;
-use bas_sketch::{Reseedable, SharedSketch, Snapshottable};
+use bas_sketch::{AbsorbPlane, Reseedable, SharedSketch, Snapshottable};
 use bas_stream::StreamUpdate;
 
 /// A concurrent ingester with interval rotation: the write side of a
@@ -172,6 +172,90 @@ impl<S: SharedSketch + Snapshottable + Reseedable + Send> WindowedIngest<S> {
     pub fn finish(mut self) -> (EpochHandle<S>, PlaneBank<S::Snapshot>) {
         self.ingest.flush();
         (self.ingest.finish(), self.bank)
+    }
+
+    // ---- plane transfer (tenant rebalance by linearity) ----
+
+    /// Absorbs a transferred **cumulative** plane into the live sketch:
+    /// the buffered tail is flushed first, then the plane is added
+    /// cell-wise inside one epoch write section
+    /// ([`EpochSketch::absorb_plane`](crate::EpochSketch::absorb_plane)),
+    /// advancing `applied()`/`mass()` by what the plane represents. By
+    /// linearity, a freshly built same-seed ingester that absorbs a
+    /// shipped plane serves every later query bit-for-bit as the plane's
+    /// source would have (integer-delta streams).
+    ///
+    /// # Errors
+    /// Propagates the sketch's [`AbsorbPlane`] rejection with the
+    /// counters untouched.
+    pub fn absorb_cumulative(
+        &mut self,
+        plane: &S::Snapshot,
+        applied: u64,
+        mass: f64,
+    ) -> Result<(), bas_sketch::MergeError>
+    where
+        S: AbsorbPlane,
+    {
+        self.ingest.flush();
+        self.ingest
+            .sketch()
+            .shared()
+            .absorb_plane(plane, applied, mass)
+    }
+
+    /// Restores one sealed cumulative plane into the bank — the
+    /// destination half of shipping a windowed tenant: seals arrive
+    /// oldest-first with their original `(interval, applied, mass)`
+    /// bookkeeping, so window subtraction on the rebuilt ingester is
+    /// bit-for-bit the source's.
+    ///
+    /// # Panics
+    /// Panics if `interval` does not advance past the bank's latest
+    /// seal (the bank's monotonicity invariant).
+    pub fn restore_seal(&mut self, interval: u64, plane: S::Snapshot, applied: u64, mass: f64) {
+        let config = self.ingest.sketch().config();
+        let incoming = std::cell::RefCell::new(Some(plane));
+        self.bank.seal_with(
+            interval,
+            config,
+            || {
+                incoming
+                    .borrow_mut()
+                    .take()
+                    .expect("make runs at most once")
+            },
+            |slot| {
+                // A recycled slot skips `make`; overwrite it instead.
+                if let Some(p) = incoming.borrow_mut().take() {
+                    *slot = p;
+                }
+                (applied, mass)
+            },
+        );
+    }
+
+    /// Fast-forwards the current interval id after restoring seals —
+    /// transfers resume exactly where the source stopped, so interval
+    /// arithmetic (window boundaries) is preserved.
+    ///
+    /// # Panics
+    /// Panics if `interval` moves backwards, or does not lie strictly
+    /// past the latest restored seal.
+    pub fn restore_interval(&mut self, interval: u64) {
+        assert!(
+            interval >= self.interval,
+            "interval may only move forward: {interval} < {}",
+            self.interval
+        );
+        if let Some(latest) = self.bank.latest() {
+            assert!(
+                interval > latest.interval(),
+                "current interval {interval} must lie past the latest seal {}",
+                latest.interval()
+            );
+        }
+        self.interval = interval;
     }
 
     // ---- read side / bookkeeping (`&self`) ----
@@ -310,6 +394,124 @@ mod tests {
         assert!(ingest.bank().is_empty());
         assert_eq!(ingest.interval(), 1);
         assert_eq!(ingest.applied(), 200);
+    }
+
+    #[test]
+    fn transfer_rebuilds_a_windowed_ingester_bit_for_bit() {
+        // Source: 3 sealed intervals + a live tail.
+        let mut source = WindowedIngest::new(2, AtomicCountMedian::with_backend(&params()), 4);
+        for t in 0..3u64 {
+            source.extend_from_slice(&interval_stream(t, 500));
+            source.advance_interval();
+        }
+        source.extend_from_slice(&interval_stream(3, 250));
+        source.flush();
+
+        // Ship: cumulative plane + every seal + the interval id, as a
+        // destination that never saw an update would receive them.
+        let cumulative = source.shared().pin();
+        let mut dest = WindowedIngest::new(2, AtomicCountMedian::with_backend(&params()), 4);
+        dest.absorb_cumulative(
+            cumulative.snapshot(),
+            cumulative.applied(),
+            cumulative.mass(),
+        )
+        .unwrap();
+        for seal in source.bank().planes() {
+            dest.restore_seal(
+                seal.interval(),
+                seal.plane().clone(),
+                seal.applied(),
+                seal.mass(),
+            );
+        }
+        dest.restore_interval(source.interval());
+
+        assert_eq!(dest.applied(), source.applied());
+        assert_eq!(dest.mass(), source.mass());
+        assert_eq!(dest.interval(), source.interval());
+        assert_eq!(dest.bank().len(), source.bank().len());
+        for j in 0..N {
+            assert_eq!(
+                dest.shared().sketch().estimate(j),
+                source.shared().sketch().estimate(j),
+                "live estimate, item {j}"
+            );
+        }
+        // Window subtraction agrees too: sealed(1)..live on both sides.
+        let mut src_win = source.shared().pin().into_snapshot();
+        source
+            .shared()
+            .subtract_snapshot(&mut src_win, source.bank().sealed(1).unwrap().plane())
+            .unwrap();
+        let mut dst_win = dest.shared().pin().into_snapshot();
+        dest.shared()
+            .subtract_snapshot(&mut dst_win, dest.bank().sealed(1).unwrap().plane())
+            .unwrap();
+        for j in 0..N {
+            assert_eq!(
+                dest.shared().estimate_in(&dst_win, j),
+                source.shared().estimate_in(&src_win, j),
+                "window estimate, item {j}"
+            );
+        }
+        // Both sides keep rotating in lockstep afterwards.
+        let more = interval_stream(4, 300);
+        source.extend_from_slice(&more);
+        dest.extend_from_slice(&more);
+        assert_eq!(source.advance_interval(), dest.advance_interval());
+        assert_eq!(
+            dest.bank().latest().unwrap().applied(),
+            source.bank().latest().unwrap().applied()
+        );
+    }
+
+    #[test]
+    fn restore_seal_overwrites_recycled_slots() {
+        // Fill a capacity-2 bank, then restore two more seals so both
+        // paths (fresh alloc and pop_front recycle) run the overwrite.
+        let mut ingest = WindowedIngest::new(2, AtomicCountMedian::with_backend(&params()), 2);
+        ingest.extend_from_slice(&interval_stream(0, 100));
+        ingest.advance_interval();
+        ingest.extend_from_slice(&interval_stream(1, 100));
+        ingest.advance_interval();
+
+        let donor = {
+            let mut d = WindowedIngest::new(2, AtomicCountMedian::with_backend(&params()), 2);
+            d.extend_from_slice(&interval_stream(7, 400));
+            d.advance_interval();
+            d
+        };
+        let seal = donor.bank().sealed(0).unwrap();
+        ingest.restore_seal(5, seal.plane().clone(), seal.applied(), seal.mass());
+        assert_eq!(ingest.bank().latest().unwrap().interval(), 5);
+        assert_eq!(ingest.bank().latest().unwrap().applied(), 400);
+        for j in (0..N).step_by(17) {
+            assert_eq!(
+                ingest
+                    .shared()
+                    .estimate_in(ingest.bank().sealed(5).unwrap().plane(), j),
+                donor.shared().estimate_in(seal.plane(), j),
+                "item {j}"
+            );
+        }
+        ingest.restore_interval(9);
+        assert_eq!(ingest.interval(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie past the latest seal")]
+    fn restore_interval_rejects_ids_at_or_before_the_latest_seal() {
+        let mut ingest = WindowedIngest::new(2, AtomicCountMedian::with_backend(&params()), 2);
+        ingest.extend_from_slice(&interval_stream(0, 50));
+        ingest.advance_interval();
+        ingest.restore_seal(
+            6,
+            ingest.bank().sealed(0).unwrap().plane().clone(),
+            50,
+            50.0,
+        );
+        ingest.restore_interval(6);
     }
 
     #[test]

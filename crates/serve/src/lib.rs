@@ -112,8 +112,8 @@ pub use window::WindowSnapshot;
 
 use bas_pipeline::{EpochHandle, SnapshotHandle, WindowedIngest};
 use bas_sketch::{
-    CountSketch, CounterBackend, HeavyHitter, MergeError, PointQuerySketch, RangeSumSketch,
-    Reseedable, SharedSketch, Snapshottable,
+    AbsorbPlane, CountSketch, CounterBackend, HeavyHitter, MergeError, PointQuerySketch,
+    RangeSumSketch, Reseedable, SharedSketch, Snapshottable,
 };
 use bas_stream::StreamUpdate;
 
@@ -345,17 +345,18 @@ impl<S: SharedSketch + Snapshottable + Reseedable + Send, P: ServingPolicy> Quer
     pub fn sketch(&self) -> &S {
         self.ingest.shared().sketch()
     }
-}
 
-// ---- windowed serving (Tumbling / Sliding policies only) ----
-
-impl<S: SharedSketch + Snapshottable + Reseedable + Send, P: WindowPolicy> QueryEngine<S, P> {
     /// Closes the current interval: flushes the buffered tail, seals
     /// the cumulative plane into the rotating bank (recycling the
     /// oldest slot allocation-free), and starts the next interval.
     /// Returns the id of the interval just sealed. Drive it from a
     /// wall-clock tick, a [`bas_stream::drive_timestamped`] boundary
     /// callback, or any other notion of time.
+    ///
+    /// Under [`Unbounded`] the bank retains nothing, so this is a
+    /// flush plus interval bookkeeping — the hook a serving fabric
+    /// uses to rotate per-tenant admission quotas uniformly across
+    /// windowed and since-boot tenants.
     pub fn advance_interval(&mut self) -> u64 {
         self.ingest.advance_interval()
     }
@@ -365,6 +366,54 @@ impl<S: SharedSketch + Snapshottable + Reseedable + Send, P: WindowPolicy> Query
         self.ingest.interval()
     }
 
+    // ---- plane transfer (tenant rebalance by linearity) ----
+
+    /// The bank of sealed cumulative planes (empty under
+    /// [`Unbounded`]) — read it to ship a windowed tenant's seals to
+    /// another host.
+    pub fn bank(&self) -> &bas_sketch::PlaneBank<S::Snapshot> {
+        self.ingest.bank()
+    }
+
+    /// Absorbs a transferred **cumulative** plane into the live sketch
+    /// by linearity (see
+    /// [`WindowedIngest::absorb_cumulative`]): a freshly built
+    /// same-seed engine that absorbs a shipped plane answers every
+    /// later query bit-for-bit as the source would have (integer-delta
+    /// streams).
+    ///
+    /// # Errors
+    /// Propagates the sketch's [`bas_sketch::AbsorbPlane`] rejection
+    /// with the counters untouched.
+    pub fn absorb_cumulative(
+        &mut self,
+        plane: &S::Snapshot,
+        applied: u64,
+        mass: f64,
+    ) -> Result<(), MergeError>
+    where
+        S: AbsorbPlane,
+    {
+        self.ingest.absorb_cumulative(plane, applied, mass)
+    }
+
+    /// Restores one sealed plane into the bank with its original
+    /// bookkeeping (see [`WindowedIngest::restore_seal`]); seals must
+    /// arrive oldest-first.
+    pub fn restore_seal(&mut self, interval: u64, plane: S::Snapshot, applied: u64, mass: f64) {
+        self.ingest.restore_seal(interval, plane, applied, mass);
+    }
+
+    /// Fast-forwards the interval id after restoring seals (see
+    /// [`WindowedIngest::restore_interval`]).
+    pub fn restore_interval(&mut self, interval: u64) {
+        self.ingest.restore_interval(interval);
+    }
+}
+
+// ---- windowed serving (Tumbling / Sliding policies only) ----
+
+impl<S: SharedSketch + Snapshottable + Reseedable + Send, P: WindowPolicy> QueryEngine<S, P> {
     /// Flushes the remainder and returns the shared sketch handle
     /// **plus the bank of sealed planes** — the windowed counterpart
     /// of [`finish`](QueryEngine::finish), which drops the bank and

@@ -1,0 +1,62 @@
+//! The per-connection request loop and its client-side mirror.
+//!
+//! Transport-agnostic: both ends speak through any `Read`/`Write`
+//! pair (a TCP stream, a unix socket, or — as the test planes do — an
+//! in-memory byte buffer). The server loop upholds the protocol's
+//! one-response-per-request invariant even for malformed input:
+//! recoverable wire errors (oversized or corrupt frames) are answered
+//! with a `protocol` [`ErrorReply`] frame and the loop continues in
+//! sync; only truncation and I/O failures drop the connection.
+
+use crate::fabric::Fabric;
+use crate::wire::{read_frame, write_frame, ErrorReply, Request, Response, WireError};
+use std::io::{Read, Write};
+
+/// Serves requests from `reader`, writing one response per frame to
+/// `writer`, until clean end-of-stream. Returns the number of frames
+/// answered (including error replies to recoverable protocol abuse).
+///
+/// # Errors
+/// Only fatal wire errors ([`WireError::Truncated`] /
+/// [`WireError::Io`]) — the stream position is unknown, so the
+/// connection must drop. Recoverable errors were already answered.
+pub fn serve_connection<R: Read, W: Write>(
+    fabric: &mut Fabric,
+    reader: &mut R,
+    writer: &mut W,
+    max_frame_bytes: usize,
+) -> Result<u64, WireError> {
+    let mut answered = 0u64;
+    loop {
+        let response = match read_frame::<R, Request>(reader, max_frame_bytes) {
+            Ok(None) => return Ok(answered),
+            Ok(Some(req)) => fabric.handle(req),
+            Err(e) if e.is_recoverable() => {
+                Response::Error(ErrorReply::new("protocol", e.to_string()))
+            }
+            Err(e) => return Err(e),
+        };
+        write_frame(writer, &response)?;
+        answered += 1;
+    }
+}
+
+/// Client-side call: writes one request frame and reads the matching
+/// response frame.
+///
+/// # Errors
+/// Any [`WireError`], including [`WireError::Truncated`] when the
+/// server closed the stream without answering.
+pub fn call<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    req: &Request,
+    max_frame_bytes: usize,
+) -> Result<Response, WireError> {
+    write_frame(writer, req)?;
+    writer.flush()?;
+    read_frame::<R, Response>(reader, max_frame_bytes)?.ok_or(WireError::Truncated {
+        expected: 4,
+        got: 0,
+    })
+}

@@ -1,0 +1,595 @@
+//! Per-tenant engine slots: one `QueryEngine`/`RotatingEngine` per
+//! tenant×metric, dispatched over the closed set of serving shapes the
+//! wire protocol's [`TenantSpec`] can name.
+//!
+//! The fabric stores tenants as [`EngineSlot`]s; everything
+//! engine-shaped (sketch family × serving policy × audit) is resolved
+//! here, so `fabric.rs` only speaks in terms of tenants and requests.
+
+use crate::wire::{
+    ErrorReply, MetricKind, SealFrame, ServingMode, TenantSpec, TenantTransfer, WindowLen,
+};
+use bas_hash::SeedSchedule;
+use bas_serve::{
+    AuditPolicy, AuditedHandle, QueryEngine, QueryError, RotatingEngine, Sliding, Tumbling,
+    Unbounded,
+};
+use bas_sketch::{
+    Atomic, AtomicCountMedian, CounterMatrix, Dense, HeavyHitter, RangeSumSketch, Reseedable,
+    SketchParams,
+};
+
+type FreqEngine<P> = QueryEngine<AtomicCountMedian, P>;
+type RangeEngine<P> = QueryEngine<RangeSumSketch<Atomic>, P>;
+
+/// The closed set of engine shapes a [`TenantSpec`] can ask for.
+#[derive(Debug)]
+pub(crate) enum TenantEngine {
+    FreqUnbounded(FreqEngine<Unbounded>),
+    FreqTumbling(FreqEngine<Tumbling>),
+    FreqSliding(FreqEngine<Sliding>),
+    RangeUnbounded(RangeEngine<Unbounded>),
+    RangeTumbling(RangeEngine<Tumbling>),
+    RangeSliding(RangeEngine<Sliding>),
+    /// The seed-rotating robustness plane; window-scoped only and
+    /// pinned to its shard (generations carry heterogeneous seeds, so
+    /// its planes are not one linear transfer).
+    Rotating(Box<RotatingEngine<AtomicCountMedian>>),
+}
+
+/// Dispatches over the six `QueryEngine` variants with one body and
+/// the rotating variant with another.
+macro_rules! dispatch {
+    ($slot:expr, $e:ident => $body:expr, $rot:ident => $rot_body:expr) => {
+        match $slot {
+            TenantEngine::FreqUnbounded($e) => $body,
+            TenantEngine::FreqTumbling($e) => $body,
+            TenantEngine::FreqSliding($e) => $body,
+            TenantEngine::RangeUnbounded($e) => $body,
+            TenantEngine::RangeTumbling($e) => $body,
+            TenantEngine::RangeSliding($e) => $body,
+            TenantEngine::Rotating($rot) => $rot_body,
+        }
+    };
+}
+
+/// Dispatches over the windowed (`Tumbling`/`Sliding`) variants only.
+macro_rules! dispatch_windowed {
+    ($slot:expr, $e:ident => $body:expr, else => $other:expr) => {
+        match $slot {
+            TenantEngine::FreqTumbling($e) => $body,
+            TenantEngine::FreqSliding($e) => $body,
+            TenantEngine::RangeTumbling($e) => $body,
+            TenantEngine::RangeSliding($e) => $body,
+            _ => $other,
+        }
+    };
+}
+
+/// One tenant's serving state: the engine plus the optional audited
+/// point-query handles its spec asked for.
+#[derive(Debug)]
+pub(crate) struct EngineSlot {
+    engine: TenantEngine,
+    audit_freq: Option<AuditedHandle<AtomicCountMedian>>,
+    audit_range: Option<AuditedHandle<RangeSumSketch<Atomic>>>,
+}
+
+fn query_error(tenant: u64, e: QueryError) -> ErrorReply {
+    let code = match e {
+        QueryError::AuditRejected { .. } => "audit_rejected",
+        _ => "bad_query",
+    };
+    ErrorReply::new(code, format!("tenant {tenant}: {e}"))
+}
+
+fn unsupported(tenant: u64, what: &str) -> ErrorReply {
+    ErrorReply::new("unsupported", format!("tenant {tenant}: {what}"))
+}
+
+fn hh_pairs(items: Vec<HeavyHitter>) -> Vec<(u64, f64)> {
+    items.into_iter().map(|h| (h.item, h.estimate)).collect()
+}
+
+fn window_len(tenant: u64, len: WindowLen) -> Result<usize, ErrorReply> {
+    if len.intervals == 0 {
+        return Err(ErrorReply::new(
+            "bad_query",
+            format!("tenant {tenant}: window length must be at least 1 interval"),
+        ));
+    }
+    usize::try_from(len.intervals).map_err(|_| {
+        ErrorReply::new(
+            "bad_query",
+            format!("tenant {tenant}: window length {} overflows", len.intervals),
+        )
+    })
+}
+
+impl EngineSlot {
+    /// Builds a fresh (empty) engine for `spec`, shaped by the
+    /// fabric's parameter template reseeded with the tenant's seed.
+    /// The engine's internal flush threshold is pinned to the spec's
+    /// queue capacity, so the buffered backlog can never exceed the
+    /// admission bound even without an explicit flush.
+    pub(crate) fn build(
+        spec: &TenantSpec,
+        template: SketchParams,
+        workers: usize,
+    ) -> Result<Self, ErrorReply> {
+        let tenant = spec.tenant;
+        if spec.queue_capacity == 0 || spec.interval_quota == 0 {
+            return Err(ErrorReply::new(
+                "bad_query",
+                format!("tenant {tenant}: queue capacity and interval quota must be at least 1"),
+            ));
+        }
+        let params = template.with_seed(spec.seed);
+        let threshold = usize::try_from(spec.queue_capacity).unwrap_or(usize::MAX);
+        let engine = match (spec.metric, spec.mode) {
+            (MetricKind::Frequency, ServingMode::Unbounded) => TenantEngine::FreqUnbounded(
+                QueryEngine::with_policy(
+                    workers,
+                    AtomicCountMedian::with_backend(&params),
+                    Unbounded,
+                )
+                .with_flush_threshold(threshold),
+            ),
+            (MetricKind::Frequency, ServingMode::Tumbling(len)) => {
+                let policy =
+                    Tumbling::new(window_len(tenant, len)?).map_err(|e| query_error(tenant, e))?;
+                TenantEngine::FreqTumbling(
+                    QueryEngine::with_policy(
+                        workers,
+                        AtomicCountMedian::with_backend(&params),
+                        policy,
+                    )
+                    .with_flush_threshold(threshold),
+                )
+            }
+            (MetricKind::Frequency, ServingMode::Sliding(len)) => {
+                let policy =
+                    Sliding::new(window_len(tenant, len)?).map_err(|e| query_error(tenant, e))?;
+                TenantEngine::FreqSliding(
+                    QueryEngine::with_policy(
+                        workers,
+                        AtomicCountMedian::with_backend(&params),
+                        policy,
+                    )
+                    .with_flush_threshold(threshold),
+                )
+            }
+            (MetricKind::Frequency, ServingMode::Rotating(len)) => {
+                let mut rotating = RotatingEngine::new(
+                    workers,
+                    AtomicCountMedian::with_backend(&params),
+                    SeedSchedule::new(spec.seed),
+                    window_len(tenant, len)?,
+                )
+                .map_err(|e| query_error(tenant, e))?
+                .with_flush_threshold(threshold);
+                if spec.audit_limit > 0 {
+                    rotating = rotating.with_audit(AuditPolicy::new(spec.audit_limit));
+                }
+                TenantEngine::Rotating(Box::new(rotating))
+            }
+            (MetricKind::RangeSum, ServingMode::Unbounded) => TenantEngine::RangeUnbounded(
+                QueryEngine::with_policy(
+                    workers,
+                    RangeSumSketch::<Atomic>::with_backend(&params),
+                    Unbounded,
+                )
+                .with_flush_threshold(threshold),
+            ),
+            (MetricKind::RangeSum, ServingMode::Tumbling(len)) => {
+                let policy =
+                    Tumbling::new(window_len(tenant, len)?).map_err(|e| query_error(tenant, e))?;
+                TenantEngine::RangeTumbling(
+                    QueryEngine::with_policy(
+                        workers,
+                        RangeSumSketch::<Atomic>::with_backend(&params),
+                        policy,
+                    )
+                    .with_flush_threshold(threshold),
+                )
+            }
+            (MetricKind::RangeSum, ServingMode::Sliding(len)) => {
+                let policy =
+                    Sliding::new(window_len(tenant, len)?).map_err(|e| query_error(tenant, e))?;
+                TenantEngine::RangeSliding(
+                    QueryEngine::with_policy(
+                        workers,
+                        RangeSumSketch::<Atomic>::with_backend(&params),
+                        policy,
+                    )
+                    .with_flush_threshold(threshold),
+                )
+            }
+            (MetricKind::RangeSum, ServingMode::Rotating(_)) => {
+                return Err(unsupported(
+                    tenant,
+                    "rotating serving is frequency-metric only",
+                ))
+            }
+        };
+        let mut slot = Self {
+            engine,
+            audit_freq: None,
+            audit_range: None,
+        };
+        if spec.audit_limit > 0 {
+            let policy = AuditPolicy::new(spec.audit_limit);
+            match &slot.engine {
+                TenantEngine::FreqUnbounded(e) => {
+                    slot.audit_freq = Some(e.handle().audited(policy))
+                }
+                TenantEngine::FreqTumbling(e) => slot.audit_freq = Some(e.handle().audited(policy)),
+                TenantEngine::FreqSliding(e) => slot.audit_freq = Some(e.handle().audited(policy)),
+                TenantEngine::RangeUnbounded(e) => {
+                    slot.audit_range = Some(e.handle().audited(policy))
+                }
+                TenantEngine::RangeTumbling(e) => {
+                    slot.audit_range = Some(e.handle().audited(policy))
+                }
+                TenantEngine::RangeSliding(e) => {
+                    slot.audit_range = Some(e.handle().audited(policy))
+                }
+                TenantEngine::Rotating(_) => {} // audited inside the rotating engine
+            }
+        }
+        Ok(slot)
+    }
+
+    // ---- write path ----
+
+    pub(crate) fn extend_from_slice(&mut self, updates: &[(u64, f64)]) {
+        dispatch!(&mut self.engine, e => e.extend_from_slice(updates),
+                  r => r.extend_from_slice(updates));
+    }
+
+    /// Flushes the buffered backlog; returns the applied count.
+    pub(crate) fn flush(&mut self) -> u64 {
+        dispatch!(&mut self.engine, e => { e.flush(); e.applied() },
+                  r => { r.flush(); r.window_applied() })
+    }
+
+    /// Closes the interval (flush + seal + audit reset); returns the
+    /// sealed interval id.
+    pub(crate) fn advance_interval(&mut self) -> u64 {
+        let sealed = dispatch!(&mut self.engine, e => e.advance_interval(),
+                               r => r.advance_interval());
+        // Audit budgets are per plane lifetime: rotation renews them.
+        if let Some(a) = &self.audit_freq {
+            a.reset();
+        }
+        if let Some(a) = &self.audit_range {
+            a.reset();
+        }
+        sealed
+    }
+
+    // ---- bookkeeping ----
+
+    pub(crate) fn pending(&self) -> u64 {
+        dispatch!(&self.engine, e => e.pending() as u64, r => r.pending() as u64)
+    }
+
+    pub(crate) fn applied(&self) -> u64 {
+        dispatch!(&self.engine, e => e.applied(), r => r.window_applied())
+    }
+
+    pub(crate) fn mass(&self) -> f64 {
+        dispatch!(&self.engine, e => e.mass(), r => r.window_mass())
+    }
+
+    pub(crate) fn interval(&self) -> u64 {
+        dispatch!(&self.engine, e => e.interval(), r => r.interval())
+    }
+
+    pub(crate) fn universe(&self) -> u64 {
+        dispatch!(&self.engine, e => e.sketch().config().n, r => r.live().config().n)
+    }
+
+    // ---- queries ----
+
+    /// Since-boot point estimate (window-scoped for rotating tenants,
+    /// which retain no since-boot state by design). Audited when the
+    /// spec asked for it.
+    pub(crate) fn point(&self, tenant: u64, item: u64) -> Result<f64, ErrorReply> {
+        if let Some(audit) = &self.audit_freq {
+            return audit
+                .estimate_live(item)
+                .map_err(|e| query_error(tenant, e));
+        }
+        if let Some(audit) = &self.audit_range {
+            return audit
+                .estimate_live(item)
+                .map_err(|e| query_error(tenant, e));
+        }
+        dispatch!(&self.engine, e => Ok(e.estimate_live(item)),
+                  r => r.audited_window_estimate(item).map_err(|e| query_error(tenant, e)))
+    }
+
+    /// Point estimate within the tenant's current window.
+    pub(crate) fn window_point(&self, tenant: u64, item: u64) -> Result<f64, ErrorReply> {
+        if let TenantEngine::Rotating(r) = &self.engine {
+            return r
+                .audited_window_estimate(item)
+                .map_err(|e| query_error(tenant, e));
+        }
+        dispatch_windowed!(&self.engine, e => Ok(e.point_in_window(item)),
+            else => Err(unsupported(tenant, "unbounded tenants serve no window queries")))
+    }
+
+    /// Since-boot heavy hitters (window-scoped for rotating tenants).
+    pub(crate) fn heavy_hitters(
+        &self,
+        tenant: u64,
+        phi: f64,
+    ) -> Result<Vec<(u64, f64)>, ErrorReply> {
+        dispatch!(&self.engine,
+            e => e.try_heavy_hitters(phi).map(hh_pairs).map_err(|e| query_error(tenant, e)),
+            r => r.window_heavy_hitters(phi).map(hh_pairs).map_err(|e| query_error(tenant, e)))
+    }
+
+    /// Heavy hitters within the tenant's current window.
+    pub(crate) fn window_heavy_hitters(
+        &self,
+        tenant: u64,
+        phi: f64,
+    ) -> Result<Vec<(u64, f64)>, ErrorReply> {
+        if let TenantEngine::Rotating(r) = &self.engine {
+            return r
+                .window_heavy_hitters(phi)
+                .map(hh_pairs)
+                .map_err(|e| query_error(tenant, e));
+        }
+        dispatch_windowed!(&self.engine,
+            e => e.heavy_hitters_in_window(phi).map(hh_pairs).map_err(|e| query_error(tenant, e)),
+            else => Err(unsupported(tenant, "unbounded tenants serve no window queries")))
+    }
+
+    /// Since-boot range sum (range-sum tenants only).
+    pub(crate) fn range_sum(&self, tenant: u64, lo: u64, hi: u64) -> Result<f64, ErrorReply> {
+        match &self.engine {
+            TenantEngine::RangeUnbounded(e) => checked_range_sum(tenant, e, lo, hi),
+            TenantEngine::RangeTumbling(e) => checked_range_sum(tenant, e, lo, hi),
+            TenantEngine::RangeSliding(e) => checked_range_sum(tenant, e, lo, hi),
+            _ => Err(unsupported(tenant, "range sums need a range-sum tenant")),
+        }
+    }
+
+    /// Range sum within the tenant's current window.
+    pub(crate) fn window_range_sum(
+        &self,
+        tenant: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<f64, ErrorReply> {
+        match &self.engine {
+            TenantEngine::RangeTumbling(e) => e
+                .range_sum_in_window(lo, hi)
+                .map_err(|e| query_error(tenant, e)),
+            TenantEngine::RangeSliding(e) => e
+                .range_sum_in_window(lo, hi)
+                .map_err(|e| query_error(tenant, e)),
+            TenantEngine::RangeUnbounded(_) => Err(unsupported(
+                tenant,
+                "unbounded tenants serve no window queries",
+            )),
+            _ => Err(unsupported(tenant, "range sums need a range-sum tenant")),
+        }
+    }
+
+    // ---- rebalance (export / install by linearity) ----
+
+    /// Seals the tenant's state into a wire-shippable transfer: the
+    /// cumulative plane(s), every retained seal, and the stream
+    /// position. Rotating tenants refuse — their generations carry
+    /// heterogeneous seeds, so no single linear merge rebuilds them.
+    pub(crate) fn export(
+        &mut self,
+        spec: TenantSpec,
+        params: SketchParams,
+    ) -> Result<TenantTransfer, ErrorReply> {
+        match &mut self.engine {
+            TenantEngine::Rotating(_) => Err(unsupported(
+                spec.tenant,
+                "rotating tenants are pinned to their shard",
+            )),
+            TenantEngine::FreqUnbounded(e) => export_freq(e, spec, params),
+            TenantEngine::FreqTumbling(e) => export_freq(e, spec, params),
+            TenantEngine::FreqSliding(e) => export_freq(e, spec, params),
+            TenantEngine::RangeUnbounded(e) => export_range(e, spec, params),
+            TenantEngine::RangeTumbling(e) => export_range(e, spec, params),
+            TenantEngine::RangeSliding(e) => export_range(e, spec, params),
+        }
+    }
+
+    /// Rebuilds a tenant from a transfer: fresh engine from the seed,
+    /// absorb the cumulative plane by linearity, restore the seals and
+    /// the interval id. Bit-for-bit with the exporting engine on
+    /// integer-delta streams.
+    pub(crate) fn install(
+        transfer: &TenantTransfer,
+        template: SketchParams,
+        workers: usize,
+    ) -> Result<Self, ErrorReply> {
+        let tenant = transfer.spec.tenant;
+        let expected = template.with_seed(transfer.spec.seed);
+        if transfer.params != expected {
+            return Err(ErrorReply::new(
+                "incompatible",
+                format!("tenant {tenant}: transfer params do not match this fabric's template"),
+            ));
+        }
+        let mut slot = Self::build(&transfer.spec, template, workers)?;
+        let absorb = |what: &str, r: Result<(), bas_sketch::MergeError>| {
+            r.map_err(|e| ErrorReply::new("incompatible", format!("tenant {tenant}: {what}: {e}")))
+        };
+        match &mut slot.engine {
+            TenantEngine::Rotating(_) => {
+                return Err(unsupported(
+                    tenant,
+                    "rotating tenants are pinned to their shard",
+                ))
+            }
+            TenantEngine::FreqUnbounded(e) => {
+                let plane = single_plane(tenant, &transfer.cumulative)?;
+                absorb(
+                    "cumulative",
+                    e.absorb_cumulative(plane, transfer.applied, transfer.mass),
+                )?;
+                install_freq_seals(e, tenant, &transfer.seals)?;
+                e.restore_interval(transfer.interval);
+            }
+            TenantEngine::FreqTumbling(e) => {
+                let plane = single_plane(tenant, &transfer.cumulative)?;
+                absorb(
+                    "cumulative",
+                    e.absorb_cumulative(plane, transfer.applied, transfer.mass),
+                )?;
+                install_freq_seals(e, tenant, &transfer.seals)?;
+                e.restore_interval(transfer.interval);
+            }
+            TenantEngine::FreqSliding(e) => {
+                let plane = single_plane(tenant, &transfer.cumulative)?;
+                absorb(
+                    "cumulative",
+                    e.absorb_cumulative(plane, transfer.applied, transfer.mass),
+                )?;
+                install_freq_seals(e, tenant, &transfer.seals)?;
+                e.restore_interval(transfer.interval);
+            }
+            TenantEngine::RangeUnbounded(e) => {
+                absorb(
+                    "cumulative",
+                    e.absorb_cumulative(&transfer.cumulative, transfer.applied, transfer.mass),
+                )?;
+                for seal in &transfer.seals {
+                    e.restore_seal(seal.interval, seal.planes.clone(), seal.applied, seal.mass);
+                }
+                e.restore_interval(transfer.interval);
+            }
+            TenantEngine::RangeTumbling(e) => {
+                absorb(
+                    "cumulative",
+                    e.absorb_cumulative(&transfer.cumulative, transfer.applied, transfer.mass),
+                )?;
+                for seal in &transfer.seals {
+                    e.restore_seal(seal.interval, seal.planes.clone(), seal.applied, seal.mass);
+                }
+                e.restore_interval(transfer.interval);
+            }
+            TenantEngine::RangeSliding(e) => {
+                absorb(
+                    "cumulative",
+                    e.absorb_cumulative(&transfer.cumulative, transfer.applied, transfer.mass),
+                )?;
+                for seal in &transfer.seals {
+                    e.restore_seal(seal.interval, seal.planes.clone(), seal.applied, seal.mass);
+                }
+                e.restore_interval(transfer.interval);
+            }
+        }
+        Ok(slot)
+    }
+
+    /// Whether this tenant can be rebalanced (rotating tenants are
+    /// pinned).
+    pub(crate) fn movable(&self) -> bool {
+        !matches!(self.engine, TenantEngine::Rotating(_))
+    }
+}
+
+fn single_plane<'a>(
+    tenant: u64,
+    planes: &'a [CounterMatrix<f64, Dense>],
+) -> Result<&'a CounterMatrix<f64, Dense>, ErrorReply> {
+    match planes {
+        [one] => Ok(one),
+        other => Err(ErrorReply::new(
+            "incompatible",
+            format!(
+                "tenant {tenant}: frequency transfer must carry exactly 1 plane, got {}",
+                other.len()
+            ),
+        )),
+    }
+}
+
+fn install_freq_seals<P: bas_serve::ServingPolicy>(
+    e: &mut FreqEngine<P>,
+    tenant: u64,
+    seals: &[SealFrame],
+) -> Result<(), ErrorReply> {
+    for seal in seals {
+        let plane = single_plane(tenant, &seal.planes)?;
+        e.restore_seal(seal.interval, plane.clone(), seal.applied, seal.mass);
+    }
+    Ok(())
+}
+
+fn checked_range_sum<P: bas_serve::ServingPolicy>(
+    tenant: u64,
+    e: &RangeEngine<P>,
+    lo: u64,
+    hi: u64,
+) -> Result<f64, ErrorReply> {
+    QueryError::check_range(lo, hi, e.sketch().config().n).map_err(|e| query_error(tenant, e))?;
+    Ok(e.range_sum(lo, hi))
+}
+
+fn export_freq<P: bas_serve::ServingPolicy>(
+    e: &mut FreqEngine<P>,
+    spec: TenantSpec,
+    params: SketchParams,
+) -> Result<TenantTransfer, ErrorReply> {
+    e.flush();
+    let snap = e.pin();
+    Ok(TenantTransfer {
+        spec,
+        params,
+        interval: e.interval(),
+        applied: snap.applied(),
+        mass: snap.mass(),
+        cumulative: vec![snap.snapshot().clone()],
+        seals: e
+            .bank()
+            .planes()
+            .map(|s| SealFrame {
+                interval: s.interval(),
+                applied: s.applied(),
+                mass: s.mass(),
+                planes: vec![s.plane().clone()],
+            })
+            .collect(),
+    })
+}
+
+fn export_range<P: bas_serve::ServingPolicy>(
+    e: &mut RangeEngine<P>,
+    spec: TenantSpec,
+    params: SketchParams,
+) -> Result<TenantTransfer, ErrorReply> {
+    e.flush();
+    let snap = e.pin();
+    Ok(TenantTransfer {
+        spec,
+        params,
+        interval: e.interval(),
+        applied: snap.applied(),
+        mass: snap.mass(),
+        cumulative: snap.snapshot().clone(),
+        seals: e
+            .bank()
+            .planes()
+            .map(|s| SealFrame {
+                interval: s.interval(),
+                applied: s.applied(),
+                mass: s.mass(),
+                planes: s.plane().clone(),
+            })
+            .collect(),
+    })
+}

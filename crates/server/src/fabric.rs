@@ -1,0 +1,520 @@
+//! The multi-tenant serving fabric: shards of per-tenant engines,
+//! placed by the rendezvous ring, fed and queried through the wire
+//! protocol's request/response frames, with admission control and
+//! live rebalance.
+//!
+//! The fabric is the server's single-threaded control plane: every
+//! request funnels through [`Fabric::handle`], which owns placement
+//! lookup, admission (quota → [`Response::Shed`], queue bound →
+//! [`Response::Busy`]), and dispatch into the tenant's engine. The
+//! engines themselves fan ingest across worker shards internally, so
+//! one fabric instance still exercises the concurrent ingest path.
+//!
+//! **Rebalance by linearity.** Moving a tenant ships its counter
+//! planes — never its hashers — through the real wire format
+//! (serialize, frame, deframe, deserialize, with the byte volume
+//! metered on the fabric's [`CommMeter`]). The destination rebuilds
+//! the hashers deterministically from the tenant's seed and absorbs
+//! the planes by linearity, so a moved tenant answers **bit-for-bit**
+//! like one that never moved.
+
+use crate::engine::EngineSlot;
+use crate::placement::PlacementRing;
+use crate::wire::{
+    self, AdmitReceipt, BusyReceipt, ErrorReply, FlushReceipt, HeavyHittersReply, IngestFrame,
+    InstallReceipt, Request, Response, SealReceipt, ShedReceipt, StatsReply, TenantRef, TenantSpec,
+    TenantTransfer, ValueReply,
+};
+use bas_distributed::CommMeter;
+use bas_sketch::SketchParams;
+use std::collections::BTreeMap;
+
+/// Fabric-wide configuration shared by every tenant engine.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Sketch shape template. Each tenant's engine is built from this
+    /// template reseeded with the tenant's own seed, so all tenants
+    /// share a shape (transfers stay compatible) while staying
+    /// hash-isolated.
+    pub params: SketchParams,
+    /// Ingest worker shards per tenant engine.
+    pub workers: usize,
+    /// Per-frame byte cap applied when shipping transfers.
+    pub max_frame_bytes: usize,
+}
+
+impl FabricConfig {
+    /// A config with the given sketch shape, one ingest worker, and
+    /// the default frame cap.
+    pub fn new(params: SketchParams) -> Self {
+        Self {
+            params,
+            workers: 1,
+            max_frame_bytes: wire::MAX_FRAME_BYTES,
+        }
+    }
+
+    /// Sets the ingest worker count per tenant engine.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// One tenant's fabric-side state: spec, quota bookkeeping, engine.
+#[derive(Debug)]
+struct Tenant {
+    spec: TenantSpec,
+    admitted_in_interval: u64,
+    slot: EngineSlot,
+}
+
+/// A record of one tenant move in a [`RebalanceReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantMove {
+    /// The tenant that moved.
+    pub tenant: u64,
+    /// Shard it left.
+    pub from: u64,
+    /// Shard it landed on.
+    pub to: u64,
+}
+
+/// What a shard add/remove did to tenant placement.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceReport {
+    /// Tenants shipped to a new shard, in tenant-id order.
+    pub moved: Vec<TenantMove>,
+    /// Rotating tenants whose ring placement changed but which stayed
+    /// put (they are pinned to their shard).
+    pub pinned: Vec<u64>,
+    /// Wire bytes shipped (each transfer is framed once and counted
+    /// once; the meter records the same volume as upload + download).
+    pub bytes_shipped: u64,
+}
+
+/// The serving fabric: a placement ring over engine shards.
+#[derive(Debug)]
+pub struct Fabric {
+    config: FabricConfig,
+    ring: PlacementRing,
+    /// Tenants per shard (`BTreeMap` for deterministic rebalance
+    /// order).
+    shards: BTreeMap<u64, BTreeMap<u64, Tenant>>,
+    /// Tenant → hosting shard.
+    assignments: BTreeMap<u64, u64>,
+    meter: CommMeter,
+}
+
+fn unknown_tenant(tenant: u64) -> ErrorReply {
+    ErrorReply::new(
+        "unknown_tenant",
+        format!("tenant {tenant} is not registered"),
+    )
+}
+
+impl Fabric {
+    /// An empty fabric (no shards, no tenants).
+    pub fn new(config: FabricConfig) -> Self {
+        Self {
+            config,
+            ring: PlacementRing::new(),
+            shards: BTreeMap::new(),
+            assignments: BTreeMap::new(),
+            meter: CommMeter::new(),
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// The placement ring.
+    pub fn ring(&self) -> &PlacementRing {
+        &self.ring
+    }
+
+    /// The transfer-volume meter (rebalance traffic only; queries and
+    /// ingest handled in-process are not metered).
+    pub fn meter(&self) -> &CommMeter {
+        &self.meter
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The shard currently hosting a tenant.
+    pub fn shard_of(&self, tenant: u64) -> Option<u64> {
+        self.assignments.get(&tenant).copied()
+    }
+
+    /// Tenant ids hosted on a shard, in id order.
+    pub fn tenants_on(&self, shard: u64) -> Vec<u64> {
+        self.shards
+            .get(&shard)
+            .map(|t| t.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    // ---- shard membership ----
+
+    /// Adds a shard with the given capacity weight and rebalances:
+    /// every movable tenant whose ring placement changed is shipped to
+    /// the new shard through the wire format. Rotating tenants stay
+    /// pinned and are listed in the report.
+    ///
+    /// # Errors
+    /// `tenant_exists`-style `ErrorReply` with code `protocol` if the
+    /// shard id is already present or the weight is invalid.
+    pub fn add_shard(&mut self, id: u64, weight: f64) -> Result<RebalanceReport, ErrorReply> {
+        if self.ring.contains(id) {
+            return Err(ErrorReply::new(
+                "protocol",
+                format!("shard {id} is already in the ring"),
+            ));
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(ErrorReply::new(
+                "protocol",
+                format!("shard weight must be positive and finite, got {weight}"),
+            ));
+        }
+        self.ring.add_shard(id, weight);
+        self.shards.entry(id).or_default();
+        self.rebalance_to_ring()
+    }
+
+    /// Removes a shard and rebalances its tenants onto the survivors.
+    ///
+    /// # Errors
+    /// `unsupported` if the shard hosts pinned (rotating) tenants, or
+    /// if it hosts any tenant and no other shard remains.
+    pub fn remove_shard(&mut self, id: u64) -> Result<RebalanceReport, ErrorReply> {
+        if !self.ring.contains(id) {
+            return Err(ErrorReply::new(
+                "protocol",
+                format!("shard {id} is not in the ring"),
+            ));
+        }
+        let hosted = self.tenants_on(id);
+        let pinned: Vec<u64> = hosted
+            .iter()
+            .copied()
+            .filter(|t| {
+                let shard = self.shards.get(&id).expect("shard exists");
+                !shard[t].slot.movable()
+            })
+            .collect();
+        if !pinned.is_empty() {
+            return Err(ErrorReply::new(
+                "unsupported",
+                format!("shard {id} hosts pinned rotating tenants {pinned:?}"),
+            ));
+        }
+        if !hosted.is_empty() && self.ring.len() == 1 {
+            return Err(ErrorReply::new(
+                "unsupported",
+                format!(
+                    "cannot remove the last shard while {} tenants remain",
+                    hosted.len()
+                ),
+            ));
+        }
+        self.ring.remove_shard(id);
+        let report = self.rebalance_to_ring()?;
+        let drained = self.shards.remove(&id);
+        debug_assert!(drained.map(|t| t.is_empty()).unwrap_or(true));
+        Ok(report)
+    }
+
+    /// Ships every movable tenant whose current shard disagrees with
+    /// the ring to where the ring says it belongs.
+    fn rebalance_to_ring(&mut self) -> Result<RebalanceReport, ErrorReply> {
+        let mut report = RebalanceReport::default();
+        let tenants: Vec<u64> = self.assignments.keys().copied().collect();
+        for tenant in tenants {
+            let from = self.assignments[&tenant];
+            let to = self
+                .ring
+                .place(tenant)
+                .ok_or_else(|| ErrorReply::new("protocol", "the ring has no shards"))?;
+            if to == from {
+                continue;
+            }
+            let movable = self.shards[&from][&tenant].slot.movable();
+            if !movable {
+                report.pinned.push(tenant);
+                continue;
+            }
+            let bytes = self.ship_tenant(tenant, from, to)?;
+            report.bytes_shipped += bytes;
+            report.moved.push(TenantMove { tenant, from, to });
+        }
+        Ok(report)
+    }
+
+    /// Moves one tenant between shards through the real wire format:
+    /// export, frame, meter the bytes, deframe, install, and only then
+    /// drop the source engine. Returns the framed byte count.
+    fn ship_tenant(&mut self, tenant: u64, from: u64, to: u64) -> Result<u64, ErrorReply> {
+        let transfer = {
+            let shard = self.shards.get_mut(&from).expect("source shard exists");
+            let t = shard.get_mut(&tenant).expect("tenant exists on source");
+            t.slot
+                .export(t.spec, self.config.params.with_seed(t.spec.seed))?
+        };
+        let mut buf = Vec::new();
+        let bytes = wire::write_frame(&mut buf, &transfer)
+            .map_err(|e| ErrorReply::new("protocol", format!("tenant {tenant} export: {e}")))?;
+        let words = (bytes as u64).div_ceil(8);
+        self.meter.record_upload(words);
+        let shipped: TenantTransfer = wire::read_frame(&mut &buf[..], self.config.max_frame_bytes)
+            .map_err(|e| ErrorReply::new("protocol", format!("tenant {tenant} transfer: {e}")))?
+            .ok_or_else(|| ErrorReply::new("protocol", "empty transfer stream"))?;
+        self.meter.record_download(words);
+        let slot = EngineSlot::install(&shipped, self.config.params.clone(), self.config.workers)?;
+        let spec = shipped.spec;
+        let admitted = {
+            let shard = self.shards.get_mut(&from).expect("source shard exists");
+            let old = shard.remove(&tenant).expect("tenant exists on source");
+            old.admitted_in_interval
+        };
+        self.shards.entry(to).or_default().insert(
+            tenant,
+            Tenant {
+                spec,
+                admitted_in_interval: admitted,
+                slot,
+            },
+        );
+        self.assignments.insert(tenant, to);
+        Ok(bytes as u64)
+    }
+
+    // ---- tenant lifecycle ----
+
+    /// Registers a fresh (empty) tenant; the ring picks its shard.
+    /// Returns the hosting shard id.
+    ///
+    /// # Errors
+    /// `tenant_exists` if the id is taken, `protocol` if the ring is
+    /// empty, `bad_query`/`unsupported` for invalid specs.
+    pub fn register_tenant(&mut self, spec: TenantSpec) -> Result<u64, ErrorReply> {
+        if self.assignments.contains_key(&spec.tenant) {
+            return Err(ErrorReply::new(
+                "tenant_exists",
+                format!("tenant {} is already registered", spec.tenant),
+            ));
+        }
+        let shard = self
+            .ring
+            .place(spec.tenant)
+            .ok_or_else(|| ErrorReply::new("protocol", "the ring has no shards"))?;
+        let slot = EngineSlot::build(&spec, self.config.params.clone(), self.config.workers)?;
+        self.shards.entry(shard).or_default().insert(
+            spec.tenant,
+            Tenant {
+                spec,
+                admitted_in_interval: 0,
+                slot,
+            },
+        );
+        self.assignments.insert(spec.tenant, shard);
+        Ok(shard)
+    }
+
+    /// Installs a tenant from an exported transfer (the receiving half
+    /// of a cross-fabric move). The ring picks the shard; the engine is
+    /// rebuilt by linearity.
+    pub fn install_tenant(&mut self, transfer: &TenantTransfer) -> Result<u64, ErrorReply> {
+        let tenant = transfer.spec.tenant;
+        if self.assignments.contains_key(&tenant) {
+            return Err(ErrorReply::new(
+                "tenant_exists",
+                format!("tenant {tenant} is already registered"),
+            ));
+        }
+        let shard = self
+            .ring
+            .place(tenant)
+            .ok_or_else(|| ErrorReply::new("protocol", "the ring has no shards"))?;
+        let slot = EngineSlot::install(transfer, self.config.params.clone(), self.config.workers)?;
+        self.shards.entry(shard).or_default().insert(
+            tenant,
+            Tenant {
+                spec: transfer.spec,
+                admitted_in_interval: 0,
+                slot,
+            },
+        );
+        self.assignments.insert(tenant, shard);
+        Ok(shard)
+    }
+
+    fn tenant(&self, tenant: u64) -> Result<&Tenant, ErrorReply> {
+        let shard = self
+            .assignments
+            .get(&tenant)
+            .ok_or_else(|| unknown_tenant(tenant))?;
+        Ok(&self.shards[shard][&tenant])
+    }
+
+    fn tenant_mut(&mut self, tenant: u64) -> Result<&mut Tenant, ErrorReply> {
+        let shard = *self
+            .assignments
+            .get(&tenant)
+            .ok_or_else(|| unknown_tenant(tenant))?;
+        Ok(self
+            .shards
+            .get_mut(&shard)
+            .expect("assigned shard exists")
+            .get_mut(&tenant)
+            .expect("assigned tenant exists"))
+    }
+
+    // ---- the request plane ----
+
+    /// Handles one request frame; every outcome — including every
+    /// rejection — is a response frame, never a panic.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Ingest(frame) => self.ingest(frame),
+            Request::Flush(TenantRef { tenant }) => self.with_tenant_mut(tenant, |t| {
+                Response::Flushed(FlushReceipt {
+                    tenant,
+                    applied: t.slot.flush(),
+                })
+            }),
+            Request::AdvanceInterval(TenantRef { tenant }) => self.with_tenant_mut(tenant, |t| {
+                let sealed_interval = t.slot.advance_interval();
+                t.admitted_in_interval = 0;
+                Response::Sealed(SealReceipt {
+                    tenant,
+                    sealed_interval,
+                })
+            }),
+            Request::Point(q) => self.value(q.tenant, |t| {
+                check_item(q.tenant, q.item, t.slot.universe())?;
+                t.slot.point(q.tenant, q.item)
+            }),
+            Request::WindowPoint(q) => self.value(q.tenant, |t| {
+                check_item(q.tenant, q.item, t.slot.universe())?;
+                t.slot.window_point(q.tenant, q.item)
+            }),
+            Request::HeavyHitters(q) => {
+                self.heavy(q.tenant, |t| t.slot.heavy_hitters(q.tenant, q.phi))
+            }
+            Request::WindowHeavyHitters(q) => {
+                self.heavy(q.tenant, |t| t.slot.window_heavy_hitters(q.tenant, q.phi))
+            }
+            Request::RangeSum(q) => {
+                self.value(q.tenant, |t| t.slot.range_sum(q.tenant, q.lo, q.hi))
+            }
+            Request::WindowRangeSum(q) => {
+                self.value(q.tenant, |t| t.slot.window_range_sum(q.tenant, q.lo, q.hi))
+            }
+            Request::Stats(TenantRef { tenant }) => match self.tenant(tenant) {
+                Err(e) => Response::Error(e),
+                Ok(t) => Response::Stats(StatsReply {
+                    tenant,
+                    shard: self.assignments[&tenant],
+                    applied: t.slot.applied(),
+                    mass: t.slot.mass(),
+                    pending: t.slot.pending(),
+                    admitted_in_interval: t.admitted_in_interval,
+                    interval: t.slot.interval(),
+                }),
+            },
+            Request::Export(TenantRef { tenant }) => {
+                let params = self.config.params.clone();
+                self.with_tenant_mut(tenant, |t| {
+                    match t.slot.export(t.spec, params.with_seed(t.spec.seed)) {
+                        Ok(transfer) => Response::Exported(transfer),
+                        Err(e) => Response::Error(e),
+                    }
+                })
+            }
+            Request::Install(transfer) => match self.install_tenant(&transfer) {
+                Ok(shard) => Response::Installed(InstallReceipt {
+                    tenant: transfer.spec.tenant,
+                    shard,
+                }),
+                Err(e) => Response::Error(e),
+            },
+        }
+    }
+
+    /// Admission control, checked in policy order: the interval quota
+    /// first (Shed — retry next interval), then the queue bound (Busy —
+    /// retry after a flush). A rejected batch admits **nothing**.
+    fn ingest(&mut self, frame: IngestFrame) -> Response {
+        let tenant = frame.tenant;
+        let k = frame.updates.len() as u64;
+        self.with_tenant_mut(tenant, |t| {
+            if t.admitted_in_interval.saturating_add(k) > t.spec.interval_quota {
+                return Response::Shed(ShedReceipt {
+                    tenant,
+                    admitted: t.admitted_in_interval,
+                    quota: t.spec.interval_quota,
+                });
+            }
+            let pending = t.slot.pending();
+            if pending.saturating_add(k) > t.spec.queue_capacity {
+                return Response::Busy(BusyReceipt {
+                    tenant,
+                    pending,
+                    capacity: t.spec.queue_capacity,
+                });
+            }
+            t.slot.extend_from_slice(&frame.updates);
+            t.admitted_in_interval += k;
+            Response::Admitted(AdmitReceipt {
+                tenant,
+                pending: t.slot.pending(),
+            })
+        })
+    }
+
+    fn with_tenant_mut(
+        &mut self,
+        tenant: u64,
+        f: impl FnOnce(&mut Tenant) -> Response,
+    ) -> Response {
+        match self.tenant_mut(tenant) {
+            Ok(t) => f(t),
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn value(&self, tenant: u64, f: impl FnOnce(&Tenant) -> Result<f64, ErrorReply>) -> Response {
+        match self.tenant(tenant).and_then(f) {
+            Ok(value) => Response::Value(ValueReply { tenant, value }),
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn heavy(
+        &self,
+        tenant: u64,
+        f: impl FnOnce(&Tenant) -> Result<Vec<(u64, f64)>, ErrorReply>,
+    ) -> Response {
+        match self.tenant(tenant).and_then(f) {
+            Ok(items) => Response::HeavyHitters(HeavyHittersReply { tenant, items }),
+            Err(e) => Response::Error(e),
+        }
+    }
+}
+
+fn check_item(tenant: u64, item: u64, universe: u64) -> Result<(), ErrorReply> {
+    if item >= universe {
+        return Err(ErrorReply::new(
+            "bad_query",
+            format!("tenant {tenant}: item {item} is outside the universe [0, {universe})"),
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! Tenant placement across engine shards.
+//!
+//! Two schemes, both deterministic functions of `(tenant, ring)` so
+//! every fabric node computes the same answer with no coordination:
+//!
+//! * [`PlacementRing`] — **weighted rendezvous hashing** (highest
+//!   random weight). Each shard scores every tenant with
+//!   `-w / ln(u)` where `u ∈ (0,1)` is a hash of `(shard, tenant)`
+//!   and `w` is the shard's capacity weight; the tenant lives on the
+//!   shard with the highest score. Expected load is proportional to
+//!   weight, and removing a shard moves **only** the tenants that
+//!   lived on it (each survivor's scores are untouched) — minimal
+//!   disruption by construction, the property the placement suite
+//!   verifies against the binomial expectation.
+//! * [`jump_hash`] — Lamport & Veach's jump consistent hash, the
+//!   unweighted baseline. Same minimal-disruption property for
+//!   bucket-count growth, but buckets are anonymous `0..n` indices:
+//!   removing an *interior* bucket renumbers everything after it,
+//!   which is exactly the operational weakness the rendezvous ring
+//!   avoids and the comparison exists to demonstrate.
+
+use bas_hash::mix64;
+
+/// One shard entry in the ring: an id and a relative capacity weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardWeight {
+    /// Stable shard id (survives add/remove of other shards).
+    pub id: u64,
+    /// Relative capacity; a weight-2 shard expects twice the tenants
+    /// of a weight-1 shard. Must be positive and finite.
+    pub weight: f64,
+}
+
+/// Weighted rendezvous (highest-random-weight) placement ring.
+///
+/// ```
+/// use bas_server::PlacementRing;
+///
+/// let mut ring = PlacementRing::new();
+/// ring.add_shard(0, 1.0);
+/// ring.add_shard(1, 1.0);
+/// let before = ring.place(42).unwrap();
+/// ring.add_shard(2, 1.0);
+/// let after = ring.place(42).unwrap();
+/// // Minimal disruption: a tenant either stays put or moves to the
+/// // new shard — never between old shards.
+/// assert!(after == before || after == 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlacementRing {
+    shards: Vec<ShardWeight>,
+}
+
+impl PlacementRing {
+    /// An empty ring ([`place`](PlacementRing::place) returns `None`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a shard with the given capacity weight.
+    ///
+    /// # Panics
+    /// Panics if the id is already present or the weight is not a
+    /// positive finite number.
+    pub fn add_shard(&mut self, id: u64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "shard weight must be positive and finite, got {weight}"
+        );
+        assert!(!self.contains(id), "shard id {id} is already in the ring");
+        self.shards.push(ShardWeight { id, weight });
+    }
+
+    /// Removes a shard; returns whether it was present. Tenants that
+    /// lived on it re-place onto the surviving shards (their scores
+    /// there are unchanged, so nothing else moves).
+    pub fn remove_shard(&mut self, id: u64) -> bool {
+        let before = self.shards.len();
+        self.shards.retain(|s| s.id != id);
+        self.shards.len() != before
+    }
+
+    /// Whether a shard id is in the ring.
+    pub fn contains(&self, id: u64) -> bool {
+        self.shards.iter().any(|s| s.id == id)
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard entries, in insertion order.
+    pub fn shards(&self) -> &[ShardWeight] {
+        &self.shards
+    }
+
+    /// A shard's weight, if present.
+    pub fn weight_of(&self, id: u64) -> Option<f64> {
+        self.shards.iter().find(|s| s.id == id).map(|s| s.weight)
+    }
+
+    /// The shard a tenant lives on: the highest rendezvous score, ties
+    /// broken by shard id (scores are continuous, so ties effectively
+    /// never happen — the tiebreak only pins down a total order).
+    pub fn place(&self, tenant: u64) -> Option<u64> {
+        self.shards
+            .iter()
+            .map(|s| (Self::score(*s, tenant), s.id))
+            .max_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, id)| id)
+    }
+
+    /// A tenant's rendezvous score on one shard: `-w / ln(u)`,
+    /// `u ∈ (0,1)`. Monotone in `w` (heavier shards win more tenants,
+    /// in proportion — the standard weighted-rendezvous transform) and
+    /// independent across shards, which is what makes removal touch
+    /// only the removed shard's tenants.
+    fn score(shard: ShardWeight, tenant: u64) -> f64 {
+        let u = Self::uniform01(shard.id, tenant);
+        -shard.weight / u.ln()
+    }
+
+    /// A uniform draw in the **open** interval `(0, 1)` from the pair
+    /// hash: 53 mantissa bits, offset by half an ulp so `ln(u)` is
+    /// always finite and negative.
+    fn uniform01(shard: u64, tenant: u64) -> f64 {
+        let h = mix64(
+            mix64(shard ^ 0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(mix64(tenant ^ 0xD1B5_4A32_D192_ED03)),
+        );
+        (((h >> 11) as f64) + 0.5) / ((1u64 << 53) as f64)
+    }
+}
+
+/// Jump consistent hash (Lamport & Veach): maps `key` to a bucket in
+/// `[0, buckets)` such that growing `buckets` by one moves exactly a
+/// `1/(n+1)` expected fraction of keys — all of them into the new
+/// bucket. The unweighted baseline the placement suite compares the
+/// rendezvous ring against.
+///
+/// # Panics
+/// Panics if `buckets` is zero.
+pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "jump hash needs at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        j = (((b + 1) as f64) * ((1u64 << 31) as f64 / (((key >> 33) + 1) as f64))) as i64;
+    }
+    b as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u64) -> PlacementRing {
+        let mut r = PlacementRing::new();
+        for id in 0..n {
+            r.add_shard(id, 1.0);
+        }
+        r
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_lands_on_ring_members() {
+        let r = ring(5);
+        for tenant in 0..1_000u64 {
+            let shard = r.place(tenant).unwrap();
+            assert!(r.contains(shard));
+            assert_eq!(r.place(tenant), Some(shard));
+        }
+        assert_eq!(PlacementRing::new().place(7), None);
+    }
+
+    #[test]
+    fn add_moves_tenants_only_onto_the_new_shard() {
+        let mut r = ring(4);
+        let before: Vec<u64> = (0..2_000).map(|t| r.place(t).unwrap()).collect();
+        r.add_shard(4, 1.0);
+        let mut moved = 0;
+        for (t, &old) in before.iter().enumerate() {
+            let new = r.place(t as u64).unwrap();
+            if new != old {
+                assert_eq!(new, 4, "tenant {t} moved between old shards");
+                moved += 1;
+            }
+        }
+        // Expected 1/5 of tenants move; allow a generous band.
+        assert!((200..=600).contains(&moved), "moved = {moved}");
+    }
+
+    #[test]
+    fn remove_moves_only_the_dead_shards_tenants() {
+        let mut r = ring(4);
+        let before: Vec<u64> = (0..2_000).map(|t| r.place(t).unwrap()).collect();
+        assert!(r.remove_shard(2));
+        assert!(!r.remove_shard(2));
+        for (t, &old) in before.iter().enumerate() {
+            let new = r.place(t as u64).unwrap();
+            if old != 2 {
+                assert_eq!(new, old, "survivor tenant {t} must not move");
+            } else {
+                assert_ne!(new, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_skew_the_load_proportionally() {
+        let mut r = PlacementRing::new();
+        r.add_shard(0, 1.0);
+        r.add_shard(1, 3.0);
+        let heavy = (0..4_000u64).filter(|&t| r.place(t) == Some(1)).count();
+        // Expect ~3/4 of tenants on the weight-3 shard.
+        assert!((2_700..=3_300).contains(&heavy), "heavy = {heavy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the ring")]
+    fn duplicate_shard_ids_are_rejected() {
+        let mut r = ring(1);
+        r.add_shard(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_weights_are_rejected() {
+        let mut r = PlacementRing::new();
+        r.add_shard(0, 0.0);
+    }
+
+    #[test]
+    fn jump_hash_is_in_range_and_minimally_disruptive() {
+        for key in 0..500u64 {
+            let b4 = jump_hash(key, 4);
+            assert!(b4 < 4);
+            let b5 = jump_hash(key, 5);
+            assert!(b5 == b4 || b5 == 4, "key {key}: {b4} -> {b5}");
+        }
+        assert_eq!(jump_hash(123, 1), 0);
+    }
+}

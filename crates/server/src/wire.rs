@@ -1,0 +1,689 @@
+//! The length-prefixed wire protocol.
+//!
+//! Frames are `u32` big-endian length + a JSON body in the workspace's
+//! existing serde wire format (the same format the distributed
+//! protocol and `tests/serde_roundtrip.rs` already pin down: finite
+//! `f64`s print shortest-round-trip, so counter planes ship
+//! **bit-for-bit**). One [`Request`] frame in, one [`Response`] frame
+//! out, strictly alternating per connection.
+//!
+//! The framing layer owns desync-avoidance:
+//!
+//! * a frame longer than the reader's cap is **drained** (read and
+//!   discarded in bounded chunks) before
+//!   [`WireError::FrameTooLarge`] is reported, so the stream stays
+//!   positioned at the next frame and the connection survives;
+//! * a body that is not valid UTF-8/JSON for the expected type is
+//!   fully consumed before [`WireError::Malformed`] is reported —
+//!   same property;
+//! * only [`WireError::Truncated`] / [`WireError::Io`] are fatal: the
+//!   stream position is unknown, so the connection must drop.
+
+use bas_sketch::{CounterMatrix, Dense, SketchParams};
+use std::io::{Read, Write};
+
+/// Default per-frame size cap (bytes). Large enough for any plane
+/// transfer the test/bench configurations ship, small enough that a
+/// hostile length prefix cannot make the server allocate unboundedly.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Framing and codec errors.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame (header or body). Fatal: the
+    /// next byte's meaning is unknown.
+    Truncated {
+        /// Bytes the frame declared or the header needs.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A frame declared a body longer than the reader's cap. The body
+    /// was drained, so the connection is still in sync.
+    FrameTooLarge {
+        /// Declared body length.
+        len: usize,
+        /// The reader's cap.
+        max: usize,
+    },
+    /// The body was not valid UTF-8/JSON for the expected frame type.
+    /// The body was fully consumed, so the connection is still in sync.
+    Malformed {
+        /// Decoder diagnostic.
+        detail: String,
+    },
+    /// An underlying I/O failure. Fatal.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Whether the connection state machine survives this error (the
+    /// stream is positioned at the next frame boundary).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            WireError::FrameTooLarge { .. } | WireError::Malformed { .. }
+        )
+    }
+}
+
+/// Writes one frame: `u32` big-endian body length, then the JSON body.
+/// Returns the total bytes written (4 + body).
+///
+/// # Errors
+/// [`WireError::Malformed`] if the value fails to encode,
+/// [`WireError::Io`] on write failure.
+pub fn write_frame<W: Write, T: serde::Serialize>(w: &mut W, msg: &T) -> Result<usize, WireError> {
+    let body = serde_json::to_string(msg).map_err(|e| WireError::Malformed {
+        detail: e.to_string(),
+    })?;
+    let bytes = body.as_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| WireError::FrameTooLarge {
+        len: bytes.len(),
+        max: u32::MAX as usize,
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    Ok(4 + bytes.len())
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly
+/// at a frame boundary); `Ok(Some(_))` is a decoded frame.
+///
+/// # Errors
+/// See [`WireError`]; [`FrameTooLarge`](WireError::FrameTooLarge) and
+/// [`Malformed`](WireError::Malformed) leave the stream in sync.
+pub fn read_frame<R: Read, T: for<'de> serde::Deserialize<'de>>(
+    r: &mut R,
+    max_len: usize,
+) -> Result<Option<T>, WireError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(WireError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_len {
+        drain(r, len)?;
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut body = vec![0u8; len];
+    match read_exact_or_eof(r, &mut body)? {
+        got if got == len => {}
+        got => return Err(WireError::Truncated { expected: len, got }),
+    }
+    let text = std::str::from_utf8(&body).map_err(|e| WireError::Malformed {
+        detail: format!("non-UTF-8 body: {e}"),
+    })?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| WireError::Malformed {
+            detail: e.to_string(),
+        })
+}
+
+/// Fills `buf` as far as the stream allows; returns the bytes read
+/// (short only at EOF).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads and discards `len` bytes in bounded chunks (never allocating
+/// more than one chunk), keeping the stream positioned at the next
+/// frame after an oversized declaration.
+fn drain<R: Read>(r: &mut R, len: usize) -> Result<(), WireError> {
+    let mut rest = len;
+    let mut chunk = [0u8; 8192];
+    while rest > 0 {
+        let take = rest.min(chunk.len());
+        let got = read_exact_or_eof(r, &mut chunk[..take])?;
+        if got == 0 {
+            return Err(WireError::Truncated {
+                expected: len,
+                got: len - rest,
+            });
+        }
+        rest -= got;
+    }
+    Ok(())
+}
+
+// ---- request frames ----
+
+/// A client request. One frame per request; every request gets exactly
+/// one [`Response`] frame.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Batched ingest for one tenant; admission-controlled
+    /// (`Admitted` / `Busy` / `Shed`).
+    Ingest(IngestFrame),
+    /// Apply the tenant's buffered updates now.
+    Flush(TenantRef),
+    /// Close the tenant's current interval (flush + seal + quota
+    /// reset).
+    AdvanceInterval(TenantRef),
+    /// Since-boot point estimate (audited when the tenant's spec asks
+    /// for it).
+    Point(PointQuery),
+    /// Point estimate within the tenant's current window.
+    WindowPoint(PointQuery),
+    /// Since-boot heavy hitters at threshold `phi`.
+    HeavyHitters(HeavyHittersQuery),
+    /// Heavy hitters within the tenant's current window.
+    WindowHeavyHitters(HeavyHittersQuery),
+    /// Since-boot range sum (range-sum tenants only).
+    RangeSum(RangeQuery),
+    /// Range sum within the tenant's current window.
+    WindowRangeSum(RangeQuery),
+    /// Per-tenant serving statistics.
+    Stats(TenantRef),
+    /// Seal and export the tenant's planes for a rebalance.
+    Export(TenantRef),
+    /// Install an exported tenant on this fabric.
+    Install(TenantTransfer),
+}
+
+/// Names a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantRef {
+    /// Tenant id.
+    pub tenant: u64,
+}
+
+/// A batch of `(item, delta)` updates for one tenant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IngestFrame {
+    /// Tenant id.
+    pub tenant: u64,
+    /// The updates, in stream order.
+    pub updates: Vec<(u64, f64)>,
+}
+
+/// A point query.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PointQuery {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Item to estimate.
+    pub item: u64,
+}
+
+/// A heavy-hitters query.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeavyHittersQuery {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Threshold in `(0, 1)`: report items with estimate ≥ `phi·mass`.
+    pub phi: f64,
+}
+
+/// An inclusive range-sum query.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RangeQuery {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+// ---- tenant configuration (rides in Install frames) ----
+
+/// Which sketch family serves the tenant's metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MetricKind {
+    /// Point-frequency / heavy-hitter serving (Count-Median).
+    Frequency,
+    /// Dyadic range-sum serving (the Count-Median stack).
+    RangeSum,
+}
+
+/// A window length in intervals (payload for the windowed
+/// [`ServingMode`]s; a struct because the wire derive supports newtype
+/// variants, not struct variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WindowLen {
+    /// Window length in intervals (≥ 1).
+    pub intervals: u64,
+}
+
+/// How much history the tenant's queries cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ServingMode {
+    /// Since-boot accumulator.
+    Unbounded,
+    /// Tumbling buckets of the given length.
+    Tumbling(WindowLen),
+    /// Sliding window of the given length.
+    Sliding(WindowLen),
+    /// Seed-rotating robustness plane (frequency metric only). Pinned
+    /// to its shard: generations carry heterogeneous seeds, so its
+    /// planes cannot be shipped as one linear transfer.
+    Rotating(WindowLen),
+}
+
+/// Per-tenant serving configuration: identity, sketch seed, serving
+/// mode, and the admission-control knobs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantSpec {
+    /// Tenant id (unique per fabric).
+    pub tenant: u64,
+    /// Sketch master seed — distinct per tenant, so tenants are
+    /// hash-isolated even at equal shapes.
+    pub seed: u64,
+    /// Sketch family.
+    pub metric: MetricKind,
+    /// History scope.
+    pub mode: ServingMode,
+    /// Bound on buffered-but-unflushed updates; ingest beyond it gets
+    /// [`Response::Busy`] until a flush drains the backlog. Must be
+    /// ≥ 1.
+    pub queue_capacity: u64,
+    /// Updates admitted per interval; beyond it ingest gets
+    /// [`Response::Shed`] until the interval advances. Must be ≥ 1.
+    pub interval_quota: u64,
+    /// Per-key audit budget for point queries (0 = unaudited): the
+    /// adaptive-adversary defense from the robustness plane, applied
+    /// per tenant.
+    pub audit_limit: u64,
+}
+
+impl TenantSpec {
+    /// A frequency tenant with unbounded serving and effectively-open
+    /// admission knobs — the base most tests start from.
+    pub fn frequency(tenant: u64, seed: u64) -> Self {
+        Self {
+            tenant,
+            seed,
+            metric: MetricKind::Frequency,
+            mode: ServingMode::Unbounded,
+            queue_capacity: 1 << 20,
+            interval_quota: u64::MAX,
+            audit_limit: 0,
+        }
+    }
+
+    /// A range-sum tenant with unbounded serving.
+    pub fn range_sum(tenant: u64, seed: u64) -> Self {
+        Self {
+            metric: MetricKind::RangeSum,
+            ..Self::frequency(tenant, seed)
+        }
+    }
+
+    /// Sets the serving mode.
+    pub fn with_mode(mut self, mode: ServingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the ingest-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: u64) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-interval admission quota.
+    pub fn with_interval_quota(mut self, quota: u64) -> Self {
+        self.interval_quota = quota;
+        self
+    }
+
+    /// Sets the per-key audit budget (0 disables auditing).
+    pub fn with_audit_limit(mut self, limit: u64) -> Self {
+        self.audit_limit = limit;
+        self
+    }
+}
+
+/// A tenant shipped between shards: spec + stream position + the
+/// cumulative counter plane(s) + every retained seal. Counters only —
+/// the destination rebuilds hashers deterministically from
+/// `params.seed`, and linearity makes the rebuilt engine bit-for-bit.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantTransfer {
+    /// The tenant's serving configuration.
+    pub spec: TenantSpec,
+    /// Sketch shape + seed the planes were built under (validated
+    /// against the destination fabric's template on install).
+    pub params: SketchParams,
+    /// Interval in progress at export time.
+    pub interval: u64,
+    /// Updates applied to the cumulative plane.
+    pub applied: u64,
+    /// Total delta mass applied.
+    pub mass: f64,
+    /// The cumulative plane: one matrix for frequency tenants, one per
+    /// dyadic level for range-sum tenants.
+    pub cumulative: Vec<CounterMatrix<f64, Dense>>,
+    /// Retained sealed planes, oldest first.
+    pub seals: Vec<SealFrame>,
+}
+
+/// One sealed cumulative plane with its bookkeeping.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SealFrame {
+    /// Interval this seal closed.
+    pub interval: u64,
+    /// Updates applied as of the seal.
+    pub applied: u64,
+    /// Mass applied as of the seal.
+    pub mass: f64,
+    /// The sealed plane(s), same layout as
+    /// [`TenantTransfer::cumulative`].
+    pub planes: Vec<CounterMatrix<f64, Dense>>,
+}
+
+// ---- response frames ----
+
+/// A server response; exactly one per [`Request`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The ingest batch was admitted and buffered.
+    Admitted(AdmitReceipt),
+    /// **Backpressure**: the batch would overflow the tenant's ingest
+    /// queue. Nothing was admitted; flush (or wait for the server to)
+    /// and retry.
+    Busy(BusyReceipt),
+    /// **Load shedding**: the batch would exceed the tenant's
+    /// per-interval quota. Nothing was admitted; the quota resets when
+    /// the interval advances.
+    Shed(ShedReceipt),
+    /// Reply to [`Request::Flush`].
+    Flushed(FlushReceipt),
+    /// Reply to [`Request::AdvanceInterval`].
+    Sealed(SealReceipt),
+    /// A scalar answer (point / window-point / range-sum queries).
+    Value(ValueReply),
+    /// A heavy-hitters answer.
+    HeavyHitters(HeavyHittersReply),
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Reply to [`Request::Export`].
+    Exported(TenantTransfer),
+    /// Reply to [`Request::Install`].
+    Installed(InstallReceipt),
+    /// Any rejection: unknown tenant, invalid query parameters, audit
+    /// refusal, protocol error.
+    Error(ErrorReply),
+}
+
+/// Receipt for an admitted ingest batch.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdmitReceipt {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Updates now buffered (≤ the tenant's queue capacity).
+    pub pending: u64,
+}
+
+/// Backpressure receipt: retry after a flush.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BusyReceipt {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Updates currently buffered.
+    pub pending: u64,
+    /// The tenant's queue bound.
+    pub capacity: u64,
+}
+
+/// Shed receipt: retry next interval.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShedReceipt {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Updates already admitted this interval.
+    pub admitted: u64,
+    /// The tenant's per-interval quota.
+    pub quota: u64,
+}
+
+/// Flush receipt.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlushReceipt {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Updates applied across all completed flushes.
+    pub applied: u64,
+}
+
+/// Interval-advance receipt.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SealReceipt {
+    /// Tenant id.
+    pub tenant: u64,
+    /// The interval just closed.
+    pub sealed_interval: u64,
+}
+
+/// A scalar query answer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ValueReply {
+    /// Tenant id.
+    pub tenant: u64,
+    /// The estimate.
+    pub value: f64,
+}
+
+/// A heavy-hitters answer: `(item, estimate)` sorted by decreasing
+/// estimate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeavyHittersReply {
+    /// Tenant id.
+    pub tenant: u64,
+    /// The heavy items with their estimates.
+    pub items: Vec<(u64, f64)>,
+}
+
+/// Per-tenant serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsReply {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Shard currently hosting the tenant.
+    pub shard: u64,
+    /// Updates applied in completed flushes.
+    pub applied: u64,
+    /// Total delta mass applied.
+    pub mass: f64,
+    /// Updates buffered but not yet flushed.
+    pub pending: u64,
+    /// Updates admitted in the current interval (quota bookkeeping).
+    pub admitted_in_interval: u64,
+    /// Interval currently accepting updates.
+    pub interval: u64,
+}
+
+/// Install receipt.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InstallReceipt {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Shard the tenant was installed on.
+    pub shard: u64,
+}
+
+/// A typed rejection.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorReply {
+    /// Stable machine-readable code: `unknown_tenant`, `bad_query`,
+    /// `audit_rejected`, `unsupported`, `protocol`, `tenant_exists`,
+    /// `incompatible`.
+    pub code: String,
+    /// Human-readable diagnostic.
+    pub detail: String,
+}
+
+impl ErrorReply {
+    /// Builds an error reply.
+    pub fn new(code: &str, detail: impl Into<String>) -> Self {
+        Self {
+            code: code.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+    {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, value).unwrap();
+        let mut cursor = &buf[..];
+        read_frame::<_, T>(&mut cursor, MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Ingest(IngestFrame {
+                tenant: 3,
+                updates: vec![(1, 2.0), (7, -1.5)],
+            }),
+            Request::Flush(TenantRef { tenant: 3 }),
+            Request::Point(PointQuery { tenant: 3, item: 9 }),
+            Request::HeavyHitters(HeavyHittersQuery {
+                tenant: 3,
+                phi: 0.1,
+            }),
+            Request::WindowRangeSum(RangeQuery {
+                tenant: 4,
+                lo: 2,
+                hi: 8,
+            }),
+        ];
+        for req in &reqs {
+            assert_eq!(&roundtrip(req), req);
+        }
+    }
+
+    #[test]
+    fn transfer_frames_round_trip_bit_for_bit() {
+        let mut plane = CounterMatrix::<f64, Dense>::new(4, 2);
+        plane.add(0, 1, 3.5);
+        plane.add(1, 3, -2.25);
+        let transfer = TenantTransfer {
+            spec: TenantSpec::frequency(11, 42)
+                .with_mode(ServingMode::Sliding(WindowLen { intervals: 3 })),
+            params: SketchParams::new(100, 4, 2).with_seed(42),
+            interval: 5,
+            applied: 17,
+            mass: 12.25,
+            cumulative: vec![plane.clone()],
+            seals: vec![SealFrame {
+                interval: 4,
+                applied: 10,
+                mass: 8.0,
+                planes: vec![plane],
+            }],
+        };
+        let back = roundtrip(&Response::Exported(transfer.clone()));
+        assert_eq!(back, Response::Exported(transfer));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut empty: &[u8] = &[];
+        assert!(read_frame::<_, Request>(&mut empty, 1024)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_body_are_fatal() {
+        let mut short: &[u8] = &[0, 0];
+        match read_frame::<_, Request>(&mut short, 1024) {
+            Err(WireError::Truncated {
+                expected: 4,
+                got: 2,
+            }) => {}
+            other => panic!("{other:?}"),
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = &buf[..];
+        let err = read_frame::<_, Request>(&mut cursor, 1024).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
+        assert!(!err.is_recoverable());
+    }
+
+    #[test]
+    fn oversized_frames_drain_and_stay_in_sync() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping).unwrap(); // frame 1: tiny cap will reject
+        write_frame(&mut buf, &Request::Flush(TenantRef { tenant: 1 })).unwrap();
+        let mut cursor = &buf[..];
+        let err = read_frame::<_, Request>(&mut cursor, 2).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+        assert!(err.is_recoverable());
+        // The next frame reads cleanly: the oversized body was drained.
+        let next = read_frame::<_, Request>(&mut cursor, 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(next, Request::Flush(TenantRef { tenant: 1 }));
+    }
+
+    #[test]
+    fn corrupt_bodies_are_recoverable_malformed_errors() {
+        let body = b"not json";
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body);
+        write_frame(&mut buf, &Request::Ping).unwrap();
+        let mut cursor = &buf[..];
+        let err = read_frame::<_, Request>(&mut cursor, 1024).unwrap_err();
+        assert!(matches!(err, WireError::Malformed { .. }));
+        assert!(err.is_recoverable());
+        let next = read_frame::<_, Request>(&mut cursor, 1024)
+            .unwrap()
+            .unwrap();
+        assert_eq!(next, Request::Ping);
+    }
+}

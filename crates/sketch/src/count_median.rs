@@ -236,6 +236,18 @@ impl<B: CounterBackend> Snapshottable for CountMedian<B> {
     }
 }
 
+/// Count-Median is linear: a shipped plane adds straight into the
+/// live grid, so a tenant rebuilt from seed + plane is bit-for-bit.
+impl<B: CounterBackend> crate::snapshot::AbsorbPlane for CountMedian<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
+        self.grid.add_matrix_shared(plane);
+        Ok(())
+    }
+}
+
 impl<B: CounterBackend> CountMedian<B> {
     fn check_compatible(&self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {

@@ -339,6 +339,25 @@ impl<B: CounterBackend> Snapshottable for CountMin<B> {
     }
 }
 
+/// Planes absorb only under [`UpdatePolicy::Plain`] — conservative
+/// counters are running maxima, not sums, so a shipped CU plane cannot
+/// be reproduced by addition (mirrors
+/// [`merge_snapshot`](Snapshottable::merge_snapshot)).
+impl<B: CounterBackend> crate::snapshot::AbsorbPlane for CountMin<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
+        if self.policy != UpdatePolicy::Plain {
+            return Err(MergeError::ShapeMismatch {
+                what: "update policies (conservative update is not linear)",
+            });
+        }
+        self.grid.add_matrix_shared(plane);
+        Ok(())
+    }
+}
+
 impl<B: CounterBackend> CountMin<B> {
     fn check_compatible(&self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {

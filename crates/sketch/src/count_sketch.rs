@@ -308,6 +308,18 @@ impl<B: CounterBackend> Snapshottable for CountSketch<B> {
     }
 }
 
+/// Count-Sketch is linear: a shipped plane adds straight into the
+/// live grid (signs live in the hashers, which the seed rebuilds).
+impl<B: CounterBackend> crate::snapshot::AbsorbPlane for CountSketch<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
+        self.grid.add_matrix_shared(plane);
+        Ok(())
+    }
+}
+
 impl<B: CounterBackend> CountSketch<B> {
     fn check_compatible(&self, other: &Self) -> Result<(), MergeError> {
         if self.params.width != other.params.width || self.params.depth != other.params.depth {

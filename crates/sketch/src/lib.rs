@@ -103,7 +103,7 @@ pub use count_min_log::CountMinLog;
 pub use count_sketch::CountSketch;
 pub use heavy_hitters::{HeavyHitter, HeavyHitters};
 pub use range_sum::RangeSumSketch;
-pub use snapshot::Snapshottable;
+pub use snapshot::{AbsorbPlane, Snapshottable};
 pub use storage::{
     Atomic, CounterBackend, CounterMatrix, CounterValue, Dense, EpochCounter, PlaneBank,
     SealedPlane,

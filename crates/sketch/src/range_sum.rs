@@ -7,7 +7,7 @@
 //! a single point query at its level.
 
 use crate::count_median::CountMedian;
-use crate::snapshot::Snapshottable;
+use crate::snapshot::{AbsorbPlane, Snapshottable};
 use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
 use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
@@ -350,6 +350,26 @@ impl<B: CounterBackend> Snapshottable for RangeSumSketch<B> {
         assert_eq!(snap.len(), other.len(), "snapshot level count mismatch");
         for (sketch, (mine, theirs)) in self.levels.iter().zip(snap.iter_mut().zip(other.iter())) {
             sketch.subtract_snapshot(mine, theirs)?;
+        }
+        Ok(())
+    }
+}
+
+/// The dyadic stack absorbs level by level — each level is a linear
+/// Count-Median, so a shipped stack of planes rebuilds the whole
+/// hierarchy exactly.
+impl<B: CounterBackend> AbsorbPlane for RangeSumSketch<B>
+where
+    B::Store<f64>: SharedCounterStore<f64>,
+{
+    fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
+        if plane.len() != self.levels.len() {
+            return Err(MergeError::ShapeMismatch {
+                what: "dyadic level counts",
+            });
+        }
+        for (sketch, level_plane) in self.levels.iter().zip(plane.iter()) {
+            sketch.absorb_plane_shared(level_plane)?;
         }
         Ok(())
     }

@@ -34,7 +34,7 @@
 //! intervened), which upgrades the copy to "a settled state between
 //! flushes — a prefix of the update stream".
 
-use crate::traits::{MergeError, PointQuerySketch};
+use crate::traits::{MergeError, PointQuerySketch, SharedSketch};
 
 /// A sketch that can freeze its counters into a dense, immutable,
 /// cheaply-queryable view.
@@ -133,4 +133,36 @@ pub trait Snapshottable: PointQuerySketch + Sync {
         self.snapshot_into(&mut snap);
         snap
     }
+}
+
+/// A shared-backend sketch whose **live** counters can absorb a frozen
+/// plane through a shared reference — the destination half of moving a
+/// sketch between hosts.
+///
+/// Rebalance by linearity: a tenant's sketch is shipped as its counter
+/// plane only (a [`Snapshot`](Snapshottable::Snapshot)); the
+/// destination rebuilds the hashers deterministically from the same
+/// [`SketchParams`](crate::SketchParams) seed and adds the shipped
+/// plane into a freshly zeroed sketch. Because `Φx = Φx¹ + Φx²`
+/// cell-wise, the rebuilt sketch's counters equal the original's — on
+/// integer-delta streams (where `f64` addition is exact) **bit for
+/// bit** — so every estimate the destination serves is identical to
+/// what the source would have served.
+///
+/// The absorb goes through the lock-free
+/// [`add_matrix_shared`](crate::CounterMatrix::add_matrix_shared)
+/// path, so it composes with concurrent
+/// [`update_shared`](SharedSketch::update_shared) writers the same way
+/// any other shared write does.
+pub trait AbsorbPlane: Snapshottable + SharedSketch {
+    /// Adds `plane`'s counters into the live sketch cell-wise through
+    /// a shared reference.
+    ///
+    /// # Errors
+    /// Returns a [`MergeError`] for sketches whose counters are not
+    /// additive (Count-Min with conservative update).
+    ///
+    /// # Panics
+    /// Panics if `plane` was made for a different shape.
+    fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError>;
 }

@@ -769,6 +769,24 @@ where
     pub fn add_shared(&self, row: usize, col: usize, delta: T) {
         self.store.add_shared(self.idx(row, col), delta);
     }
+
+    /// Adds every cell of a [`Dense`] matrix of identical shape into
+    /// this one through the **shared** lock-free path — the
+    /// destination half of a counter-plane transfer. Moving a sketch
+    /// between hosts ships only its counters (hashers are rebuilt from
+    /// the seed); by linearity, adding the shipped plane into a live
+    /// zeroed sketch reproduces the original counters exactly, and on
+    /// integer-delta streams the result is bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_matrix_shared(&self, other: &CounterMatrix<T, Dense>) {
+        assert_eq!(self.width, other.width, "matrix widths differ");
+        assert_eq!(self.depth, other.depth, "matrix depths differ");
+        for (i, &delta) in other.store.as_slice().iter().enumerate() {
+            self.store.add_shared(i, delta);
+        }
+    }
 }
 
 impl<T: CounterValue> CounterMatrix<T, Dense> {

@@ -19,6 +19,12 @@
 //! (integer deltas make every path exact), and the range engine's
 //! full-range estimate must match the true total within sketch error.
 //!
+//! This example is the **single-engine** deep dive. Its original
+//! "wire two engines together by hand" framing is superseded by the
+//! `serving_fabric` example, where `bas-server` owns the many-engine
+//! story: per-tenant placement, the wire protocol, admission control
+//! and live rebalance.
+//!
 //! Run with: `cargo run --release --example telemetry_server`
 
 use bias_aware_sketches::prelude::*;

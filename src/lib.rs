@@ -30,6 +30,11 @@
 //!   point / heavy-hitter / range-sum / inner-product queries over a
 //!   concurrently-fed sketch, from lock-free live cells or pinned
 //!   epoch snapshots;
+//! * [`server`] — the multi-tenant serving fabric: many engines
+//!   behind one wire protocol, placed across shards by weighted
+//!   rendezvous hashing, with admission control (quota shedding +
+//!   queue backpressure) and live tenant rebalance by sketch
+//!   linearity;
 //! * [`data`] — workload generators standing in for the
 //!   paper's datasets, plus from-scratch samplers;
 //! * [`eval`] — the figure-reproduction harness;
@@ -68,6 +73,7 @@ pub use bas_eval as eval;
 pub use bas_hash as hashing;
 pub use bas_pipeline as pipeline;
 pub use bas_serve as serve;
+pub use bas_server as server;
 pub use bas_sketch as sketches;
 pub use bas_stream as streaming;
 
@@ -91,6 +97,10 @@ pub mod prelude {
         combine_plane_estimates, heavy_hitters_across, AuditPolicy, AuditedHandle, EstimateCombine,
         QueryEngine, QueryError, QueryHandle, RotatingEngine, ServingPolicy, Sliding, Tumbling,
         Unbounded, WindowPolicy, WindowSnapshot,
+    };
+    pub use bas_server::{
+        call, serve_connection, Fabric, FabricConfig, MetricKind, PlacementRing, RebalanceReport,
+        Request, Response, ServingMode, TenantSpec, WindowLen, WireError,
     };
     pub use bas_sketch::{
         storage, Atomic, AtomicCountMedian, AtomicCountMin, AtomicCountSketch, CountMedian,

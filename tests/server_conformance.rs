@@ -1,0 +1,587 @@
+//! Tenant conformance for the multi-tenant serving fabric: every
+//! tenant's answers through the fabric (and through the wire
+//! connection loop) must be **bit-for-bit** the answers of a dedicated
+//! single-tenant engine fed the same stream — before and after a live
+//! rebalance — and one tenant's backpressure must never touch its
+//! neighbors.
+//!
+//! Streams here use integer-valued deltas, so `f64` accumulation is
+//! exact and bit-for-bit equality is the honest assertion (the same
+//! contract `tests/linearity.rs` pins down for merges).
+
+use bias_aware_sketches::prelude::*;
+use bias_aware_sketches::server::wire::{
+    HeavyHittersQuery, IngestFrame, PointQuery, RangeQuery, TenantRef,
+};
+use bias_aware_sketches::server::{
+    call, serve_connection, Fabric, FabricConfig, Request, Response, ServingMode, TenantSpec,
+    WindowLen,
+};
+
+const N: u64 = 4_096;
+
+fn params() -> SketchParams {
+    SketchParams::new(N, 128, 5)
+}
+
+fn config() -> FabricConfig {
+    FabricConfig::new(params()).with_workers(2)
+}
+
+/// A deterministic per-tenant stream of integer-valued updates.
+fn stream(tenant: u64, len: usize) -> Vec<(u64, f64)> {
+    let mut state = tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let item = (state >> 33) % N;
+            let delta = ((state >> 11) % 5) as f64 + 1.0;
+            (item, delta)
+        })
+        .collect()
+}
+
+fn expect_value(resp: Response) -> f64 {
+    match resp {
+        Response::Value(v) => v.value,
+        other => panic!("expected a value, got {other:?}"),
+    }
+}
+
+fn expect_hh(resp: Response) -> Vec<(u64, f64)> {
+    match resp {
+        Response::HeavyHitters(r) => r.items,
+        other => panic!("expected heavy hitters, got {other:?}"),
+    }
+}
+
+fn hh_pairs(items: Vec<HeavyHitter>) -> Vec<(u64, f64)> {
+    items.into_iter().map(|h| (h.item, h.estimate)).collect()
+}
+
+/// Fabric answers for N tenants with distinct seeds and serving modes
+/// are bit-for-bit the answers of dedicated engines, across point,
+/// heavy-hitter, range-sum, and window-scoped queries.
+#[test]
+fn tenants_match_dedicated_engines_bit_for_bit() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric.add_shard(1, 1.0).unwrap();
+
+    let freq_spec = TenantSpec::frequency(1, 101);
+    let slide_spec =
+        TenantSpec::frequency(2, 202).with_mode(ServingMode::Sliding(WindowLen { intervals: 2 }));
+    let range_spec =
+        TenantSpec::range_sum(3, 303).with_mode(ServingMode::Tumbling(WindowLen { intervals: 1 }));
+    for spec in [freq_spec, slide_spec, range_spec] {
+        fabric.register_tenant(spec).unwrap();
+    }
+
+    // Dedicated mirrors, built from the same template + per-tenant seed.
+    let mut freq = QueryEngine::with_policy(
+        2,
+        AtomicCountMedian::with_backend(&params().with_seed(101)),
+        Unbounded,
+    );
+    let mut slide = QueryEngine::with_policy(
+        2,
+        AtomicCountMedian::with_backend(&params().with_seed(202)),
+        Sliding::new(2).unwrap(),
+    );
+    let mut range = QueryEngine::with_policy(
+        2,
+        RangeSumSketch::<Atomic>::with_backend(&params().with_seed(303)),
+        Tumbling::new(1).unwrap(),
+    );
+
+    for round in 0..3u64 {
+        for (tenant, mirror) in [(1u64, 0usize), (2, 1), (3, 2)] {
+            let batch = stream(tenant * 17 + round, 600);
+            let resp = fabric.handle(Request::Ingest(IngestFrame {
+                tenant,
+                updates: batch.clone(),
+            }));
+            assert!(matches!(resp, Response::Admitted(_)), "{resp:?}");
+            match mirror {
+                0 => freq.extend_from_slice(&batch),
+                1 => slide.extend_from_slice(&batch),
+                _ => range.extend_from_slice(&batch),
+            }
+        }
+        for tenant in [1u64, 2, 3] {
+            fabric.handle(Request::AdvanceInterval(TenantRef { tenant }));
+        }
+        freq.advance_interval();
+        slide.advance_interval();
+        range.advance_interval();
+    }
+
+    for item in (0..N).step_by(97) {
+        let got = expect_value(fabric.handle(Request::Point(PointQuery { tenant: 1, item })));
+        assert_eq!(
+            got.to_bits(),
+            freq.estimate_live(item).to_bits(),
+            "item {item}"
+        );
+
+        let got = expect_value(fabric.handle(Request::WindowPoint(PointQuery { tenant: 2, item })));
+        assert_eq!(
+            got.to_bits(),
+            slide.point_in_window(item).to_bits(),
+            "item {item}"
+        );
+    }
+
+    let got = expect_hh(fabric.handle(Request::HeavyHitters(HeavyHittersQuery {
+        tenant: 1,
+        phi: 0.002,
+    })));
+    assert_eq!(got, hh_pairs(freq.try_heavy_hitters(0.002).unwrap()));
+
+    let got = expect_hh(
+        fabric.handle(Request::WindowHeavyHitters(HeavyHittersQuery {
+            tenant: 2,
+            phi: 0.002,
+        })),
+    );
+    assert_eq!(got, hh_pairs(slide.heavy_hitters_in_window(0.002).unwrap()));
+
+    for (lo, hi) in [(0u64, N - 1), (100, 900), (2_000, 2_048)] {
+        let got = expect_value(fabric.handle(Request::RangeSum(RangeQuery { tenant: 3, lo, hi })));
+        assert_eq!(
+            got.to_bits(),
+            range.range_sum(lo, hi).to_bits(),
+            "[{lo},{hi}]"
+        );
+        let got =
+            expect_value(fabric.handle(Request::WindowRangeSum(RangeQuery { tenant: 3, lo, hi })));
+        assert_eq!(
+            got.to_bits(),
+            range.range_sum_in_window(lo, hi).unwrap().to_bits(),
+            "[{lo},{hi}]"
+        );
+    }
+}
+
+/// The same conformance holds end-to-end through the wire connection
+/// loop: framed requests in, framed responses out.
+#[test]
+fn wire_connection_loop_matches_dedicated_engine() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(7, 777))
+        .unwrap();
+
+    let mut mirror = QueryEngine::with_policy(
+        2,
+        AtomicCountMedian::with_backend(&params().with_seed(777)),
+        Unbounded,
+    );
+    let batch = stream(7, 2_000);
+    mirror.extend_from_slice(&batch);
+    mirror.flush();
+
+    // Client side: frame all requests into one buffer up front.
+    let mut requests = Vec::new();
+    bias_aware_sketches::server::write_frame(
+        &mut requests,
+        &Request::Ingest(IngestFrame {
+            tenant: 7,
+            updates: batch,
+        }),
+    )
+    .unwrap();
+    bias_aware_sketches::server::write_frame(
+        &mut requests,
+        &Request::Flush(TenantRef { tenant: 7 }),
+    )
+    .unwrap();
+    for item in (0..N).step_by(131) {
+        bias_aware_sketches::server::write_frame(
+            &mut requests,
+            &Request::Point(PointQuery { tenant: 7, item }),
+        )
+        .unwrap();
+    }
+
+    let mut responses = Vec::new();
+    let answered = serve_connection(
+        &mut fabric,
+        &mut &requests[..],
+        &mut responses,
+        bias_aware_sketches::server::MAX_FRAME_BYTES,
+    )
+    .unwrap();
+    assert_eq!(answered, 2 + (0..N).step_by(131).count() as u64);
+
+    let mut cursor = &responses[..];
+    let read = |c: &mut &[u8]| {
+        bias_aware_sketches::server::read_frame::<_, Response>(
+            c,
+            bias_aware_sketches::server::MAX_FRAME_BYTES,
+        )
+        .unwrap()
+        .unwrap()
+    };
+    assert!(matches!(read(&mut cursor), Response::Admitted(_)));
+    assert!(matches!(read(&mut cursor), Response::Flushed(_)));
+    for item in (0..N).step_by(131) {
+        let got = expect_value(read(&mut cursor));
+        assert_eq!(
+            got.to_bits(),
+            mirror.estimate_live(item).to_bits(),
+            "item {item}"
+        );
+    }
+    // And the client-side helper speaks the same protocol.
+    let mut req_buf = Vec::new();
+    let mut resp_buf = Vec::new();
+    let mut staged = Vec::new();
+    bias_aware_sketches::server::write_frame(&mut staged, &Request::Ping).unwrap();
+    drop(staged);
+    {
+        // call() writes into req_buf; serve it, then let call() read.
+        let mut half_done = Vec::new();
+        bias_aware_sketches::server::write_frame(&mut half_done, &Request::Ping).unwrap();
+        serve_connection(
+            &mut fabric,
+            &mut &half_done[..],
+            &mut resp_buf,
+            bias_aware_sketches::server::MAX_FRAME_BYTES,
+        )
+        .unwrap();
+    }
+    let resp = call(
+        &mut &resp_buf[..],
+        &mut req_buf,
+        &Request::Ping,
+        bias_aware_sketches::server::MAX_FRAME_BYTES,
+    )
+    .unwrap();
+    assert_eq!(resp, Response::Pong);
+}
+
+/// A rebalanced tenant keeps answering bit-for-bit: ingest, grow the
+/// ring (tenants ship to the new shard through the wire format), keep
+/// ingesting, and compare every answer against never-moved mirrors.
+#[test]
+fn rebalanced_tenants_answer_bit_for_bit() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric.add_shard(1, 1.0).unwrap();
+
+    let tenants: Vec<u64> = (10..30).collect();
+    let mut mirrors: Vec<_> = tenants
+        .iter()
+        .map(|&t| {
+            fabric
+                .register_tenant(
+                    TenantSpec::frequency(t, t * 1_000 + 7)
+                        .with_mode(ServingMode::Sliding(WindowLen { intervals: 3 })),
+                )
+                .unwrap();
+            QueryEngine::with_policy(
+                2,
+                AtomicCountMedian::with_backend(&params().with_seed(t * 1_000 + 7)),
+                Sliding::new(3).unwrap(),
+            )
+        })
+        .collect();
+
+    // Phase 1: ingest + a couple of interval seals.
+    for round in 0..2u64 {
+        for (i, &t) in tenants.iter().enumerate() {
+            let batch = stream(t ^ round, 400);
+            fabric.handle(Request::Ingest(IngestFrame {
+                tenant: t,
+                updates: batch.clone(),
+            }));
+            mirrors[i].extend_from_slice(&batch);
+            fabric.handle(Request::AdvanceInterval(TenantRef { tenant: t }));
+            mirrors[i].advance_interval();
+        }
+    }
+
+    // Grow the ring: some tenants ship to shard 2 by linearity.
+    let report = fabric.add_shard(2, 1.0).unwrap();
+    assert!(
+        !report.moved.is_empty(),
+        "expected at least one tenant to move"
+    );
+    assert!(report.bytes_shipped > 0);
+    assert!(
+        fabric.meter().total_words() > 0,
+        "transfer traffic must be metered"
+    );
+    for m in &report.moved {
+        assert_eq!(m.to, 2, "growth may only move tenants onto the new shard");
+        assert_eq!(fabric.shard_of(m.tenant), Some(2));
+    }
+
+    // Phase 2: keep ingesting after the move.
+    for (i, &t) in tenants.iter().enumerate() {
+        let batch = stream(t.wrapping_mul(31), 400);
+        fabric.handle(Request::Ingest(IngestFrame {
+            tenant: t,
+            updates: batch.clone(),
+        }));
+        mirrors[i].extend_from_slice(&batch);
+    }
+
+    for (i, &t) in tenants.iter().enumerate() {
+        for item in (0..N).step_by(211) {
+            let got = expect_value(fabric.handle(Request::Point(PointQuery { tenant: t, item })));
+            assert_eq!(
+                got.to_bits(),
+                mirrors[i].estimate_live(item).to_bits(),
+                "tenant {t} item {item}"
+            );
+            let got =
+                expect_value(fabric.handle(Request::WindowPoint(PointQuery { tenant: t, item })));
+            assert_eq!(
+                got.to_bits(),
+                mirrors[i].point_in_window(item).to_bits(),
+                "tenant {t} item {item} (window)"
+            );
+        }
+        let got = expect_hh(
+            fabric.handle(Request::WindowHeavyHitters(HeavyHittersQuery {
+                tenant: t,
+                phi: 0.005,
+            })),
+        );
+        assert_eq!(
+            got,
+            hh_pairs(mirrors[i].heavy_hitters_in_window(0.005).unwrap())
+        );
+    }
+
+    // Shrink back: shard 2's tenants return to the survivors, still
+    // bit-for-bit.
+    let report = fabric.remove_shard(2).unwrap();
+    assert!(!report.moved.is_empty());
+    for (i, &t) in tenants.iter().enumerate() {
+        assert_ne!(fabric.shard_of(t), Some(2));
+        // Export flushes the shipped engines; drain both sides so the
+        // comparison sees the same applied prefix everywhere.
+        fabric.handle(Request::Flush(TenantRef { tenant: t }));
+        mirrors[i].flush();
+        for item in (0..N).step_by(509) {
+            let got = expect_value(fabric.handle(Request::Point(PointQuery { tenant: t, item })));
+            assert_eq!(got.to_bits(), mirrors[i].estimate_live(item).to_bits());
+        }
+    }
+}
+
+/// Backpressure and shedding: a saturated tenant gets `Busy`/`Shed`
+/// receipts, its queue bound holds, nothing is partially admitted —
+/// and its neighbors' answers are untouched.
+#[test]
+fn backpressure_is_explicit_bounded_and_isolated() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+
+    let hog = TenantSpec::frequency(1, 11)
+        .with_queue_capacity(64)
+        .with_interval_quota(200);
+    fabric.register_tenant(hog).unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(2, 22))
+        .unwrap();
+
+    // The neighbor ingests first; its answers are the baseline.
+    let neighbor_batch = stream(2, 1_000);
+    fabric.handle(Request::Ingest(IngestFrame {
+        tenant: 2,
+        updates: neighbor_batch.clone(),
+    }));
+    fabric.handle(Request::Flush(TenantRef { tenant: 2 }));
+    let baseline: Vec<f64> = (0..N)
+        .step_by(173)
+        .map(|item| expect_value(fabric.handle(Request::Point(PointQuery { tenant: 2, item }))))
+        .collect();
+
+    // A batch wider than the queue bound: Busy, nothing admitted.
+    let oversized = stream(1, 65);
+    match fabric.handle(Request::Ingest(IngestFrame {
+        tenant: 1,
+        updates: oversized,
+    })) {
+        Response::Busy(b) => {
+            assert_eq!(b.capacity, 64);
+            assert_eq!(b.pending, 0, "a rejected batch must admit nothing");
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Admissible batches up to the quota (flushing between batches to
+    // drain the queue): each receipt's pending obeys the queue bound.
+    let mut admitted = 0u64;
+    for _ in 0..5 {
+        match fabric.handle(Request::Ingest(IngestFrame {
+            tenant: 1,
+            updates: stream(1, 40),
+        })) {
+            Response::Admitted(a) => {
+                admitted += 40;
+                assert!(a.pending <= 64, "queue bound violated: {}", a.pending);
+            }
+            other => panic!("{other:?}"),
+        }
+        fabric.handle(Request::Flush(TenantRef { tenant: 1 }));
+    }
+    assert_eq!(admitted, 200, "exactly the quota is admitted");
+
+    // The queue is drained, but the interval quota is spent: even a
+    // one-update batch sheds (Shed, not Busy — quota outranks queue).
+
+    // Still over quota → Shed; the quota resets with the interval.
+    assert!(matches!(
+        fabric.handle(Request::Ingest(IngestFrame {
+            tenant: 1,
+            updates: stream(1, 1),
+        })),
+        Response::Shed(_)
+    ));
+    fabric.handle(Request::AdvanceInterval(TenantRef { tenant: 1 }));
+    assert!(matches!(
+        fabric.handle(Request::Ingest(IngestFrame {
+            tenant: 1,
+            updates: stream(1, 1),
+        })),
+        Response::Admitted(_)
+    ));
+
+    // Isolation: the hog's saturation never touched the neighbor.
+    let mirror = {
+        let mut e = QueryEngine::with_policy(
+            2,
+            AtomicCountMedian::with_backend(&params().with_seed(22)),
+            Unbounded,
+        );
+        e.extend_from_slice(&neighbor_batch);
+        e.flush();
+        e
+    };
+    for (i, item) in (0..N).step_by(173).enumerate() {
+        let now = expect_value(fabric.handle(Request::Point(PointQuery { tenant: 2, item })));
+        assert_eq!(
+            now.to_bits(),
+            baseline[i].to_bits(),
+            "neighbor answer drifted"
+        );
+        assert_eq!(now.to_bits(), mirror.estimate_live(item).to_bits());
+    }
+}
+
+/// Per-tenant audit budgets ride the spec: over-budget point queries
+/// are refused with `audit_rejected`, and the budget renews when the
+/// interval advances.
+#[test]
+fn audit_budgets_are_enforced_per_tenant() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(5, 55).with_audit_limit(2))
+        .unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(6, 66))
+        .unwrap();
+    fabric.handle(Request::Ingest(IngestFrame {
+        tenant: 5,
+        updates: stream(5, 100),
+    }));
+
+    for _ in 0..2 {
+        assert!(matches!(
+            fabric.handle(Request::Point(PointQuery { tenant: 5, item: 1 })),
+            Response::Value(_)
+        ));
+    }
+    match fabric.handle(Request::Point(PointQuery { tenant: 5, item: 1 })) {
+        Response::Error(e) => assert_eq!(e.code, "audit_rejected"),
+        other => panic!("expected audit refusal, got {other:?}"),
+    }
+    // A different key still has budget; the unaudited tenant is free.
+    assert!(matches!(
+        fabric.handle(Request::Point(PointQuery { tenant: 5, item: 2 })),
+        Response::Value(_)
+    ));
+    for _ in 0..10 {
+        assert!(matches!(
+            fabric.handle(Request::Point(PointQuery { tenant: 6, item: 1 })),
+            Response::Value(_)
+        ));
+    }
+    // Rotation renews the budget.
+    fabric.handle(Request::AdvanceInterval(TenantRef { tenant: 5 }));
+    assert!(matches!(
+        fabric.handle(Request::Point(PointQuery { tenant: 5, item: 1 })),
+        Response::Value(_)
+    ));
+}
+
+/// Protocol-level rejections are typed responses, never panics:
+/// unknown tenants, out-of-universe items, wrong-metric queries,
+/// duplicate registration, and pinned rotating tenants.
+#[test]
+fn rejections_are_typed_responses() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(1, 10))
+        .unwrap();
+    fabric
+        .register_tenant(
+            TenantSpec::frequency(9, 90)
+                .with_mode(ServingMode::Rotating(WindowLen { intervals: 2 })),
+        )
+        .unwrap();
+
+    let unknown = fabric.handle(Request::Point(PointQuery {
+        tenant: 99,
+        item: 0,
+    }));
+    match unknown {
+        Response::Error(e) => assert_eq!(e.code, "unknown_tenant"),
+        other => panic!("{other:?}"),
+    }
+    match fabric.handle(Request::Point(PointQuery {
+        tenant: 1,
+        item: N + 5,
+    })) {
+        Response::Error(e) => assert_eq!(e.code, "bad_query"),
+        other => panic!("{other:?}"),
+    }
+    match fabric.handle(Request::RangeSum(RangeQuery {
+        tenant: 1,
+        lo: 0,
+        hi: 5,
+    })) {
+        Response::Error(e) => assert_eq!(e.code, "unsupported"),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        fabric
+            .register_tenant(TenantSpec::frequency(1, 10))
+            .unwrap_err()
+            .code,
+        "tenant_exists"
+    );
+    // Rotating tenants serve, but refuse to be exported.
+    fabric.handle(Request::Ingest(IngestFrame {
+        tenant: 9,
+        updates: stream(9, 50),
+    }));
+    assert!(matches!(
+        fabric.handle(Request::WindowPoint(PointQuery { tenant: 9, item: 3 })),
+        Response::Value(_)
+    ));
+    match fabric.handle(Request::Export(TenantRef { tenant: 9 })) {
+        Response::Error(e) => assert_eq!(e.code, "unsupported"),
+        other => panic!("{other:?}"),
+    }
+}
