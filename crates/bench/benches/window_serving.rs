@@ -25,6 +25,14 @@
 //!   adaptive-adversary robustness;
 //! * **window heavy-hitter scans** — full-universe sweeps over the
 //!   window plane (full mode only; scans/sec);
+//! * **batched hot-path kernels** — the same update stream pushed
+//!   single-threaded through `update_batch` on Dense sketches built
+//!   over `HashKind::OneHash`: one `mix64` digest per item derives
+//!   all bucket indices (and Count-Sketch signs), and the counter
+//!   writes sweep row-major in blocks (`CounterMatrix::apply_rows`).
+//!   One row per sketch (`ingest/kernel-batch/<sketch>`) plus a
+//!   scalar one-by-one row under the same hash kind; compare with
+//!   `ingest/unbounded` for the kernel-vs-engine picture;
 //! * **multi-tenant fabric serving** — the same stream fanned across
 //!   a `bas_server::Fabric` at 4 / 16 / 64 tenants (each tenant its
 //!   own seed, four shards): ingest items/sec through admission
@@ -44,11 +52,14 @@
 
 use bas_bench::report::BenchReport;
 use bas_data::TimestampedStreamGen;
-use bas_hash::SeedSchedule;
+use bas_hash::{HashKind, SeedSchedule};
 use bas_serve::{QueryEngine, RotatingEngine, Sliding, WindowSnapshot};
 use bas_server::wire::{IngestFrame, PointQuery, TenantRef};
 use bas_server::{Fabric, FabricConfig, Request, Response, TenantSpec};
-use bas_sketch::{AtomicCountMedian, CountMedian, PointQuerySketch, SketchParams};
+use bas_sketch::{
+    AtomicCountMedian, CountMedian, CountMin, CountSketch, PointQuerySketch, SketchParams,
+    UpdatePolicy,
+};
 use bas_stream::drive_timestamped;
 use std::hint::black_box;
 use std::time::Instant;
@@ -145,6 +156,70 @@ fn main() {
         "items_per_sec",
         total_updates / unbounded_secs,
     );
+
+    // ---- batched hot-path kernels: one-hash rows + row-major sweep ----
+    // The same update stream, single-threaded, through `update_batch`
+    // on Dense sketches built over `HashKind::OneHash`: one mix64
+    // digest per item yields all DEPTH bucket indices (and the
+    // Count-Sketch signs), and the counter writes sweep row-major in
+    // 256-item blocks (`CounterMatrix::apply_rows`). The scalar row
+    // feeds the identical sketch configuration one update at a time —
+    // the gap is the kernel's whole win — and doubles as the
+    // exactness gate: kernel and scalar estimates must match bit for
+    // bit at every probed point.
+    {
+        let updates: Vec<(u64, f64)> = stream.iter().map(|u| (u.item, u.delta)).collect();
+        let kernel_params = params.with_hash_kind(HashKind::OneHash);
+        let mut kernel_bench = |label: &str, build: &dyn Fn() -> Box<dyn PointQuerySketch>| {
+            let mut batched = build();
+            let t = Instant::now();
+            for chunk in updates.chunks(CHUNK) {
+                batched.update_batch(chunk);
+            }
+            let kernel_rate = total_updates / t.elapsed().as_secs_f64();
+
+            let mut scalar = build();
+            let t = Instant::now();
+            for &(item, delta) in &updates {
+                scalar.update(item, delta);
+            }
+            let scalar_rate = total_updates / t.elapsed().as_secs_f64();
+
+            for j in (0..n).step_by(997) {
+                assert_eq!(
+                    batched.estimate(j),
+                    scalar.estimate(j),
+                    "kernel exactness gate failed for {label} at item {j}"
+                );
+            }
+            println!(
+                "  kernel ingest [{label}]: batched {:.2} M items/s vs scalar {:.2} M items/s \
+                 ({:.2}x)",
+                kernel_rate / 1e6,
+                scalar_rate / 1e6,
+                kernel_rate / scalar_rate
+            );
+            report.record(
+                &format!("ingest/kernel-batch/{label}"),
+                "items_per_sec",
+                kernel_rate,
+            );
+            report.record(
+                &format!("ingest/scalar-loop/{label}"),
+                "items_per_sec",
+                scalar_rate,
+            );
+        };
+        kernel_bench("count-median", &|| {
+            Box::new(CountMedian::new(&kernel_params))
+        });
+        kernel_bench("count-sketch", &|| {
+            Box::new(CountSketch::new(&kernel_params))
+        });
+        kernel_bench("count-min", &|| {
+            Box::new(CountMin::new(&kernel_params, UpdatePolicy::Plain))
+        });
+    }
 
     // ---- exactness gate: window == reference over the last K-1 closed
     // intervals + the in-progress one (Sliding(K) covers intervals

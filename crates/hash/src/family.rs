@@ -2,6 +2,7 @@
 
 use crate::carter_wegman::CarterWegman;
 use crate::multiply_shift::MultiplyShift;
+use crate::row_deriver::{DerivedRow, RowDeriver};
 use crate::seed::SplitMix64;
 use crate::tabulation::Tabulation;
 
@@ -34,6 +35,11 @@ pub enum HashKind {
     MultiplyShift,
     /// Simple tabulation hashing.
     Tabulation,
+    /// One-hash row derivation: one `mix64` digest per item, all rows
+    /// re-keyed from it by independent multiply-shifts (the batch
+    /// kernels hoist the digest out of the row loop — see
+    /// [`crate::RowDeriver`]). Rounds `s` up to a power of two.
+    OneHash,
 }
 
 /// A runtime-dispatched bucket hash, so sketches can be configured with
@@ -47,6 +53,8 @@ pub enum AnyBucketHasher {
     MultiplyShift(MultiplyShift),
     /// Tabulation instance.
     Tabulation(Tabulation),
+    /// One-hash derived row (shared digest, per-row re-keying).
+    Derived(DerivedRow),
 }
 
 impl AnyBucketHasher {
@@ -82,6 +90,7 @@ impl AnyBucketHasher {
             AnyBucketHasher::CarterWegman(h) => each(h, items, f),
             AnyBucketHasher::MultiplyShift(h) => each(h, items, f),
             AnyBucketHasher::Tabulation(h) => each(h, items, f),
+            AnyBucketHasher::Derived(h) => each(h, items, f),
         }
     }
 }
@@ -93,6 +102,7 @@ impl BucketHasher for AnyBucketHasher {
             AnyBucketHasher::CarterWegman(h) => h.bucket(item),
             AnyBucketHasher::MultiplyShift(h) => h.bucket(item),
             AnyBucketHasher::Tabulation(h) => h.bucket(item),
+            AnyBucketHasher::Derived(h) => h.bucket(item),
         }
     }
 
@@ -101,6 +111,7 @@ impl BucketHasher for AnyBucketHasher {
             AnyBucketHasher::CarterWegman(h) => h.num_buckets(),
             AnyBucketHasher::MultiplyShift(h) => h.num_buckets(),
             AnyBucketHasher::Tabulation(h) => h.num_buckets(),
+            AnyBucketHasher::Derived(h) => h.num_buckets(),
         }
     }
 }
@@ -166,6 +177,20 @@ where
         Some(AnyBucketHasher::CarterWegman(_)) => homogeneous!(CarterWegman),
         Some(AnyBucketHasher::MultiplyShift(_)) => homogeneous!(MultiplyShift),
         Some(AnyBucketHasher::Tabulation(_)) => homogeneous!(Tabulation),
+        Some(AnyBucketHasher::Derived(_)) => {
+            // One-hash rows: compute the shared digest once per item
+            // and derive every row's bucket from it — the whole point
+            // of the family (mixed digest keys fall through).
+            if let Some(rd) = RowDeriver::from_hashers(hashers) {
+                for &(x, payload) in items {
+                    let digest = rd.digest(x);
+                    for row in 0..rd.depth() {
+                        f(row, x, rd.bucket_of_digest(row, digest), payload);
+                    }
+                }
+                return;
+            }
+        }
     }
     // Mixed families (never produced by one HashFamily): dispatch per
     // call, exactly like the one-by-one update path.
@@ -184,6 +209,11 @@ pub struct HashFamily {
     kind: HashKind,
     buckets: usize,
     seeder: SplitMix64,
+    /// Family-wide digest key for [`HashKind::OneHash`] rows (drawn
+    /// once so every sampled row shares it); zero and never drawn for
+    /// the other kinds, keeping their sampling streams — and the frozen
+    /// golden vectors built on them — untouched.
+    derive_key: u64,
 }
 
 impl HashFamily {
@@ -193,20 +223,27 @@ impl HashFamily {
             kind: HashKind::CarterWegman,
             buckets,
             seeder: seeder.split(),
+            derive_key: 0,
         }
     }
 
-    /// Creates a family of the given kind. Multiply-shift rounds the
-    /// bucket count up to the next power of two.
+    /// Creates a family of the given kind. Multiply-shift and one-hash
+    /// derivation round the bucket count up to the next power of two.
     pub fn new(kind: HashKind, seeder: &mut SplitMix64, buckets: usize) -> Self {
         let buckets = match kind {
-            HashKind::MultiplyShift => MultiplyShift::round_up_buckets(buckets),
+            HashKind::MultiplyShift | HashKind::OneHash => MultiplyShift::round_up_buckets(buckets),
             _ => buckets,
+        };
+        let mut seeder = seeder.split();
+        let derive_key = match kind {
+            HashKind::OneHash => seeder.next_u64(),
+            _ => 0,
         };
         Self {
             kind,
             buckets,
-            seeder: seeder.split(),
+            seeder,
+            derive_key,
         }
     }
 
@@ -228,6 +265,11 @@ impl HashFamily {
             HashKind::Tabulation => {
                 AnyBucketHasher::Tabulation(Tabulation::sample(&mut self.seeder, self.buckets))
             }
+            HashKind::OneHash => AnyBucketHasher::Derived(DerivedRow::sample(
+                &mut self.seeder,
+                self.derive_key,
+                self.buckets,
+            )),
         }
     }
 
@@ -268,6 +310,7 @@ mod tests {
             HashKind::CarterWegman,
             HashKind::MultiplyShift,
             HashKind::Tabulation,
+            HashKind::OneHash,
         ] {
             let mut fam = HashFamily::new(kind, &mut seeder, 64);
             let h = fam.sample();
@@ -284,6 +327,7 @@ mod tests {
             HashKind::CarterWegman,
             HashKind::MultiplyShift,
             HashKind::Tabulation,
+            HashKind::OneHash,
         ] {
             let mut fam = HashFamily::new(kind, &mut seeder, 64);
             let h = fam.sample();
@@ -307,6 +351,7 @@ mod tests {
             HashKind::CarterWegman,
             HashKind::MultiplyShift,
             HashKind::Tabulation,
+            HashKind::OneHash,
         ] {
             let mut fam = HashFamily::new(kind, &mut seeder, 32);
             let hashers = fam.sample_many(4);

@@ -6,7 +6,7 @@ use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
 use crate::util::median_of_rows;
-use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
+use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, RowDeriver, SplitMix64};
 
 /// The Count-Median sketch of Cormode & Muthukrishnan (paper, Theorem 1).
 ///
@@ -139,15 +139,26 @@ impl<B: CounterBackend> PointQuerySketch for CountMedian<B> {
         }
     }
 
-    /// Batched update through [`bas_hash::bucket_rows_each`]: the hash
-    /// family is dispatched once for the whole batch and the inner
-    /// item×row loop runs fully monomorphized. Iteration order is the
-    /// same as the one-by-one loop, so the result is bit-for-bit
-    /// identical.
+    /// Batched update. One-hash rows ([`bas_hash::HashKind::OneHash`])
+    /// route through the row-major kernel
+    /// [`CounterMatrix::apply_rows`]: one digest per item, all `d`
+    /// bucket indices derived up front, counter writes swept row by
+    /// row per block. Every other family goes through
+    /// [`bas_hash::bucket_rows_each`] — family dispatched once for the
+    /// whole batch, inner item×row loop fully monomorphized. Both
+    /// paths are bit-for-bit identical to the one-by-one loop (each
+    /// cell receives the same increments in item order).
     fn update_batch(&mut self, items: &[(u64, f64)]) {
         #[cfg(debug_assertions)]
         for &(item, _) in items {
             debug_assert!(item < self.params.n, "item outside universe");
+        }
+        if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
+            self.grid.apply_rows(items, |x, delta, cols, vals| {
+                rd.buckets_into(x, cols);
+                vals.fill(delta);
+            });
+            return;
         }
         let grid = &mut self.grid;
         bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {

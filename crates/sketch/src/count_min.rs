@@ -5,7 +5,8 @@ use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
 use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
-use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SplitMix64};
+use crate::util::MEDIAN_SCRATCH_DEPTH;
+use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, RowDeriver, SplitMix64};
 
 /// Update policy for [`CountMin`].
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -185,9 +186,29 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
                 }
             }
             UpdatePolicy::Conservative => {
-                let target = self.min_over_rows(item) + delta;
-                for row in 0..self.params.depth {
-                    let b = self.hashers[row].bucket(item);
+                // Hash each row once: the same indices feed the
+                // pre-update minimum and the raise pass (previously the
+                // raise pass re-evaluated every row hash).
+                let depth = self.params.depth;
+                let mut scratch = [0usize; MEDIAN_SCRATCH_DEPTH];
+                let mut spill;
+                let buckets: &mut [usize] = if depth <= MEDIAN_SCRATCH_DEPTH {
+                    &mut scratch[..depth]
+                } else {
+                    spill = vec![0usize; depth];
+                    &mut spill
+                };
+                let mut target = f64::INFINITY;
+                for (row, h) in self.hashers.iter().enumerate() {
+                    let b = h.bucket(item);
+                    buckets[row] = b;
+                    let v = self.grid.get(row, b);
+                    if v < target {
+                        target = v;
+                    }
+                }
+                target += delta;
+                for (row, &b) in buckets.iter().enumerate() {
                     if self.grid.get(row, b) < target {
                         self.grid.set(row, b, target);
                     }
@@ -196,14 +217,16 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
         }
     }
 
-    /// Batch update. [`UpdatePolicy::Plain`] takes the
-    /// dispatch-hoisted fast path of [`bas_hash::bucket_rows_each`];
-    /// [`UpdatePolicy::Conservative`] necessarily stays item-by-item
-    /// because each bump depends on the pre-update minimum across all
-    /// rows — exactly the state dependence that also breaks linearity.
-    /// Both policies validate the whole batch before touching any
-    /// counter, and both are bit-for-bit equivalent to the one-by-one
-    /// loop on valid (non-negative) input.
+    /// Batch update. [`UpdatePolicy::Plain`] takes the row-major
+    /// kernel ([`CounterMatrix::apply_rows`]) on one-hash rows and the
+    /// dispatch-hoisted fast path of [`bas_hash::bucket_rows_each`]
+    /// otherwise; [`UpdatePolicy::Conservative`] necessarily stays
+    /// item-by-item because each bump depends on the pre-update
+    /// minimum across all rows — exactly the state dependence that
+    /// also breaks linearity. Both policies validate the whole batch
+    /// before touching any counter, and both are bit-for-bit
+    /// equivalent to the one-by-one loop on valid (non-negative)
+    /// input.
     fn update_batch(&mut self, items: &[(u64, f64)]) {
         for &(item, delta) in items {
             debug_assert!(item < self.params.n, "item outside universe");
@@ -211,6 +234,13 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
         }
         match self.policy {
             UpdatePolicy::Plain => {
+                if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
+                    self.grid.apply_rows(items, |x, delta, cols, vals| {
+                        rd.buckets_into(x, cols);
+                        vals.fill(delta);
+                    });
+                    return;
+                }
                 let grid = &mut self.grid;
                 bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
                     grid.add(row, b, delta);

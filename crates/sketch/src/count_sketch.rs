@@ -6,7 +6,22 @@ use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
 use crate::util::median_of_rows;
-use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, SignHash, SignHasher, SplitMix64};
+use bas_hash::{
+    AnyBucketHasher, BucketHasher, HashFamily, RowDeriver, SignHash, SignHasher, SplitMix64,
+};
+
+/// One row's sign for `item`. One-hash rows carry their own sign
+/// channel derived from the shared digest (so batch kernels get signs
+/// for free); every other family uses the row's sampled [`SignHash`].
+/// The constructor samples the `SignHash` vector identically for all
+/// kinds, so seeding streams and the serialized layout never change.
+#[inline]
+fn row_sign(hasher: &AnyBucketHasher, sign: &SignHash, item: u64) -> i8 {
+    match hasher {
+        AnyBucketHasher::Derived(r) => r.sign(item),
+        _ => sign.sign(item),
+    }
+}
 
 /// The Count-Sketch of Charikar, Chen & Farach-Colton (paper, Theorem 2).
 ///
@@ -104,7 +119,7 @@ impl<B: CounterBackend> CountSketch<B> {
     /// The sign the item carries in a given row.
     #[inline]
     pub fn sign_of(&self, row: usize, item: u64) -> f64 {
-        self.signs[row].sign_f64(item)
+        row_sign(&self.hashers[row], &self.signs[row], item) as f64
     }
 
     /// Estimates the inner product `⟨x, y⟩` from two Count-Sketches of
@@ -177,7 +192,7 @@ impl<B: CounterBackend> CountSketch<B> {
         let mut psis = CounterMatrix::<f64>::new(self.params.width, self.params.depth);
         for j in 0..self.params.n {
             for (row, h) in self.hashers.iter().enumerate() {
-                psis.add(row, h.bucket(j), self.signs[row].sign_f64(j));
+                psis.add(row, h.bucket(j), row_sign(h, &self.signs[row], j) as f64);
             }
         }
         psis
@@ -200,32 +215,50 @@ impl<B: CounterBackend> PointQuerySketch for CountSketch<B> {
         debug_assert!(item < self.params.n, "item outside universe");
         for row in 0..self.params.depth {
             let b = self.hashers[row].bucket(item);
-            let s = self.signs[row].sign(item) as f64;
+            let s = row_sign(&self.hashers[row], &self.signs[row], item) as f64;
             self.grid.add(row, b, s * delta);
         }
     }
 
-    /// Batched update through [`bas_hash::bucket_rows_each`]: the hash
-    /// family is dispatched once for the whole batch and the inner
-    /// item×row loop (bucket hash + sign flip + add) runs fully
-    /// monomorphized. Iteration order is the same as the one-by-one
-    /// loop, so the result is bit-for-bit identical.
+    /// Batched update. One-hash rows route through the row-major
+    /// kernel [`CounterMatrix::apply_rows`] — one digest per item
+    /// yields every row's bucket *and* sign, then the signed writes
+    /// sweep row by row per block. Other families go through
+    /// [`bas_hash::bucket_rows_each`]: family dispatched once for the
+    /// whole batch, inner item×row loop (bucket hash + sign flip +
+    /// add) fully monomorphized. Both paths are bit-for-bit identical
+    /// to the one-by-one loop.
     fn update_batch(&mut self, items: &[(u64, f64)]) {
         #[cfg(debug_assertions)]
         for &(item, _) in items {
             debug_assert!(item < self.params.n, "item outside universe");
         }
+        if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
+            self.grid.apply_rows(items, |x, delta, cols, vals| {
+                let digest = rd.digest(x);
+                for row in 0..cols.len() {
+                    cols[row] = rd.bucket_of_digest(row, digest);
+                    vals[row] = rd.sign_of_digest(row, digest) as f64 * delta;
+                }
+            });
+            return;
+        }
         let grid = &mut self.grid;
+        let hashers = &self.hashers;
         let signs = &self.signs;
-        bas_hash::bucket_rows_each(&self.hashers, items, |row, item, b, delta: f64| {
-            grid.add(row, b, signs[row].sign(item) as f64 * delta);
+        bas_hash::bucket_rows_each(hashers, items, |row, item, b, delta: f64| {
+            grid.add(
+                row,
+                b,
+                row_sign(&hashers[row], &signs[row], item) as f64 * delta,
+            );
         });
     }
 
     fn estimate(&self, item: u64) -> f64 {
         median_of_rows(self.params.depth, |row| {
             let b = self.hashers[row].bucket(item);
-            self.signs[row].sign(item) as f64 * self.grid.get(row, b)
+            row_sign(&self.hashers[row], &self.signs[row], item) as f64 * self.grid.get(row, b)
         })
     }
 
@@ -251,7 +284,7 @@ where
         debug_assert!(item < self.params.n, "item outside universe");
         for row in 0..self.params.depth {
             let b = self.hashers[row].bucket(item);
-            let s = self.signs[row].sign(item) as f64;
+            let s = row_sign(&self.hashers[row], &self.signs[row], item) as f64;
             self.grid.add_shared(row, b, s * delta);
         }
     }
@@ -262,9 +295,14 @@ where
             debug_assert!(item < self.params.n, "item outside universe");
         }
         let grid = &self.grid;
+        let hashers = &self.hashers;
         let signs = &self.signs;
-        bas_hash::bucket_rows_each(&self.hashers, items, |row, item, b, delta: f64| {
-            grid.add_shared(row, b, signs[row].sign(item) as f64 * delta);
+        bas_hash::bucket_rows_each(hashers, items, |row, item, b, delta: f64| {
+            grid.add_shared(
+                row,
+                b,
+                row_sign(&hashers[row], &signs[row], item) as f64 * delta,
+            );
         });
     }
 }
@@ -283,7 +321,7 @@ impl<B: CounterBackend> Snapshottable for CountSketch<B> {
     fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
         median_of_rows(self.params.depth, |row| {
             let b = self.hashers[row].bucket(item);
-            self.signs[row].sign(item) as f64 * snap.get(row, b)
+            row_sign(&self.hashers[row], &self.signs[row], item) as f64 * snap.get(row, b)
         })
     }
 

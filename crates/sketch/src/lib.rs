@@ -68,8 +68,21 @@
 //! loop fully monomorphized, with no per-item enum dispatch. The
 //! result is bit-for-bit equivalent to the one-by-one loop and
 //! measurably faster (see the `throughput_ingest` bench, which also
-//! records why a row-major sweep was rejected). `bas-pipeline` builds
-//! on this to shard batches across threads and merge by linearity.
+//! records why a *whole-batch* row-major sweep was rejected —
+//! re-streaming a multi-MiB batch once per row loses to one pass).
+//! `bas-pipeline` builds on this to shard batches across threads and
+//! merge by linearity.
+//!
+//! On one-hash rows (`bas_hash::HashKind::OneHash`) the linear grid
+//! sketches go further: `update_batch` routes through the **blocked
+//! row-major kernel** [`CounterMatrix::apply_rows`] — one `mix64`
+//! digest per item yields all `d` bucket indices (and Count-Sketch
+//! signs) by per-row multiply-shift re-keying, the whole block's
+//! indices are precomputed, and the counter writes sweep row by row
+//! within the block (L1-resident scratch, so none of the whole-batch
+//! sweep's losses). Conservative-update Count-Min stays item-by-item:
+//! each bump reads the pre-update minimum across all rows, a state
+//! dependence no precomputed schedule can honor.
 //!
 //! ```
 //! use bas_sketch::{CountSketch, PointQuerySketch, SketchParams};

@@ -204,7 +204,9 @@ impl<B: CounterBackend> PointQuerySketch for RangeSumSketch<B> {
 
     /// Applies a batch of updates level-major: items are shifted into
     /// each dyadic level's block coordinates incrementally, then handed
-    /// to that level's [`CountMedian::update_batch`] fast path. One
+    /// to that level's [`CountMedian::update_batch`] fast path — so
+    /// under `bas_hash::HashKind::OneHash` every dyadic level takes
+    /// the blocked row-major kernel for free. One
     /// scratch buffer serves all levels. Bit-for-bit equivalent to
     /// calling [`update`](PointQuerySketch::update) per item (each
     /// counter sees the same deltas in the same order).

@@ -56,6 +56,13 @@ fn params(seed: u64) -> SketchParams {
     SketchParams::new(N, WIDTH, DEPTH).with_seed(seed)
 }
 
+/// The kernel hash kind (PR 8). `WIDTH` is a power of two, so OneHash
+/// keeps the exact (bound, δ) geometry of the default family — the
+/// reruns below hold it to the same acceptance lines.
+fn one_hash_params(seed: u64) -> SketchParams {
+    params(seed).with_hash_kind(bias_aware_sketches::hashing::HashKind::OneHash)
+}
+
 /// Exact upper tail `P[Bin(n, p) ≥ k]`.
 fn binom_tail(n: u64, p: f64, k: u64) -> f64 {
     let mut total = 0.0;
@@ -254,6 +261,88 @@ fn range_sum_union_bound() {
             }
             (failures, queries)
         });
+    }
+}
+
+// ---- the same (bound, δ) pairs under the one-hash kernel kind ----
+//
+// `HashKind::OneHash` derives all row buckets (and Count-Sketch
+// signs) from one strong digest by per-row multiply-shift re-keying;
+// mix64 is a bijection, so each derived row stays a pairwise-
+// independent multiply-shift family and the cited analyses apply
+// unchanged. These reruns check that empirically: same trials, same
+// streams, same acceptance lines — only the hash kind differs (and
+// the batch path, which routes through the row-major kernel).
+
+#[test]
+fn count_median_l1_bound_under_one_hash() {
+    let delta = binom_tail(DEPTH as u64, 1.0 / 3.0, (DEPTH as u64).div_ceil(2));
+    for kind in ["zipf", "uniform"] {
+        assert_conformance("CM/one-hash", kind, delta, |seed, stream| {
+            let mut sk = CountMedian::new(&one_hash_params(seed));
+            sk.update_batch(stream);
+            let truth = truth_of(stream);
+            let bound = 3.0 * truth.iter().sum::<f64>() / WIDTH as f64;
+            let (mut failures, mut queries) = (0, 0);
+            for j in (0..N).step_by(QUERY_STEP) {
+                queries += 1;
+                if (sk.estimate(j) - truth[j as usize]).abs() > bound {
+                    failures += 1;
+                }
+            }
+            (failures, queries)
+        });
+    }
+}
+
+#[test]
+fn count_sketch_l2_bound_under_one_hash() {
+    let delta = binom_tail(DEPTH as u64, 1.0 / 9.0, (DEPTH as u64).div_ceil(2));
+    for kind in ["zipf", "uniform"] {
+        assert_conformance("CS/one-hash", kind, delta, |seed, stream| {
+            let mut sk = CountSketch::new(&one_hash_params(seed));
+            sk.update_batch(stream);
+            let truth = truth_of(stream);
+            let l2 = truth.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let bound = 3.0 * l2 / (WIDTH as f64).sqrt();
+            let (mut failures, mut queries) = (0, 0);
+            for j in (0..N).step_by(QUERY_STEP) {
+                queries += 1;
+                if (sk.estimate(j) - truth[j as usize]).abs() > bound {
+                    failures += 1;
+                }
+            }
+            (failures, queries)
+        });
+    }
+}
+
+#[test]
+fn count_min_bounds_under_one_hash() {
+    let delta = (-(DEPTH as f64)).exp();
+    for kind in ["zipf", "uniform"] {
+        for policy in [UpdatePolicy::Plain, UpdatePolicy::Conservative] {
+            assert_conformance("CMin/one-hash", kind, delta, |seed, stream| {
+                let mut sk = CountMin::new(&one_hash_params(seed), policy);
+                sk.update_batch(stream);
+                let truth = truth_of(stream);
+                let mass: f64 = truth.iter().sum();
+                let bound = std::f64::consts::E / WIDTH as f64 * mass;
+                let (mut failures, mut queries) = (0, 0);
+                for j in (0..N).step_by(QUERY_STEP) {
+                    let (est, x) = (sk.estimate(j), truth[j as usize]);
+                    assert!(
+                        est >= x - 1e-9,
+                        "one-hash Count-Min underestimated item {j}"
+                    );
+                    queries += 1;
+                    if est - x > bound {
+                        failures += 1;
+                    }
+                }
+                (failures, queries)
+            });
+        }
     }
 }
 

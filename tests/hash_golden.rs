@@ -125,6 +125,114 @@ fn count_median_bucket_layouts_are_frozen_per_family() {
     }
 }
 
+/// The one-hash row family (PR 8's hot-path kind): one strong digest
+/// per item, per-row multiply-shift re-keying. The digest and every
+/// row's bucket (and sign) are wire format exactly like the classical
+/// families above — a kernel-batched writer and a scalar reader must
+/// land on identical counters.
+#[test]
+fn one_hash_derived_rows_are_frozen() {
+    let mut seeder = SplitMix64::new(0x601D_0005);
+    let mut family = HashFamily::new(HashKind::OneHash, &mut seeder, 1024);
+    let rows = family.sample_many(3);
+    let rd = RowDeriver::from_hashers(&rows).expect("one-hash rows share a derive key");
+    // The shared digest: everything per-row derives from this value.
+    assert_eq!(
+        ITEMS.map(|i| rd.digest(i)),
+        [
+            6446442575830062425,
+            15468884534851840552,
+            11318174250525850600,
+            14819311370465357994,
+            4375179080157678485,
+            10808876064016565925,
+            12638807151608488097,
+            6285192542734625835,
+        ]
+    );
+    // Per-row bucket derivations, through the public hasher interface.
+    let expected_buckets: [[usize; 8]; 3] = [
+        [259, 869, 170, 883, 915, 402, 344, 499],
+        [89, 296, 608, 630, 879, 631, 831, 546],
+        [442, 637, 837, 403, 143, 40, 425, 369],
+    ];
+    for (row, want) in expected_buckets.iter().enumerate() {
+        assert_eq!(&ITEMS.map(|i| rows[row].bucket(i)), want, "row {row}");
+    }
+    // Per-row sign derivations (the Count-Sketch channel).
+    let expected_signs: [[i8; 8]; 3] = [
+        [-1, 1, 1, -1, 1, -1, -1, 1],
+        [1, 1, -1, 1, -1, 1, 1, -1],
+        [-1, -1, 1, -1, -1, 1, -1, -1],
+    ];
+    for (row, want) in expected_signs.iter().enumerate() {
+        let digest_signs = ITEMS.map(|i| rd.sign_of_digest(row, rd.digest(i)));
+        assert_eq!(&digest_signs, want, "row {row}");
+    }
+}
+
+/// Sketch-level one-hash layouts through the whole `HashFamily`
+/// seeding chain, plus the sign channel Count-Sketch recovery uses —
+/// the counterpart of `count_median_bucket_layouts_are_frozen_per_family`
+/// for the kernel kind.
+#[test]
+fn one_hash_sketch_layouts_and_signs_are_frozen() {
+    let p = SketchParams::new(100_000, 512, 3)
+        .with_seed(9)
+        .with_hash_kind(HashKind::OneHash);
+    let cm = CountMedian::new(&p);
+    let expected: [[usize; 8]; 3] = [
+        [206, 70, 423, 10, 74, 131, 196, 46],
+        [16, 36, 23, 285, 279, 109, 94, 200],
+        [156, 7, 158, 313, 332, 207, 275, 336],
+    ];
+    for (row, want) in expected.iter().enumerate() {
+        assert_eq!(
+            &ITEMS.map(|i| cm.bucket_of(row, i % 100_000)),
+            want,
+            "OneHash row {row}"
+        );
+    }
+    let cs = CountSketch::new(&p);
+    let expected_signs: [[f64; 8]; 3] = [
+        [1.0, -1.0, 1.0, 1.0, 1.0, -1.0, 1.0, 1.0],
+        [-1.0, 1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0],
+        [1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0],
+    ];
+    for (row, want) in expected_signs.iter().enumerate() {
+        assert_eq!(
+            &ITEMS.map(|i| cs.sign_of(row, i % 100_000)),
+            want,
+            "OneHash sign row {row}"
+        );
+    }
+}
+
+/// Seed rotation over the one-hash kind: generation `g` of a rotating
+/// engine hashes under `schedule.seed_for(g)`, and a reconstructing
+/// party (window reference, distributed site) must derive identical
+/// one-hash layouts for every generation.
+#[test]
+fn one_hash_rotations_are_frozen() {
+    let schedule = SeedSchedule::new(0x601D_0006);
+    let expected: [[usize; 8]; 3] = [
+        [487, 498, 440, 177, 434, 309, 189, 180],
+        [80, 183, 487, 136, 442, 318, 185, 495],
+        [426, 510, 397, 195, 193, 54, 113, 428],
+    ];
+    for (g, want) in expected.iter().enumerate() {
+        let p = SketchParams::new(100_000, 512, 3)
+            .with_seed(schedule.seed_for(g as u64))
+            .with_hash_kind(HashKind::OneHash);
+        let cm = CountMedian::new(&p);
+        assert_eq!(
+            &ITEMS.map(|i| cm.bucket_of(0, i % 100_000)),
+            want,
+            "OneHash rotation {g}, row 0"
+        );
+    }
+}
+
 #[test]
 fn seed_schedule_rotations_are_frozen() {
     // Per-rotation seed derivations are wire format exactly like the
