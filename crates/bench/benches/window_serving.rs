@@ -37,7 +37,14 @@
 //!   a `bas_server::Fabric` at 4 / 16 / 64 tenants (each tenant its
 //!   own seed, four shards): ingest items/sec through admission
 //!   control and point queries/sec through request dispatch. The gap
-//!   to the single-engine numbers is the fabric's per-request tax.
+//!   to the single-engine numbers is the fabric's per-request tax;
+//! * **socket-path serving** — the same fabric behind the
+//!   `bas_server::Daemon` on a loopback TCP socket, driven through the
+//!   reconnecting `Client`: ingest items/sec in framed batches and
+//!   point queries/sec with one round trip per query. The gap to the
+//!   in-process fabric rows is the whole wire tax (serde framing +
+//!   syscalls + loopback latency), with a bit-for-bit gate comparing
+//!   socket answers against in-process dispatch on the same daemon.
 //!
 //! Throughput numbers are *reported*; the **exactness gates are
 //! asserted** in every mode: after the stream drains, the pinned
@@ -55,7 +62,10 @@ use bas_data::TimestampedStreamGen;
 use bas_hash::{HashKind, SeedSchedule};
 use bas_serve::{QueryEngine, RotatingEngine, Sliding, WindowSnapshot};
 use bas_server::wire::{IngestFrame, PointQuery, TenantRef};
-use bas_server::{Fabric, FabricConfig, Request, Response, TenantSpec};
+use bas_server::{
+    Client, Daemon, DaemonConfig, Fabric, FabricConfig, Request, Response, RetryPolicy, TenantSpec,
+    MAX_FRAME_BYTES,
+};
 use bas_sketch::{
     AtomicCountMedian, CountMedian, CountMin, CountSketch, PointQuerySketch, SketchParams,
     UpdatePolicy,
@@ -455,6 +465,105 @@ fn main() {
             "queries_per_sec",
             fabric_qps,
         );
+    }
+
+    // ---- socket-path serving: the same fabric behind the daemon ----
+    // Four tenants, four shards, loopback TCP through the framed wire
+    // protocol. Queries pay one full round trip each, so the query
+    // count is trimmed; the rows land next to `fabric/*` so the wire
+    // tax reads off directly.
+    {
+        let tenants = 4u64;
+        let mut fabric = Fabric::new(FabricConfig::new(params.clone()).with_workers(workers));
+        for shard in 0..4 {
+            fabric.add_shard(shard, 1.0).expect("fresh shard id");
+        }
+        for tenant in 0..tenants {
+            fabric
+                .register_tenant(TenantSpec::frequency(tenant, 1_000 + tenant))
+                .expect("fresh tenant id");
+        }
+        let daemon = Daemon::bind_tcp("127.0.0.1:0", fabric, None, DaemonConfig::new())
+            .expect("bind loopback daemon");
+        let addr = daemon.local_addr().expect("tcp address");
+        let mut client = Client::new(
+            move || {
+                let s = std::net::TcpStream::connect(addr)?;
+                s.set_nodelay(true)?; // one frame per round trip
+                Ok(s)
+            },
+            RetryPolicy::new(),
+            MAX_FRAME_BYTES,
+        );
+
+        let t = Instant::now();
+        for (i, chunk) in stream.chunks(CHUNK).enumerate() {
+            let updates: Vec<(u64, f64)> = chunk.iter().map(|u| (u.item, u.delta)).collect();
+            let frame = IngestFrame {
+                tenant: i as u64 % tenants,
+                updates,
+            };
+            match client.call(&Request::Ingest(frame)).expect("socket ingest") {
+                Response::Admitted(_) => {}
+                other => panic!("daemon refused ingest: {other:?}"),
+            }
+        }
+        for tenant in 0..tenants {
+            client
+                .call(&Request::Flush(TenantRef { tenant }))
+                .expect("socket flush");
+        }
+        let socket_ingest = total_updates / t.elapsed().as_secs_f64();
+
+        let socket_queries = (queries / 4).max(1_000);
+        let t = Instant::now();
+        let mut item = 0xBEEFu64;
+        let mut acc = 0.0;
+        for q in 0..socket_queries {
+            item = item.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let query = PointQuery {
+                tenant: q as u64 % tenants,
+                item: item % n,
+            };
+            match client.call(&Request::Point(query)).expect("socket query") {
+                Response::Value(v) => acc += v.value,
+                other => panic!("daemon refused query: {other:?}"),
+            }
+        }
+        black_box(acc);
+        let socket_qps = socket_queries as f64 / t.elapsed().as_secs_f64();
+
+        // Exactness gate: socket answers are in-process answers.
+        for probe in (0..n).step_by(997) {
+            let query = PointQuery {
+                tenant: probe % tenants,
+                item: probe,
+            };
+            let over_wire = match client.call(&Request::Point(query.clone())).unwrap() {
+                Response::Value(v) => v.value,
+                other => panic!("daemon refused probe: {other:?}"),
+            };
+            let in_process = match daemon.fabric().handle(Request::Point(query)) {
+                Response::Value(v) => v.value,
+                other => panic!("fabric refused probe: {other:?}"),
+            };
+            assert_eq!(
+                over_wire.to_bits(),
+                in_process.to_bits(),
+                "socket exactness gate failed at item {probe}"
+            );
+        }
+
+        println!(
+            "  daemon (loopback tcp) x{tenants}: ingest {:.2} M items/s, point queries {:.1} K qps \
+             (1 round trip per query)",
+            socket_ingest / 1e6,
+            socket_qps / 1e3
+        );
+        report.record("daemon/ingest/tcp", "items_per_sec", socket_ingest);
+        report.record("daemon/queries/tcp", "queries_per_sec", socket_qps);
+        drop(client);
+        daemon.shutdown().expect("daemon shutdown");
     }
 
     match report.write() {

@@ -40,7 +40,7 @@ use std::path::{Path, PathBuf};
 /// Default combined summary filename (resolved against the workspace
 /// root, not the bench's cwd — cargo runs bench binaries from the
 /// package directory).
-pub const DEFAULT_COMBINED_NAME: &str = "BENCH_PR8.json";
+pub const DEFAULT_COMBINED_NAME: &str = "BENCH_PR9.json";
 
 /// Default fragment directory name under the workspace `target/`.
 pub const DEFAULT_SECTIONS_DIR: &str = "bench-sections";

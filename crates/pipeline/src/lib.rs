@@ -89,7 +89,9 @@ mod sharded;
 pub mod window;
 
 pub use concurrent::ConcurrentIngest;
-pub use epoch::{EpochGuard, EpochHandle, EpochSketch, SnapshotHandle};
+pub use epoch::{
+    EpochGuard, EpochHandle, EpochSketch, FillBudget, SnapshotHandle, SnapshotUnavailable,
+};
 pub use rotate::{RotatingGeneration, RotatingIngest};
 pub use sharded::ShardedIngest;
 pub use window::WindowedIngest;

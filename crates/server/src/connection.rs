@@ -10,7 +10,8 @@
 
 use crate::fabric::Fabric;
 use crate::wire::{read_frame, write_frame, ErrorReply, Request, Response, WireError};
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
+use std::time::Duration;
 
 /// Serves requests from `reader`, writing one response per frame to
 /// `writer`, until clean end-of-stream. Returns the number of frames
@@ -59,4 +60,210 @@ pub fn call<R: Read, W: Write>(
         expected: 4,
         got: 0,
     })
+}
+
+/// Bounded-retry policy for [`Client::call`] /
+/// [`call_with_retry`]: exponential backoff with deterministic jitter.
+///
+/// The backoff before attempt `n` (0-based) is
+/// `base_delay · 2ⁿ`, scaled by a jitter factor in `[0.5, 1.5)`
+/// derived from [`bas_hash::mix64`] over `(seed, attempt)` — full
+/// determinism (no wall-clock entropy) so test runs and incident
+/// reproductions see identical schedules — and clamped to
+/// `max_delay`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (the first call plus retries); 0 behaves as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Cap on any single backoff.
+    pub max_delay: Duration,
+    /// Jitter seed (vary per client to de-synchronize herds).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Defaults: 4 attempts, 10 ms base, 500 ms cap, seed 0.
+    pub fn new() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+
+    /// Sets the attempt bound.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the base backoff.
+    pub fn with_base_delay(mut self, base_delay: Duration) -> Self {
+        self.base_delay = base_delay;
+        self
+    }
+
+    /// Sets the backoff cap.
+    pub fn with_max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        // Jitter factor in [0.5, 1.5): top 53 bits of a mix over
+        // (seed, attempt), mapped to [0, 1).
+        let bits = bas_hash::mix64(self.seed ^ ((attempt as u64) << 32 | 0x9E37));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = doubled.mul_f64(0.5 + unit);
+        jittered.min(self.max_delay)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Why a retried call ultimately failed.
+#[derive(Debug)]
+pub enum RetryError {
+    /// Every attempt failed; the last wire error is attached.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: WireError,
+    },
+    /// (Re)connecting failed fatally.
+    Connect(io::Error),
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            Self::Connect(e) => write!(f, "connect failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// A reconnecting wire client: a connector closure that opens a fresh
+/// stream, the current stream (if any), and a [`RetryPolicy`].
+///
+/// [`call`](Client::call) retries **recoverable** wire errors
+/// (oversized/corrupt response frames — the stream is still in sync)
+/// on the same connection, and **fatal** errors (truncation, abusive
+/// declarations, I/O — stream position unknown) by dropping the
+/// stream, backing off, reconnecting, and resending. Application-level
+/// rejections ([`Response::Busy`], [`Response::Shed`],
+/// [`Response::Error`]) are *answers*, not failures: they are returned
+/// as-is — only the caller knows whether an ingest batch is safe to
+/// resend.
+pub struct Client<S, F> {
+    connect: F,
+    stream: Option<S>,
+    policy: RetryPolicy,
+    max_frame_bytes: usize,
+}
+
+impl<S: Read + Write, F: FnMut() -> io::Result<S>> Client<S, F> {
+    /// A client over a connector closure (e.g.
+    /// `|| TcpStream::connect(addr)`).
+    pub fn new(connect: F, policy: RetryPolicy, max_frame_bytes: usize) -> Self {
+        Self {
+            connect,
+            stream: None,
+            policy,
+            max_frame_bytes,
+        }
+    }
+
+    /// Whether a live stream is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// One request/response exchange with bounded retries — see the
+    /// type docs for the retry/reconnect split.
+    ///
+    /// # Errors
+    /// [`RetryError::Exhausted`] after `max_attempts` failures, or
+    /// [`RetryError::Connect`] if (re)connecting itself fails.
+    pub fn call(&mut self, req: &Request) -> Result<Response, RetryError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<WireError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+            }
+            if self.stream.is_none() {
+                self.stream = Some((self.connect)().map_err(RetryError::Connect)?);
+            }
+            let stream = self.stream.as_mut().expect("just connected");
+            match call_split(stream, req, self.max_frame_bytes) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_recoverable() => {
+                    // The response stream is still in sync: retry on
+                    // the same connection.
+                    last = Some(e);
+                }
+                Err(e) => {
+                    // Stream position unknown: reconnect before the
+                    // next attempt.
+                    self.stream = None;
+                    last = Some(e);
+                }
+            }
+        }
+        Err(RetryError::Exhausted {
+            attempts,
+            last: last.expect("at least one attempt ran"),
+        })
+    }
+}
+
+/// [`call`] over a single bidirectional stream.
+fn call_split<S: Read + Write>(
+    stream: &mut S,
+    req: &Request,
+    max_frame_bytes: usize,
+) -> Result<Response, WireError> {
+    write_frame(stream, req)?;
+    stream.flush()?;
+    read_frame::<S, Response>(stream, max_frame_bytes)?.ok_or(WireError::Truncated {
+        expected: 4,
+        got: 0,
+    })
+}
+
+/// One-shot convenience over [`Client`]: builds a throwaway client
+/// around `connect` and runs a single retried call.
+///
+/// # Errors
+/// See [`Client::call`].
+pub fn call_with_retry<S: Read + Write, F: FnMut() -> io::Result<S>>(
+    connect: F,
+    req: &Request,
+    policy: RetryPolicy,
+    max_frame_bytes: usize,
+) -> Result<Response, RetryError> {
+    Client::new(connect, policy, max_frame_bytes).call(req)
 }

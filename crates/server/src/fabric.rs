@@ -113,6 +113,57 @@ fn unknown_tenant(tenant: u64) -> ErrorReply {
     )
 }
 
+/// An internal-consistency failure: the placement map and the shard
+/// map disagree about where a tenant lives.
+///
+/// These states are unreachable through the public API, but a
+/// connection-per-thread daemon cannot afford to panic on them — a
+/// panic kills the worker thread and poisons the shared fabric lock
+/// for every other connection. Every structural lookup therefore
+/// surfaces the disagreement as a typed error, which [`Fabric::handle`]
+/// converts into a [`Response::Error`] with code `fabric_inconsistent`
+/// so the one affected request fails while the daemon keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// The placement map names a shard the shard map does not contain.
+    ShardMissing {
+        /// Tenant whose lookup failed.
+        tenant: u64,
+        /// The shard the placement map claims hosts it.
+        shard: u64,
+    },
+    /// The shard exists but does not host the tenant assigned to it.
+    TenantMissing {
+        /// Tenant whose lookup failed.
+        tenant: u64,
+        /// The shard the placement map claims hosts it.
+        shard: u64,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShardMissing { tenant, shard } => write!(
+                f,
+                "placement maps tenant {tenant} to shard {shard}, which is not in the shard map"
+            ),
+            Self::TenantMissing { tenant, shard } => write!(
+                f,
+                "placement maps tenant {tenant} to shard {shard}, which does not host it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<FabricError> for ErrorReply {
+    fn from(e: FabricError) -> Self {
+        ErrorReply::new("fabric_inconsistent", e.to_string())
+    }
+}
+
 impl Fabric {
     /// An empty fabric (no shards, no tenants).
     pub fn new(config: FabricConfig) -> Self {
@@ -199,15 +250,17 @@ impl Fabric {
                 format!("shard {id} is not in the ring"),
             ));
         }
-        let hosted = self.tenants_on(id);
-        let pinned: Vec<u64> = hosted
-            .iter()
-            .copied()
-            .filter(|t| {
-                let shard = self.shards.get(&id).expect("shard exists");
-                !shard[t].slot.movable()
-            })
-            .collect();
+        let (hosted, pinned): (Vec<u64>, Vec<u64>) = match self.shards.get(&id) {
+            Some(shard) => (
+                shard.keys().copied().collect(),
+                shard
+                    .iter()
+                    .filter(|(_, t)| !t.slot.movable())
+                    .map(|(tenant, _)| *tenant)
+                    .collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
         if !pinned.is_empty() {
             return Err(ErrorReply::new(
                 "unsupported",
@@ -244,7 +297,20 @@ impl Fabric {
             if to == from {
                 continue;
             }
-            let movable = self.shards[&from][&tenant].slot.movable();
+            let movable = self
+                .shards
+                .get(&from)
+                .ok_or(FabricError::ShardMissing {
+                    tenant,
+                    shard: from,
+                })?
+                .get(&tenant)
+                .ok_or(FabricError::TenantMissing {
+                    tenant,
+                    shard: from,
+                })?
+                .slot
+                .movable();
             if !movable {
                 report.pinned.push(tenant);
                 continue;
@@ -261,8 +327,18 @@ impl Fabric {
     /// drop the source engine. Returns the framed byte count.
     fn ship_tenant(&mut self, tenant: u64, from: u64, to: u64) -> Result<u64, ErrorReply> {
         let transfer = {
-            let shard = self.shards.get_mut(&from).expect("source shard exists");
-            let t = shard.get_mut(&tenant).expect("tenant exists on source");
+            let t = self
+                .shards
+                .get_mut(&from)
+                .ok_or(FabricError::ShardMissing {
+                    tenant,
+                    shard: from,
+                })?
+                .get_mut(&tenant)
+                .ok_or(FabricError::TenantMissing {
+                    tenant,
+                    shard: from,
+                })?;
             t.slot
                 .export(t.spec, self.config.params.with_seed(t.spec.seed))?
         };
@@ -278,8 +354,18 @@ impl Fabric {
         let slot = EngineSlot::install(&shipped, self.config.params.clone(), self.config.workers)?;
         let spec = shipped.spec;
         let admitted = {
-            let shard = self.shards.get_mut(&from).expect("source shard exists");
-            let old = shard.remove(&tenant).expect("tenant exists on source");
+            let old = self
+                .shards
+                .get_mut(&from)
+                .ok_or(FabricError::ShardMissing {
+                    tenant,
+                    shard: from,
+                })?
+                .remove(&tenant)
+                .ok_or(FabricError::TenantMissing {
+                    tenant,
+                    shard: from,
+                })?;
             old.admitted_in_interval
         };
         self.shards.entry(to).or_default().insert(
@@ -354,12 +440,54 @@ impl Fabric {
         Ok(shard)
     }
 
+    /// The registered spec of a tenant, if any.
+    pub fn tenant_spec(&self, tenant: u64) -> Option<TenantSpec> {
+        self.tenant(tenant).ok().map(|t| t.spec)
+    }
+
+    /// All registered tenant ids, in id order.
+    pub fn tenant_ids(&self) -> Vec<u64> {
+        self.assignments.keys().copied().collect()
+    }
+
+    /// Closes the open interval of every tenant (flushing pending
+    /// updates first, exactly as [`Request::AdvanceInterval`] does) and
+    /// resets quota bookkeeping. Graceful shutdown calls this so a
+    /// restarted daemon resumes on a clean interval boundary. Returns
+    /// `(tenant, sealed_interval)` pairs in tenant order for
+    /// journaling.
+    pub fn quiesce(&mut self) -> Vec<(u64, u64)> {
+        let mut sealed = Vec::new();
+        for shard in self.shards.values_mut() {
+            for (tenant, t) in shard.iter_mut() {
+                let interval = t.slot.advance_interval();
+                t.admitted_in_interval = 0;
+                sealed.push((*tenant, interval));
+            }
+        }
+        sealed.sort_unstable();
+        sealed
+    }
+
+    /// Test-only: points the placement map at `shard` for `tenant`
+    /// without moving the engine, manufacturing exactly the
+    /// placement/shard-map disagreement [`FabricError`] guards against.
+    #[doc(hidden)]
+    pub fn desync_assignment_for_test(&mut self, tenant: u64, shard: u64) {
+        self.assignments.insert(tenant, shard);
+    }
+
     fn tenant(&self, tenant: u64) -> Result<&Tenant, ErrorReply> {
-        let shard = self
+        let shard = *self
             .assignments
             .get(&tenant)
             .ok_or_else(|| unknown_tenant(tenant))?;
-        Ok(&self.shards[shard][&tenant])
+        Ok(self
+            .shards
+            .get(&shard)
+            .ok_or(FabricError::ShardMissing { tenant, shard })?
+            .get(&tenant)
+            .ok_or(FabricError::TenantMissing { tenant, shard })?)
     }
 
     fn tenant_mut(&mut self, tenant: u64) -> Result<&mut Tenant, ErrorReply> {
@@ -370,9 +498,9 @@ impl Fabric {
         Ok(self
             .shards
             .get_mut(&shard)
-            .expect("assigned shard exists")
+            .ok_or(FabricError::ShardMissing { tenant, shard })?
             .get_mut(&tenant)
-            .expect("assigned tenant exists"))
+            .ok_or(FabricError::TenantMissing { tenant, shard })?)
     }
 
     // ---- the request plane ----
@@ -441,6 +569,13 @@ impl Fabric {
             Request::Install(transfer) => match self.install_tenant(&transfer) {
                 Ok(shard) => Response::Installed(InstallReceipt {
                     tenant: transfer.spec.tenant,
+                    shard,
+                }),
+                Err(e) => Response::Error(e),
+            },
+            Request::Register(spec) => match self.register_tenant(spec) {
+                Ok(shard) => Response::Installed(InstallReceipt {
+                    tenant: spec.tenant,
                     shard,
                 }),
                 Err(e) => Response::Error(e),

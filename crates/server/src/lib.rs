@@ -42,11 +42,17 @@ mod engine;
 
 pub mod connection;
 pub mod fabric;
+pub mod listener;
+pub mod persist;
 pub mod placement;
 pub mod wire;
 
-pub use connection::{call, serve_connection};
-pub use fabric::{Fabric, FabricConfig, RebalanceReport, TenantMove};
+pub use connection::{call, call_with_retry, serve_connection, Client, RetryError, RetryPolicy};
+pub use fabric::{Fabric, FabricConfig, FabricError, RebalanceReport, TenantMove};
+pub use listener::{
+    ConnectionError, Daemon, DaemonConfig, Deadlines, SharedFabric, ShutdownReport,
+};
+pub use persist::{recover, Journal, JournalRecord, ShardRecord};
 pub use placement::{jump_hash, PlacementRing, ShardWeight};
 pub use wire::{
     read_frame, write_frame, ErrorReply, IngestFrame, MetricKind, Request, Response, ServingMode,

@@ -1,0 +1,396 @@
+//! Tenant-spec durability: a JSON-lines journal of the fabric's
+//! durable state, and recovery from it.
+//!
+//! The daemon journals every **topology** effect the moment the fabric
+//! acknowledges it — shard membership, tenant registrations, interval
+//! advances, and full counter-plane checkpoints ([`TenantTransfer`]) —
+//! one serde-JSON record per line, flushed per append. Counters
+//! admitted between checkpoints are deliberately *not* journaled:
+//! sketches are lossy summaries, and write-amplifying every ingest
+//! batch to disk would cost more than the estimates are worth. The
+//! recovery contract is therefore:
+//!
+//! * **Crash (kill -9):** [`recover`] rebuilds the shard ring, every
+//!   tenant's spec and placement, and its interval position. Tenants
+//!   checkpointed at the last graceful shutdown also get their counter
+//!   planes back through the existing
+//!   [`Fabric::install_tenant`]/absorb path; counters admitted after
+//!   the last checkpoint are lost (the estimates restart from the
+//!   checkpoint).
+//! * **Graceful shutdown:** [`Daemon::shutdown`](crate::Daemon::shutdown)
+//!   quiesces (seals open intervals) and calls [`Journal::compact`],
+//!   which rewrites the journal as shards + one checkpoint per
+//!   exportable tenant — so a restart serves **bit-for-bit** what the
+//!   old process served. Pinned rotating tenants refuse export by
+//!   design (their robustness depends on seed rotation, see the
+//!   engine's `movable` contract); they are compacted as spec +
+//!   interval advances instead and restart empty at the right
+//!   interval.
+//!
+//! Placement needs no records of its own: it is a pure function of
+//! `(tenant, ring)`, so replaying shard membership in order puts every
+//! recovered tenant back on the shard it was on.
+
+use crate::fabric::Fabric;
+use crate::wire::{Request, Response, TenantRef, TenantSpec, TenantTransfer};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A shard-membership journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardRecord {
+    /// Shard id.
+    pub shard: u64,
+    /// Capacity weight (meaningful for `ShardAdded` only).
+    pub weight: f64,
+}
+
+/// One journal line: a durable effect on the fabric.
+///
+/// (Newtype variants throughout — the workspace's vendored serde
+/// derive does not handle struct variants.)
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum JournalRecord {
+    /// A shard joined the ring with the given weight.
+    ShardAdded(ShardRecord),
+    /// A shard left the ring.
+    ShardRemoved(ShardRecord),
+    /// A fresh tenant was registered from its spec.
+    TenantRegistered(TenantSpec),
+    /// A tenant's interval advanced (its open interval was sealed).
+    IntervalAdvanced(TenantRef),
+    /// A full counter-plane checkpoint: spec, planes, interval
+    /// position. Supersedes the tenant's earlier records.
+    Checkpoint(TenantTransfer),
+}
+
+/// An append-only JSON-lines journal, flushed per record.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record).map_err(io::Error::other)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Rewrites the journal as the **current** fabric state: shard
+    /// membership, then one [`JournalRecord::Checkpoint`] per
+    /// exportable tenant (full counter planes) and spec + interval
+    /// advances for pinned tenants that refuse export. Atomic via
+    /// write-to-temp + rename, so a crash mid-compaction leaves the
+    /// old journal intact.
+    pub fn compact(&mut self, fabric: &mut Fabric) -> io::Result<()> {
+        let tmp = self.path.with_extension("journal.tmp");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            for record in snapshot_records(fabric) {
+                let line = serde_json::to_string(&record).map_err(io::Error::other)?;
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+/// The fabric's durable state as an ordered record list.
+fn snapshot_records(fabric: &mut Fabric) -> Vec<JournalRecord> {
+    let mut records: Vec<JournalRecord> = fabric
+        .ring()
+        .shards()
+        .iter()
+        .map(|s| {
+            JournalRecord::ShardAdded(ShardRecord {
+                shard: s.id,
+                weight: s.weight,
+            })
+        })
+        .collect();
+    for tenant in fabric.tenant_ids() {
+        match fabric.handle(Request::Export(TenantRef { tenant })) {
+            Response::Exported(transfer) => {
+                records.push(JournalRecord::Checkpoint(transfer));
+            }
+            _ => {
+                // Pinned (rotating) tenants refuse export: persist the
+                // spec and replay the interval position.
+                let Some(spec) = fabric.tenant_spec(tenant) else {
+                    continue;
+                };
+                records.push(JournalRecord::TenantRegistered(spec));
+                let interval = match fabric.handle(Request::Stats(TenantRef { tenant })) {
+                    Response::Stats(stats) => stats.interval,
+                    _ => 0,
+                };
+                for _ in 0..interval {
+                    records.push(JournalRecord::IntervalAdvanced(TenantRef { tenant }));
+                }
+            }
+        }
+    }
+    records
+}
+
+/// A journal parse failure (corrupt line), surfaced with its line
+/// number so the operator can triage the file.
+fn corrupt(line_no: usize, err: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("journal line {line_no}: {err}"),
+    )
+}
+
+/// Replays a journal into a fresh [`Fabric`] built from `config`.
+///
+/// Two passes: the first folds the record stream into final state
+/// (shard membership in order; per tenant, the latest checkpoint — if
+/// any — plus the interval advances recorded after it), the second
+/// builds the fabric: shards first, then checkpointed tenants through
+/// [`Fabric::install_tenant`] (planes restored by linearity) and
+/// uncheckpointed tenants through [`Fabric::register_tenant`], each
+/// advanced to its journaled interval. Placement falls out for free —
+/// it is a pure function of `(tenant, ring)`.
+///
+/// A missing journal file recovers an **empty** fabric (first boot).
+///
+/// # Errors
+/// I/O failures, corrupt lines, and replay rejections (e.g. a journal
+/// whose specs no longer validate against `config`).
+pub fn recover<P: AsRef<Path>>(path: P, config: crate::fabric::FabricConfig) -> io::Result<Fabric> {
+    let mut fabric = Fabric::new(config);
+    let file = match File::open(path.as_ref()) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(fabric),
+        Err(e) => return Err(e),
+    };
+
+    // Pass 1: fold the stream into final topology.
+    let mut shards: Vec<(u64, f64)> = Vec::new();
+    // (spec, advances-after-checkpoint, latest checkpoint), insertion
+    // order preserved so recovery is deterministic.
+    let mut tenants: Vec<(u64, TenantSpec, u64, Option<TenantTransfer>)> = Vec::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: JournalRecord = serde_json::from_str(&line).map_err(|e| corrupt(i + 1, e))?;
+        match record {
+            JournalRecord::ShardAdded(ShardRecord { shard, weight }) => {
+                if shards.iter().any(|&(id, _)| id == shard) {
+                    return Err(corrupt(i + 1, format!("shard {shard} added twice")));
+                }
+                shards.push((shard, weight));
+            }
+            JournalRecord::ShardRemoved(ShardRecord { shard, .. }) => {
+                shards.retain(|&(id, _)| id != shard);
+            }
+            JournalRecord::TenantRegistered(spec) => {
+                if tenants.iter().any(|e| e.0 == spec.tenant) {
+                    return Err(corrupt(
+                        i + 1,
+                        format!("tenant {} registered twice", spec.tenant),
+                    ));
+                }
+                tenants.push((spec.tenant, spec, 0, None));
+            }
+            JournalRecord::IntervalAdvanced(TenantRef { tenant }) => {
+                let entry = tenants.iter_mut().find(|e| e.0 == tenant).ok_or_else(|| {
+                    corrupt(
+                        i + 1,
+                        format!("interval advance for unknown tenant {tenant}"),
+                    )
+                })?;
+                entry.2 += 1;
+            }
+            JournalRecord::Checkpoint(transfer) => {
+                let tenant = transfer.spec.tenant;
+                match tenants.iter_mut().find(|e| e.0 == tenant) {
+                    Some(entry) => {
+                        entry.1 = transfer.spec;
+                        entry.2 = 0; // the checkpoint carries the interval
+                        entry.3 = Some(transfer);
+                    }
+                    None => tenants.push((tenant, transfer.spec, 0, Some(transfer))),
+                }
+            }
+        }
+    }
+
+    // Pass 2: rebuild. Shards first so placement is final before any
+    // tenant lands.
+    let replay = |e: crate::wire::ErrorReply| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("journal replay: {}: {}", e.code, e.detail),
+        )
+    };
+    for (shard, weight) in shards {
+        fabric.add_shard(shard, weight).map_err(replay)?;
+    }
+    for (tenant, spec, advances, checkpoint) in tenants {
+        match checkpoint {
+            Some(transfer) => {
+                fabric.install_tenant(&transfer).map_err(replay)?;
+            }
+            None => {
+                fabric.register_tenant(spec).map_err(replay)?;
+            }
+        }
+        for _ in 0..advances {
+            if let Response::Error(e) =
+                fabric.handle(Request::AdvanceInterval(TenantRef { tenant }))
+            {
+                return Err(replay(e));
+            }
+        }
+    }
+    Ok(fabric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::wire::{IngestFrame, PointQuery};
+    use bas_sketch::SketchParams;
+
+    fn config() -> FabricConfig {
+        FabricConfig::new(SketchParams::new(1_024, 64, 5))
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bas-journal-{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn missing_journal_recovers_an_empty_fabric() {
+        let p = temp_path("absent");
+        let fabric = recover(&p, config()).unwrap();
+        assert_eq!(fabric.tenant_count(), 0);
+        assert!(fabric.ring().is_empty());
+    }
+
+    #[test]
+    fn journal_replay_restores_topology_and_interval_position() {
+        let p = temp_path("topology");
+        let mut journal = Journal::open(&p).unwrap();
+        journal
+            .append(&JournalRecord::ShardAdded(ShardRecord {
+                shard: 0,
+                weight: 1.0,
+            }))
+            .unwrap();
+        journal
+            .append(&JournalRecord::ShardAdded(ShardRecord {
+                shard: 1,
+                weight: 2.0,
+            }))
+            .unwrap();
+        let spec = TenantSpec::frequency(7, 77);
+        journal
+            .append(&JournalRecord::TenantRegistered(spec))
+            .unwrap();
+        journal
+            .append(&JournalRecord::IntervalAdvanced(TenantRef { tenant: 7 }))
+            .unwrap();
+        journal
+            .append(&JournalRecord::IntervalAdvanced(TenantRef { tenant: 7 }))
+            .unwrap();
+        drop(journal);
+
+        let mut recovered = recover(&p, config()).unwrap();
+        assert_eq!(recovered.tenant_count(), 1);
+        assert_eq!(recovered.tenant_spec(7), Some(spec));
+        let mut reference = Fabric::new(config());
+        reference.add_shard(0, 1.0).unwrap();
+        reference.add_shard(1, 2.0).unwrap();
+        reference.register_tenant(spec).unwrap();
+        assert_eq!(recovered.shard_of(7), reference.shard_of(7));
+        match recovered.handle(Request::Stats(TenantRef { tenant: 7 })) {
+            Response::Stats(s) => assert_eq!(s.interval, 2),
+            other => panic!("{other:?}"),
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn compaction_checkpoints_counters_bit_for_bit() {
+        let p = temp_path("compact");
+        let mut fabric = Fabric::new(config());
+        fabric.add_shard(0, 1.0).unwrap();
+        fabric
+            .register_tenant(TenantSpec::frequency(3, 33))
+            .unwrap();
+        let updates: Vec<(u64, f64)> = (0..500u64).map(|i| (i % 1_024, 2.0)).collect();
+        fabric.handle(Request::Ingest(IngestFrame {
+            tenant: 3,
+            updates: updates.clone(),
+        }));
+        fabric.handle(Request::Flush(TenantRef { tenant: 3 }));
+
+        let mut journal = Journal::open(&p).unwrap();
+        journal.compact(&mut fabric).unwrap();
+        drop(journal);
+
+        let mut recovered = recover(&p, config()).unwrap();
+        for item in (0..1_024u64).step_by(37) {
+            let a = match fabric.handle(Request::Point(PointQuery { tenant: 3, item })) {
+                Response::Value(v) => v.value,
+                other => panic!("{other:?}"),
+            };
+            let b = match recovered.handle(Request::Point(PointQuery { tenant: 3, item })) {
+                Response::Value(v) => v.value,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(a.to_bits(), b.to_bits(), "item {item}");
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_are_typed_errors_with_line_numbers() {
+        let p = temp_path("corrupt");
+        let good = serde_json::to_string(&JournalRecord::ShardAdded(ShardRecord {
+            shard: 0,
+            weight: 1.0,
+        }))
+        .unwrap();
+        std::fs::write(&p, format!("{good}\nnot json\n")).unwrap();
+        let err = recover(&p, config()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&p).unwrap();
+    }
+}

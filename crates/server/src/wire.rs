@@ -7,16 +7,28 @@
 //! **bit-for-bit**). One [`Request`] frame in, one [`Response`] frame
 //! out, strictly alternating per connection.
 //!
-//! The framing layer owns desync-avoidance:
+//! The framing layer owns desync-avoidance **and** resource bounds
+//! against hostile peers:
 //!
-//! * a frame longer than the reader's cap is **drained** (read and
-//!   discarded in bounded chunks) before
-//!   [`WireError::FrameTooLarge`] is reported, so the stream stays
-//!   positioned at the next frame and the connection survives;
+//! * a frame longer than the reader's cap — but within the drain
+//!   budget — is **drained** (read and discarded in bounded chunks)
+//!   before [`WireError::FrameTooLarge`] is reported, so the stream
+//!   stays positioned at the next frame and the connection survives;
+//! * a declaration beyond [`DRAIN_BUDGET_MULTIPLE`]`·max_len` is
+//!   [`WireError::Abusive`] and **fatal**: draining it would let one
+//!   bogus header make the reader consume up to ~4 GiB from the peer,
+//!   so the connection drops instead (behavior change vs the original
+//!   protocol, which loyally drained any declared length);
+//! * body buffers grow **as bytes actually arrive** (in
+//!   [`BODY_CHUNK_BYTES`] steps), never by the declared length alone —
+//!   a peer declaring a huge frame and trickling bytes holds at most
+//!   one chunk beyond what it has already sent (behavior change vs the
+//!   original protocol, which allocated the full declared length up
+//!   front);
 //! * a body that is not valid UTF-8/JSON for the expected type is
 //!   fully consumed before [`WireError::Malformed`] is reported —
-//!   same property;
-//! * only [`WireError::Truncated`] / [`WireError::Io`] are fatal: the
+//!   the stream stays in sync;
+//! * [`WireError::Truncated`] / [`WireError::Io`] are fatal: the
 //!   stream position is unknown, so the connection must drop.
 
 use bas_sketch::{CounterMatrix, Dense, SketchParams};
@@ -26,6 +38,17 @@ use std::io::{Read, Write};
 /// transfer the test/bench configurations ship, small enough that a
 /// hostile length prefix cannot make the server allocate unboundedly.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Hard bound on how much over-declared length the reader will drain,
+/// as a multiple of its `max_len` cap: a declaration beyond
+/// `max_len · DRAIN_BUDGET_MULTIPLE` is treated as hostile
+/// ([`WireError::Abusive`], fatal) rather than read-and-discarded.
+pub const DRAIN_BUDGET_MULTIPLE: usize = 4;
+
+/// Step size for incremental body reads: the buffer grows by at most
+/// this much beyond the bytes that have actually arrived, so a
+/// declared-but-never-sent length cannot reserve memory.
+pub const BODY_CHUNK_BYTES: usize = 64 << 10;
 
 /// Framing and codec errors.
 #[derive(Debug)]
@@ -46,6 +69,16 @@ pub enum WireError {
         /// The reader's cap.
         max: usize,
     },
+    /// A frame declared a body beyond the drain budget
+    /// (`max_len ·` [`DRAIN_BUDGET_MULTIPLE`]). Nothing was read past
+    /// the header; fatal — a peer declaring lengths this far over the
+    /// cap is abusing the drain path, not negotiating a frame size.
+    Abusive {
+        /// Declared body length.
+        len: usize,
+        /// The drain budget that was exceeded.
+        budget: usize,
+    },
     /// The body was not valid UTF-8/JSON for the expected frame type.
     /// The body was fully consumed, so the connection is still in sync.
     Malformed {
@@ -64,6 +97,12 @@ impl std::fmt::Display for WireError {
             }
             WireError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Abusive { len, budget } => {
+                write!(
+                    f,
+                    "frame declares {len} bytes, beyond the {budget}-byte drain budget"
+                )
             }
             WireError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
             WireError::Io(e) => write!(f, "wire i/o error: {e}"),
@@ -128,14 +167,14 @@ pub fn read_frame<R: Read, T: for<'de> serde::Deserialize<'de>>(
     }
     let len = u32::from_be_bytes(header) as usize;
     if len > max_len {
+        let budget = max_len.saturating_mul(DRAIN_BUDGET_MULTIPLE);
+        if len > budget {
+            return Err(WireError::Abusive { len, budget });
+        }
         drain(r, len)?;
         return Err(WireError::FrameTooLarge { len, max: max_len });
     }
-    let mut body = vec![0u8; len];
-    match read_exact_or_eof(r, &mut body)? {
-        got if got == len => {}
-        got => return Err(WireError::Truncated { expected: len, got }),
-    }
+    let body = read_body(r, len)?;
     let text = std::str::from_utf8(&body).map_err(|e| WireError::Malformed {
         detail: format!("non-UTF-8 body: {e}"),
     })?;
@@ -144,6 +183,28 @@ pub fn read_frame<R: Read, T: for<'de> serde::Deserialize<'de>>(
         .map_err(|e| WireError::Malformed {
             detail: e.to_string(),
         })
+}
+
+/// Reads a `len`-byte body incrementally: the buffer grows in
+/// [`BODY_CHUNK_BYTES`] steps as bytes actually arrive, so a peer
+/// declaring a large length and trickling (or never sending) the body
+/// pins at most one chunk beyond what it has delivered.
+fn read_body<R: Read>(r: &mut R, len: usize) -> Result<Vec<u8>, WireError> {
+    let mut body = Vec::with_capacity(len.min(BODY_CHUNK_BYTES));
+    while body.len() < len {
+        let take = (len - body.len()).min(BODY_CHUNK_BYTES);
+        let old = body.len();
+        body.resize(old + take, 0);
+        let got = read_exact_or_eof(r, &mut body[old..])?;
+        body.truncate(old + got);
+        if got < take {
+            return Err(WireError::Truncated {
+                expected: len,
+                got: body.len(),
+            });
+        }
+    }
+    Ok(body)
 }
 
 /// Fills `buf` as far as the stream allows; returns the bytes read
@@ -216,6 +277,9 @@ pub enum Request {
     Export(TenantRef),
     /// Install an exported tenant on this fabric.
     Install(TenantTransfer),
+    /// Register a fresh (empty) tenant from its spec; the ring picks
+    /// the shard. Answered with [`Response::Installed`].
+    Register(TenantSpec),
 }
 
 /// Names a tenant.
@@ -669,6 +733,89 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(next, Request::Flush(TenantRef { tenant: 1 }));
+    }
+
+    /// Delivers its inner bytes at most `step` bytes per `read` call —
+    /// the trickle pattern a hostile peer (or a congested link) shows.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn trickled_frames_decode_bit_for_bit() {
+        let req = Request::Ingest(IngestFrame {
+            tenant: 9,
+            updates: (0..200).map(|i| (i as u64, i as f64 + 0.5)).collect(),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        for step in [1, 3, 7] {
+            let mut r = Trickle {
+                data: &buf,
+                pos: 0,
+                step,
+            };
+            let back: Request = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+            assert_eq!(back, req, "step {step}");
+        }
+    }
+
+    #[test]
+    fn declared_but_unsent_bodies_are_truncated_not_preallocated() {
+        // A 10 MiB declaration backed by 100 actual bytes: the reader
+        // must report exactly how much arrived (the incremental path —
+        // the old code allocated all 10 MiB before reading a byte).
+        let mut buf = (10_485_760u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0x41; 100]);
+        match read_frame::<_, Request>(&mut &buf[..], MAX_FRAME_BYTES) {
+            Err(WireError::Truncated { expected, got }) => {
+                assert_eq!(expected, 10_485_760);
+                assert_eq!(got, 100);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn declarations_beyond_the_drain_budget_are_fatal() {
+        let max = 1024usize;
+        let budget = max * DRAIN_BUDGET_MULTIPLE;
+        // Just past the budget: fatal, and nothing past the header is
+        // read (the body bytes are still on the stream).
+        let mut buf = ((budget as u32) + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 32]);
+        let mut cursor = &buf[..];
+        match read_frame::<_, Request>(&mut cursor, max) {
+            Err(e @ WireError::Abusive { len, budget: b }) => {
+                assert_eq!(len, budget + 1);
+                assert_eq!(b, budget);
+                assert!(!e.is_recoverable());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cursor.len(), 32, "abusive declarations must not drain");
+
+        // Exactly at the budget: still the recoverable drain path.
+        let mut buf = (budget as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&vec![0u8; budget]);
+        write_frame(&mut buf, &Request::Ping).unwrap();
+        let mut cursor = &buf[..];
+        let err = read_frame::<_, Request>(&mut cursor, max).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }));
+        assert!(err.is_recoverable());
+        let next: Request = read_frame(&mut cursor, max).unwrap().unwrap();
+        assert_eq!(next, Request::Ping);
     }
 
     #[test]

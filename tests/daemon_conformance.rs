@@ -1,0 +1,513 @@
+//! Daemon conformance: the socket front end must add **transport,
+//! not semantics** — answers over loopback TCP (and unix sockets) are
+//! bit-for-bit the answers of the same fabric driven in-process, under
+//! concurrency, hostile disconnects, deadline expiry, graceful
+//! shutdown, and kill/restart recovery.
+//!
+//! These tests exercise real sockets with real threads; CI runs them
+//! under `--release` like the other serving suites.
+
+use bias_aware_sketches::prelude::*;
+use bias_aware_sketches::server::wire::{IngestFrame, PointQuery, TenantRef};
+use bias_aware_sketches::server::{
+    read_frame, write_frame, Client, Daemon, DaemonConfig, Deadlines, Fabric, FabricConfig,
+    Request, Response, RetryPolicy, TenantSpec, MAX_FRAME_BYTES,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const N: u64 = 4_096;
+
+fn params() -> SketchParams {
+    SketchParams::new(N, 128, 5)
+}
+
+fn config() -> FabricConfig {
+    FabricConfig::new(params()).with_workers(2)
+}
+
+/// Snappy deadlines for tests: 300 ms progress gaps, 10 s idle, 5 ms
+/// polls.
+fn daemon_config() -> DaemonConfig {
+    DaemonConfig::new()
+        .with_poll_interval(Duration::from_millis(5))
+        .with_deadlines(
+            Deadlines::new()
+                .with_read(Some(Duration::from_millis(300)))
+                .with_write(Some(Duration::from_millis(300)))
+                .with_idle(Some(Duration::from_secs(10))),
+        )
+}
+
+/// A deterministic per-tenant stream of integer-valued updates.
+fn stream(tenant: u64, len: usize) -> Vec<(u64, f64)> {
+    let mut state = tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let item = (state >> 33) % N;
+            let delta = ((state >> 11) % 5) as f64 + 1.0;
+            (item, delta)
+        })
+        .collect()
+}
+
+fn expect_value(resp: Response) -> f64 {
+    match resp {
+        Response::Value(v) => v.value,
+        other => panic!("expected a value, got {other:?}"),
+    }
+}
+
+fn tcp_client(
+    addr: std::net::SocketAddr,
+) -> Client<TcpStream, impl FnMut() -> std::io::Result<TcpStream>> {
+    Client::new(
+        move || {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true)?;
+            Ok(s)
+        },
+        RetryPolicy::new().with_seed(addr.port() as u64),
+        MAX_FRAME_BYTES,
+    )
+}
+
+/// Concurrent TCP clients — one thread per tenant, each registering,
+/// streaming, and querying over its own connection — get answers
+/// bit-for-bit equal to one in-process fabric fed the same streams.
+#[test]
+fn concurrent_tcp_clients_match_in_process_fabric_bit_for_bit() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric.add_shard(1, 1.0).unwrap();
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", fabric, None, daemon_config()).unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    let tenants: Vec<u64> = (1..=6).collect();
+    let handles: Vec<_> = tenants
+        .iter()
+        .map(|&tenant| {
+            std::thread::spawn(move || {
+                let mut client = tcp_client(addr);
+                let spec = TenantSpec::frequency(tenant, tenant * 100 + 1);
+                match client.call(&Request::Register(spec)).unwrap() {
+                    Response::Installed(_) => {}
+                    other => panic!("{other:?}"),
+                }
+                client
+                    .call(&Request::Ingest(IngestFrame {
+                        tenant,
+                        updates: stream(tenant, 3_000),
+                    }))
+                    .unwrap();
+                client.call(&Request::Flush(TenantRef { tenant })).unwrap();
+                let mut answers = Vec::new();
+                for item in (0..N).step_by(97) {
+                    answers.push(expect_value(
+                        client
+                            .call(&Request::Point(PointQuery { tenant, item }))
+                            .unwrap(),
+                    ));
+                }
+                (tenant, answers)
+            })
+        })
+        .collect();
+    let wire_answers: Vec<(u64, Vec<f64>)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // The same tenants through one in-process fabric.
+    let mut reference = Fabric::new(config());
+    reference.add_shard(0, 1.0).unwrap();
+    reference.add_shard(1, 1.0).unwrap();
+    for &tenant in &tenants {
+        reference
+            .register_tenant(TenantSpec::frequency(tenant, tenant * 100 + 1))
+            .unwrap();
+        reference.handle(Request::Ingest(IngestFrame {
+            tenant,
+            updates: stream(tenant, 3_000),
+        }));
+        reference.handle(Request::Flush(TenantRef { tenant }));
+    }
+    for (tenant, answers) in wire_answers {
+        for (i, item) in (0..N).step_by(97).enumerate() {
+            let expected =
+                expect_value(reference.handle(Request::Point(PointQuery { tenant, item })));
+            assert_eq!(
+                answers[i].to_bits(),
+                expected.to_bits(),
+                "tenant {tenant}, item {item}"
+            );
+        }
+    }
+    daemon.shutdown().unwrap();
+}
+
+/// The unix-socket transport serves through the identical loop: one
+/// tenant registered and queried over a unix stream answers exactly
+/// like the in-process dispatch on the same daemon.
+#[test]
+fn unix_socket_transport_matches_in_process_dispatch() {
+    let sock = std::env::temp_dir().join(format!("bas-daemon-{}.sock", std::process::id()));
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    let daemon = Daemon::bind_unix(&sock, fabric, None, daemon_config()).unwrap();
+
+    let sock_path = sock.clone();
+    let mut client = Client::new(
+        move || std::os::unix::net::UnixStream::connect(&sock_path),
+        RetryPolicy::new(),
+        MAX_FRAME_BYTES,
+    );
+    client
+        .call(&Request::Register(TenantSpec::frequency(5, 55)))
+        .unwrap();
+    client
+        .call(&Request::Ingest(IngestFrame {
+            tenant: 5,
+            updates: stream(5, 2_000),
+        }))
+        .unwrap();
+    client
+        .call(&Request::Flush(TenantRef { tenant: 5 }))
+        .unwrap();
+    let over_wire = expect_value(
+        client
+            .call(&Request::Point(PointQuery {
+                tenant: 5,
+                item: 11,
+            }))
+            .unwrap(),
+    );
+    let in_process = expect_value(daemon.fabric().handle(Request::Point(PointQuery {
+        tenant: 5,
+        item: 11,
+    })));
+    assert_eq!(over_wire.to_bits(), in_process.to_bits());
+    drop(client);
+    daemon.shutdown().unwrap();
+    std::fs::remove_file(&sock).ok();
+}
+
+/// A connection that goes quiet beyond the idle deadline is closed by
+/// the daemon — and the daemon keeps serving fresh connections.
+#[test]
+fn idle_connections_are_closed_at_the_deadline() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    let config = daemon_config().with_deadlines(
+        Deadlines::new()
+            .with_read(Some(Duration::from_millis(200)))
+            .with_write(Some(Duration::from_millis(200)))
+            .with_idle(Some(Duration::from_millis(150))),
+    );
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", fabric, None, config).unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    let mut idle = TcpStream::connect(addr).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1];
+    // Say nothing: the daemon must hang up (EOF) rather than hold the
+    // socket forever.
+    match idle.read(&mut buf) {
+        Ok(0) => {}
+        other => panic!("expected EOF from idle cutoff, got {other:?}"),
+    }
+
+    // A fresh, active connection still serves.
+    let mut client = tcp_client(addr);
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    drop(client);
+    daemon.shutdown().unwrap();
+}
+
+/// A peer that starts a frame and stalls mid-stream trips the read
+/// deadline; a peer that disconnects mid-frame is dropped. Neither
+/// disturbs other connections.
+#[test]
+fn mid_stream_stalls_and_disconnects_drop_only_that_connection() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", fabric, None, daemon_config()).unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    // A healthy tenant on its own connection.
+    let mut healthy = tcp_client(addr);
+    healthy
+        .call(&Request::Register(TenantSpec::frequency(1, 10)))
+        .unwrap();
+
+    // Stall: declare a 1 KiB frame, send 3 bytes, go quiet. The read
+    // deadline (300 ms) must close the connection.
+    let mut staller = TcpStream::connect(addr).unwrap();
+    staller.write_all(&1024u32.to_be_bytes()).unwrap();
+    staller.write_all(b"{\"P").unwrap();
+    staller.flush().unwrap();
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    match staller.read(&mut buf) {
+        Ok(0) => {}
+        other => panic!("expected EOF from read deadline, got {other:?}"),
+    }
+
+    // Disconnect: another peer drops mid-frame without waiting.
+    let mut quitter = TcpStream::connect(addr).unwrap();
+    quitter.write_all(&2048u32.to_be_bytes()).unwrap();
+    quitter.write_all(b"{\"In").unwrap();
+    drop(quitter);
+
+    // The healthy connection is untouched.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(matches!(
+        healthy.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    drop(healthy);
+    let report = daemon.shutdown().unwrap();
+    assert!(report.connections >= 3);
+}
+
+/// Graceful shutdown drains: a request whose bytes are already on the
+/// wire when shutdown begins still gets its response, the quiesce
+/// seals every tenant's open interval, and the report says so.
+#[test]
+fn graceful_shutdown_drains_in_flight_frames_and_seals_intervals() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(9, 99))
+        .unwrap();
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", fabric, None, daemon_config()).unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    let mut stream_conn = TcpStream::connect(addr).unwrap();
+    let req = Request::Ingest(IngestFrame {
+        tenant: 9,
+        updates: stream(9, 1_000),
+    });
+    write_frame(&mut stream_conn, &req).unwrap();
+    stream_conn.flush().unwrap();
+    // Give the connection thread time to see the bytes, then shut
+    // down while the client has not yet read its response.
+    std::thread::sleep(Duration::from_millis(50));
+    let reader = std::thread::spawn(move || {
+        stream_conn
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        read_frame::<_, Response>(&mut stream_conn, MAX_FRAME_BYTES)
+    });
+    let report = daemon.shutdown().unwrap();
+    let drained = reader.join().unwrap().unwrap();
+    assert!(
+        matches!(drained, Some(Response::Admitted(_))),
+        "in-flight ingest was not drained: {drained:?}"
+    );
+    assert_eq!(report.frames, 1);
+    assert_eq!(report.sealed, vec![(9, 0)]); // interval 0 sealed at quiesce
+                                             // The recovered fabric reflects the drained ingest.
+    let mut fabric = report.fabric;
+    match fabric.handle(Request::Stats(TenantRef { tenant: 9 })) {
+        Response::Stats(s) => {
+            assert_eq!(s.applied, 1_000);
+            assert_eq!(s.interval, 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Locates the `bas-serverd` binary next to the test executable
+/// (`target/<profile>/bas-serverd`) — built by the same `cargo test`
+/// invocation that built this suite.
+fn serverd_binary() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test executable path");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("bas-serverd");
+    assert!(
+        p.exists(),
+        "bas-serverd not built at {p:?}; run a workspace-level cargo build/test first"
+    );
+    p
+}
+
+struct Serverd {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+fn spawn_serverd(journal: &std::path::Path) -> Serverd {
+    let mut child = std::process::Command::new(serverd_binary())
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--shard",
+            "0:1.0",
+            "--shard",
+            "1:1.0",
+            "--workers",
+            "2",
+            "--journal",
+        ])
+        .arg(journal)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn bas-serverd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .parse()
+        .expect("bound address");
+    Serverd { child, addr }
+}
+
+/// Kill -9 and restart: the daemon process is killed without any
+/// shutdown courtesy; a restart on the same journal recovers every
+/// tenant's spec, placement, and interval position, and the recovered
+/// topology serves fresh streams identically to a never-killed fabric
+/// with the same history.
+#[test]
+fn kill_and_restart_recovers_tenant_topology() {
+    let journal =
+        std::env::temp_dir().join(format!("bas-daemon-kill-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+
+    let specs = [
+        TenantSpec::frequency(1, 101),
+        TenantSpec::frequency(2, 202).with_interval_quota(50_000),
+        TenantSpec::range_sum(3, 303),
+    ];
+
+    // ---- first life: register, ingest, advance, then SIGKILL ----
+    let first = spawn_serverd(&journal);
+    {
+        let addr = first.addr;
+        let mut client = tcp_client(addr);
+        for spec in specs {
+            match client.call(&Request::Register(spec)).unwrap() {
+                Response::Installed(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        client
+            .call(&Request::Ingest(IngestFrame {
+                tenant: 1,
+                updates: stream(1, 500),
+            }))
+            .unwrap();
+        client
+            .call(&Request::AdvanceInterval(TenantRef { tenant: 1 }))
+            .unwrap();
+        client
+            .call(&Request::AdvanceInterval(TenantRef { tenant: 1 }))
+            .unwrap();
+        client
+            .call(&Request::AdvanceInterval(TenantRef { tenant: 2 }))
+            .unwrap();
+    }
+    let mut child = first.child;
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap");
+
+    // ---- second life: same journal, fresh process ----
+    let second = spawn_serverd(&journal);
+    let addr = second.addr;
+    let mut client = tcp_client(addr);
+
+    // Topology recovered: same placement as a never-killed fabric,
+    // same specs (duplicate registration answers tenant_exists), same
+    // interval positions.
+    let mut reference = Fabric::new(config());
+    reference.add_shard(0, 1.0).unwrap();
+    reference.add_shard(1, 1.0).unwrap();
+    for spec in specs {
+        reference.register_tenant(spec).unwrap();
+    }
+    for (tenant, advances) in [(1u64, 2u64), (2, 1), (3, 0)] {
+        match client.call(&Request::Stats(TenantRef { tenant })).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(
+                    s.shard,
+                    reference.shard_of(tenant).unwrap(),
+                    "tenant {tenant}"
+                );
+                assert_eq!(s.interval, advances, "tenant {tenant}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match client
+            .call(&Request::Register(specs[tenant as usize - 1]))
+            .unwrap()
+        {
+            Response::Error(e) => assert_eq!(e.code, "tenant_exists"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // The recovered topology serves identically: feed both the
+    // restarted daemon and a reference with the same history the same
+    // fresh stream and compare bit-for-bit.
+    for (tenant, advances) in [(1u64, 2u64), (2, 1), (3, 0)] {
+        for _ in 0..advances {
+            reference.handle(Request::AdvanceInterval(TenantRef { tenant }));
+        }
+        client
+            .call(&Request::Ingest(IngestFrame {
+                tenant,
+                updates: stream(tenant + 10, 1_500),
+            }))
+            .unwrap();
+        client.call(&Request::Flush(TenantRef { tenant })).unwrap();
+        reference.handle(Request::Ingest(IngestFrame {
+            tenant,
+            updates: stream(tenant + 10, 1_500),
+        }));
+        reference.handle(Request::Flush(TenantRef { tenant }));
+        for item in (0..N).step_by(131) {
+            let wire = expect_value(
+                client
+                    .call(&Request::Point(PointQuery { tenant, item }))
+                    .unwrap(),
+            );
+            let local = expect_value(reference.handle(Request::Point(PointQuery { tenant, item })));
+            assert_eq!(
+                wire.to_bits(),
+                local.to_bits(),
+                "tenant {tenant}, item {item}"
+            );
+        }
+    }
+
+    // Clean exit this time: `shutdown` over stdin.
+    drop(client);
+    let mut child = second.child;
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(b"shutdown\n")
+        .unwrap();
+    let status = child.wait().expect("clean exit");
+    assert!(status.success());
+    std::fs::remove_file(&journal).ok();
+}

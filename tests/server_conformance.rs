@@ -585,3 +585,137 @@ fn rejections_are_typed_responses() {
         other => panic!("{other:?}"),
     }
 }
+
+/// A placement/shard-map disagreement — manufactured here via the
+/// test-only desync hook — must surface as a typed
+/// `fabric_inconsistent` error reply on every path that used to
+/// `expect()`: request dispatch, and the rebalance shipping loop. In a
+/// connection-per-thread daemon a panic here would kill the worker and
+/// poison the shared fabric lock; a typed error fails one request and
+/// leaves every other tenant serving.
+#[test]
+fn placement_inconsistency_is_a_typed_error_not_a_panic() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric.add_shard(1, 1.0).unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(7, 707))
+        .unwrap();
+    fabric
+        .register_tenant(TenantSpec::frequency(8, 808))
+        .unwrap();
+    fabric.handle(Request::Ingest(IngestFrame {
+        tenant: 7,
+        updates: stream(7, 64),
+    }));
+
+    // Point placement at the *other* (existing) shard: TenantMissing.
+    let hosting = fabric.shard_of(7).unwrap();
+    fabric.desync_assignment_for_test(7, 1 - hosting);
+    match fabric.handle(Request::Point(PointQuery { tenant: 7, item: 3 })) {
+        Response::Error(e) => assert_eq!(e.code, "fabric_inconsistent"),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    match fabric.handle(Request::Flush(TenantRef { tenant: 7 })) {
+        Response::Error(e) => assert_eq!(e.code, "fabric_inconsistent"),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // Point placement at a shard that is not in the map at all:
+    // ShardMissing.
+    fabric.desync_assignment_for_test(7, 999);
+    match fabric.handle(Request::Stats(TenantRef { tenant: 7 })) {
+        Response::Error(e) => assert_eq!(e.code, "fabric_inconsistent"),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+
+    // The rebalance shipping loop walks assignments too: adding a
+    // shard with the desync in place must return the typed error, not
+    // panic mid-rebalance.
+    assert_eq!(
+        fabric.add_shard(2, 1.0).unwrap_err().code,
+        "fabric_inconsistent"
+    );
+
+    // The untouched tenant still serves.
+    assert!(matches!(
+        fabric.handle(Request::Point(PointQuery { tenant: 8, item: 3 })),
+        Response::Value(_)
+    ));
+}
+
+/// `Request::Register` is the wire path for tenant creation: the
+/// receipt names the same shard the in-process `register_tenant` would
+/// pick, and a duplicate registration is a `tenant_exists` error.
+#[test]
+fn register_frame_creates_a_tenant_over_the_wire() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    fabric.add_shard(1, 1.0).unwrap();
+    let spec = TenantSpec::frequency(11, 1111);
+    let expected = fabric.ring().place(11).unwrap();
+    match fabric.handle(Request::Register(spec)) {
+        Response::Installed(r) => {
+            assert_eq!(r.tenant, 11);
+            assert_eq!(r.shard, expected);
+        }
+        other => panic!("expected Installed, got {other:?}"),
+    }
+    match fabric.handle(Request::Register(spec)) {
+        Response::Error(e) => assert_eq!(e.code, "tenant_exists"),
+        other => panic!("expected tenant_exists, got {other:?}"),
+    }
+    fabric.handle(Request::Ingest(IngestFrame {
+        tenant: 11,
+        updates: stream(11, 32),
+    }));
+    assert!(matches!(
+        fabric.handle(Request::Point(PointQuery {
+            tenant: 11,
+            item: 5
+        })),
+        Response::Value(_)
+    ));
+}
+
+/// `Fabric::quiesce` seals every tenant's open interval exactly like
+/// per-tenant `AdvanceInterval` frames would, so a post-quiesce fabric
+/// answers like one advanced tenant-by-tenant.
+#[test]
+fn quiesce_matches_per_tenant_interval_advances() {
+    let mut a = Fabric::new(config());
+    let mut b = Fabric::new(config());
+    for f in [&mut a, &mut b] {
+        f.add_shard(0, 1.0).unwrap();
+        let spec = TenantSpec::frequency(1, 42)
+            .with_mode(ServingMode::Sliding(WindowLen { intervals: 2 }));
+        f.register_tenant(spec).unwrap();
+        f.register_tenant(TenantSpec::frequency(2, 43)).unwrap();
+        for t in [1u64, 2] {
+            f.handle(Request::Ingest(IngestFrame {
+                tenant: t,
+                updates: stream(t, 100),
+            }));
+        }
+    }
+    let sealed = a.quiesce();
+    assert_eq!(sealed.len(), 2);
+    for t in [1u64, 2] {
+        b.handle(Request::AdvanceInterval(TenantRef { tenant: t }));
+    }
+    for t in [1u64, 2] {
+        for item in 0..32 {
+            let qa = expect_value(a.handle(Request::Point(PointQuery { tenant: t, item })));
+            let qb = expect_value(b.handle(Request::Point(PointQuery { tenant: t, item })));
+            assert_eq!(qa.to_bits(), qb.to_bits());
+            if t == 1 {
+                // Window queries exist only for the sliding tenant.
+                let wa =
+                    expect_value(a.handle(Request::WindowPoint(PointQuery { tenant: t, item })));
+                let wb =
+                    expect_value(b.handle(Request::WindowPoint(PointQuery { tenant: t, item })));
+                assert_eq!(wa.to_bits(), wb.to_bits());
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! panic, and (for the recoverable classes) never a desynced stream.
 
 use bias_aware_sketches::prelude::*;
+use bias_aware_sketches::server::wire::DRAIN_BUDGET_MULTIPLE;
 use bias_aware_sketches::server::wire::{
     AdmitReceipt, BusyReceipt, ErrorReply, FlushReceipt, HeavyHittersQuery, HeavyHittersReply,
     IngestFrame, PointQuery, RangeQuery, SealFrame, SealReceipt, ShedReceipt, StatsReply,
@@ -264,9 +265,11 @@ proptest! {
         }
     }
 
-    /// A frame beyond the reader's cap is a recoverable
-    /// `FrameTooLarge`: the oversized body is drained and the next
-    /// frame decodes exactly.
+    /// A frame beyond the reader's cap but within the drain budget is
+    /// a recoverable `FrameTooLarge`: the oversized body is drained and
+    /// the next frame decodes exactly. Beyond the budget
+    /// (`cap · DRAIN_BUDGET_MULTIPLE`) the declaration is `Abusive`
+    /// and fatal — the reader refuses to pay for the drain.
     #[test]
     fn oversized_frames_drain_and_recover(
         sel in 0u64..10_000,
@@ -283,11 +286,57 @@ proptest! {
 
         let cap = 1.max((big_len as f64 * cap_frac) as usize);
         let mut cursor = &buf[..];
-        match read_frame::<_, Request>(&mut cursor, cap) {
-            Err(e @ WireError::FrameTooLarge { .. }) => prop_assert!(e.is_recoverable()),
-            other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other.is_ok()),
+        if big_len > cap * DRAIN_BUDGET_MULTIPLE {
+            match read_frame::<_, Request>(&mut cursor, cap) {
+                Err(e @ WireError::Abusive { .. }) => prop_assert!(!e.is_recoverable()),
+                other => prop_assert!(false, "expected Abusive, got ok={:?}", other.is_ok()),
+            }
+        } else {
+            match read_frame::<_, Request>(&mut cursor, cap) {
+                Err(e @ WireError::FrameTooLarge { .. }) => prop_assert!(e.is_recoverable()),
+                other => prop_assert!(false, "expected FrameTooLarge, got ok={:?}", other.is_ok()),
+            }
+            let back: Request = read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(back, small);
         }
-        let back: Request = read_frame(&mut cursor, MAX_FRAME_BYTES).unwrap().unwrap();
-        prop_assert_eq!(back, small);
+    }
+
+    /// The trickle pattern: a peer delivering a frame a few bytes per
+    /// read must cost the reader only the bytes actually delivered —
+    /// and the frame must still decode bit-for-bit once complete.
+    #[test]
+    fn trickled_frames_decode_bit_for_bit(
+        sel in 0u64..10_000,
+        tenant in 0u64..u64::MAX,
+        updates in prop::collection::vec((0u64..1_000, -1e9f64..1e9), 0..16),
+        step in 1usize..13,
+    ) {
+        struct Trickle<'a> { data: &'a [u8], pos: usize, step: usize }
+        impl std::io::Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let req = request(sel, tenant, &updates, &[1.5, -2.5]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let mut r = Trickle { data: &buf, pos: 0, step };
+        let back: Request = read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap();
+        prop_assert_eq!(back, req);
+
+        // The same trickle cut short mid-body reports exactly the
+        // bytes that arrived, not the declared length.
+        let cut = buf.len() - 1;
+        let mut r = Trickle { data: &buf[..cut], pos: 0, step };
+        match read_frame::<_, Request>(&mut r, MAX_FRAME_BYTES) {
+            Err(WireError::Truncated { expected, got }) => {
+                prop_assert_eq!(expected, buf.len() - 4);
+                prop_assert_eq!(got, cut - 4);
+            }
+            other => prop_assert!(false, "expected Truncated, got ok={:?}", other.is_ok()),
+        }
     }
 }
