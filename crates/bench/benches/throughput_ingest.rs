@@ -35,6 +35,7 @@
 
 use bas_bench::report::BenchReport;
 use bas_core::{L2Config, L2SketchRecover};
+use bas_hash::HashKind;
 use bas_pipeline::{ConcurrentIngest, ShardedIngest};
 use bas_sketch::{
     AtomicCountMedian, AtomicCountSketch, CountMedian, CountSketch, MergeableSketch,
@@ -314,6 +315,106 @@ fn main() {
         shard_counts,
     );
     record(&mut report, "l2-S/R", &l2_runs);
+
+    // --- The PR 10 hot path: one-hash kernels on this machine ---
+    //
+    // Everything above measures the classical Carter–Wegman rows; the
+    // serving stack's default is now `HashKind::OneHash`, whose batch
+    // kernels this section measures: the blocked row-major kernel
+    // (`kernel-batch`), the same kernel with the vectorized digest /
+    // bucket / sign maps forced off (`kernel-scalar` — identical math,
+    // scalar lanes), and the shared-reference coalescing kernel driven
+    // single-threaded (`shared-batch`: per block, duplicate hits on a
+    // cell collapse into one atomic RMW). Integer deltas keep every
+    // row bit-for-bit comparable, so the exactness gates hold here too.
+    let one_hash = params.with_hash_kind(HashKind::OneHash);
+    let mut hot_runs = Vec::new();
+
+    bas_hash::set_force_scalar(true);
+    let (scalar_secs, kernel_scalar) = time_passes(
+        passes,
+        || CountMedian::new(&one_hash),
+        |sk| {
+            sk.update_batch(&updates);
+        },
+    );
+    bas_hash::set_force_scalar(false);
+    let (simd_secs, kernel_simd) = time_passes(
+        passes,
+        || CountMedian::new(&one_hash),
+        |sk| {
+            sk.update_batch(&updates);
+        },
+    );
+    hot_runs.push(Run {
+        label: "kernel-scalar".into(),
+        items_per_sec: total as f64 / scalar_secs,
+        speedup_vs_single: cm_single_secs / scalar_secs,
+    });
+    hot_runs.push(Run {
+        label: if bas_hash::simd_active() {
+            "kernel-simd".into()
+        } else {
+            "kernel-simd (scalar fallback)".into()
+        },
+        items_per_sec: total as f64 / simd_secs,
+        speedup_vs_single: cm_single_secs / simd_secs,
+    });
+
+    let mut shared_best = f64::INFINITY;
+    let mut shared_result = None;
+    for _ in 0..passes {
+        let sk = AtomicCountMedian::with_backend(&one_hash);
+        let t = Instant::now();
+        sk.update_batch_shared(&updates);
+        shared_best = shared_best.min(t.elapsed().as_secs_f64());
+        shared_result = Some(sk);
+    }
+    let shared_sketch = black_box(shared_result.expect("at least one pass"));
+    hot_runs.push(Run {
+        label: "shared-batch".into(),
+        items_per_sec: total as f64 / shared_best,
+        speedup_vs_single: cm_single_secs / shared_best,
+    });
+
+    // Exactness gates: both kernel paths and the shared path must be
+    // bit-for-bit (the SIMD lanes perform the same wrapping integer
+    // ops; integer deltas make the shared adds order-independent).
+    for j in (0..kernel_scalar.universe()).step_by(97_003) {
+        assert_eq!(
+            kernel_simd.estimate(j),
+            kernel_scalar.estimate(j),
+            "one-hash simd/scalar item {j}"
+        );
+        assert_eq!(
+            shared_sketch.estimate(j),
+            kernel_scalar.estimate(j),
+            "one-hash shared item {j}"
+        );
+    }
+
+    println!(
+        "--- Count-Median (one-hash hot path, simd {}) ---",
+        if bas_hash::simd_active() {
+            "active"
+        } else {
+            "inactive"
+        }
+    );
+    for r in &hot_runs {
+        println!(
+            "  {:>28}: {:>7.2} M items/s   ({:.2}x vs single)",
+            r.label,
+            r.items_per_sec / 1e6,
+            r.speedup_vs_single
+        );
+    }
+    record(&mut report, "Count-Median", &hot_runs);
+    report.record(
+        "Count-Median/kernel",
+        "simd_speedup_vs_scalar",
+        scalar_secs / simd_secs,
+    );
 
     // Verdict over all three sketches (geometric mean of the batched
     // speedups), so one noisy series cannot flip the report.

@@ -63,8 +63,8 @@ use bas_hash::{HashKind, SeedSchedule};
 use bas_serve::{QueryEngine, RotatingEngine, Sliding, WindowSnapshot};
 use bas_server::wire::{IngestFrame, PointQuery, TenantRef};
 use bas_server::{
-    Client, Daemon, DaemonConfig, Fabric, FabricConfig, Request, Response, RetryPolicy, TenantSpec,
-    MAX_FRAME_BYTES,
+    Client, Daemon, DaemonConfig, Fabric, FabricConfig, IngestBatcher, Request, Response,
+    RetryPolicy, TenantSpec, MAX_FRAME_BYTES,
 };
 use bas_sketch::{
     AtomicCountMedian, CountMedian, CountMin, CountSketch, PointQuerySketch, SketchParams,
@@ -79,6 +79,10 @@ const DEPTH: usize = 9;
 const WINDOW: usize = 8; // sliding window length in intervals
 const CHUNK: usize = 8_192;
 const REFRESH_EVERY: usize = 1_024;
+/// Client-side ingest frame size for the socket rows: the
+/// `IngestBatcher` coalesces the arrival stream into frames this big,
+/// so the wire round-trip tax amortizes over `MAX_BATCH` updates.
+const MAX_BATCH: usize = 65_536;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
@@ -496,16 +500,33 @@ fn main() {
             MAX_FRAME_BYTES,
         );
 
+        // The arrival stream still lands in CHUNK-sized pieces, but
+        // the per-tenant `IngestBatcher` coalesces them into
+        // MAX_BATCH-update frames, so the round-trip tax amortizes and
+        // the server sees batches big enough for its blocked kernels.
+        let mut batchers: Vec<IngestBatcher> = (0..tenants)
+            .map(|tenant| IngestBatcher::new(tenant, MAX_BATCH))
+            .collect();
         let t = Instant::now();
         for (i, chunk) in stream.chunks(CHUNK).enumerate() {
             let updates: Vec<(u64, f64)> = chunk.iter().map(|u| (u.item, u.delta)).collect();
-            let frame = IngestFrame {
-                tenant: i as u64 % tenants,
-                updates,
-            };
-            match client.call(&Request::Ingest(frame)).expect("socket ingest") {
-                Response::Admitted(_) => {}
-                other => panic!("daemon refused ingest: {other:?}"),
+            let batcher = &mut batchers[(i as u64 % tenants) as usize];
+            for resp in batcher
+                .extend(&mut client, &updates)
+                .expect("socket ingest")
+            {
+                match resp {
+                    Response::Admitted(_) => {}
+                    other => panic!("daemon refused ingest: {other:?}"),
+                }
+            }
+        }
+        for batcher in &mut batchers {
+            if let Some(resp) = batcher.finish(&mut client).expect("socket ingest tail") {
+                match resp {
+                    Response::Admitted(_) => {}
+                    other => panic!("daemon refused ingest tail: {other:?}"),
+                }
             }
         }
         for tenant in 0..tenants {

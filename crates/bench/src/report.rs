@@ -1,4 +1,4 @@
-//! Machine-readable bench summaries: `BENCH_PR8.json`.
+//! Machine-readable bench summaries: `BENCH_PR10.json`.
 //!
 //! Bench stdout is great for humans and useless for trend tracking:
 //! once the terminal scrolls away, the perf trajectory across PRs is
@@ -8,7 +8,7 @@
 //! 1. writes the bench's own section as a *fragment* file under a
 //!    sections directory (`target/bench-sections/<bench>.json` by
 //!    default), and
-//! 2. regenerates the combined summary (`BENCH_PR8.json` by default)
+//! 2. regenerates the combined summary (`BENCH_PR10.json` by default)
 //!    from **every** fragment present — so the three throughput
 //!    benches can run in any order, each refreshing only its own
 //!    section, and the combined file always holds the latest row set
@@ -40,7 +40,7 @@ use std::path::{Path, PathBuf};
 /// Default combined summary filename (resolved against the workspace
 /// root, not the bench's cwd — cargo runs bench binaries from the
 /// package directory).
-pub const DEFAULT_COMBINED_NAME: &str = "BENCH_PR9.json";
+pub const DEFAULT_COMBINED_NAME: &str = "BENCH_PR10.json";
 
 /// Default fragment directory name under the workspace `target/`.
 pub const DEFAULT_SECTIONS_DIR: &str = "bench-sections";

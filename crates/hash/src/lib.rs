@@ -32,7 +32,10 @@
 //! assert!(h.bucket(12345) < 1024);
 //! ```
 
-#![forbid(unsafe_code)]
+// The `simd` feature compiles `core::arch` intrinsics (inherently
+// `unsafe`) inside the `simd` module; everything else stays forbidden.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod carter_wegman;
@@ -43,6 +46,7 @@ mod row_deriver;
 mod schedule;
 mod seed;
 mod sign;
+pub mod simd;
 mod tabulation;
 
 pub use carter_wegman::{CarterWegman, PolynomialHash};
@@ -55,4 +59,5 @@ pub use row_deriver::{DerivedRow, RowDeriver};
 pub use schedule::SeedSchedule;
 pub use seed::{mix64, SplitMix64};
 pub use sign::SignHash;
+pub use simd::{set_force_scalar, simd_active};
 pub use tabulation::Tabulation;

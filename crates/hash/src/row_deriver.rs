@@ -198,6 +198,40 @@ impl RowDeriver {
             *o = r.bucket_of_digest(digest);
         }
     }
+
+    /// Fills `out[i] = mix64(items[i] ^ key)` for a whole block — the
+    /// SIMD entry point of the blocked ingest kernel. Dispatches to the
+    /// vectorized path when [`crate::simd_active`] and is bit-for-bit
+    /// identical to calling [`RowDeriver::digest`] per item either way.
+    pub fn digests_into(&self, items: &[u64], out: &mut [u64]) {
+        crate::simd::mix64_batch(self.key, items, out);
+    }
+
+    /// Fills `out[i]` with row `row`'s bucket for each precomputed
+    /// digest (the block-wide form of [`RowDeriver::bucket_of_digest`]).
+    pub fn buckets_of_digests(&self, row: usize, digests: &[u64], out: &mut [usize]) {
+        let r = &self.rows[row];
+        if r.shift == 64 {
+            // 2^0 = 1 bucket: everything collides by definition.
+            out.fill(0);
+            return;
+        }
+        crate::simd::multiply_shift_batch(r.a, r.b, r.shift, digests, out);
+    }
+
+    /// Fills `out[i] = sign_row(digests[i]) · deltas[i]` — the
+    /// Count-Sketch signed value for each item of a block, computed as
+    /// a sign-bit XOR (bit-identical to multiplying by `±1.0` for every
+    /// finite or infinite delta).
+    pub fn signed_deltas_of_digests(
+        &self,
+        row: usize,
+        digests: &[u64],
+        deltas: &[f64],
+        out: &mut [f64],
+    ) {
+        crate::simd::signed_delta_batch(self.rows[row].sign_a, digests, deltas, out);
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +323,44 @@ mod tests {
                 assert_eq!(out[row], h.bucket(x), "x={x} row={row}");
             }
         }
+    }
+
+    #[test]
+    fn block_helpers_match_per_item_path() {
+        let mut seeder = SplitMix64::new(11);
+        let mut fam = HashFamily::new(HashKind::OneHash, &mut seeder, 256);
+        let rows = fam.sample_many(4);
+        let rd = RowDeriver::from_hashers(&rows).unwrap();
+        let items: Vec<u64> = (0..301u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .collect();
+        let deltas: Vec<f64> = (0..301).map(|i| (i as f64) * 0.5 - 40.0).collect();
+
+        let mut digests = vec![0u64; items.len()];
+        rd.digests_into(&items, &mut digests);
+        let mut buckets = vec![0usize; items.len()];
+        let mut vals = vec![0f64; items.len()];
+        for row in 0..rd.depth() {
+            rd.buckets_of_digests(row, &digests, &mut buckets);
+            rd.signed_deltas_of_digests(row, &digests, &deltas, &mut vals);
+            for (i, &x) in items.iter().enumerate() {
+                assert_eq!(digests[i], rd.digest(x));
+                assert_eq!(buckets[i], rd.bucket_of_digest(row, digests[i]));
+                let want = rd.sign_of_digest(row, digests[i]) as f64 * deltas[i];
+                assert_eq!(vals[i].to_bits(), want.to_bits(), "row {row} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_helpers_single_bucket_row_is_zero() {
+        let mut seeder = SplitMix64::new(2);
+        let row = DerivedRow::sample(&mut seeder, 0xAA, 1);
+        let rd = RowDeriver::from_hashers(&[AnyBucketHasher::Derived(row)]).unwrap();
+        let digests = [1u64, 2, u64::MAX];
+        let mut out = [7usize; 3];
+        rd.buckets_of_digests(0, &digests, &mut out);
+        assert_eq!(out, [0, 0, 0]);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Vectorized batch kernels for one-hash row derivation.
+//!
+//! The blocked ingest kernel (PR 8) stages each 256-item block's bucket
+//! indices and values in scratch before sweeping the grid row by row.
+//! Filling that scratch is three data-parallel maps over the block:
+//!
+//! 1. `digest_i = mix64(item_i ^ key)` — the shared one-hash digest,
+//! 2. `bucket_i = (a·digest_i + b) >> shift` — per-row multiply-shift,
+//! 3. `val_i = sign_r(digest_i) · delta_i` — per-row Count-Sketch sign,
+//!    computed as a sign-bit XOR (`±1.0 · x` is exactly a sign-bit flip
+//!    for every finite or infinite `x`).
+//!
+//! All three are pure 64-bit integer lane math, so they vectorize with
+//! plain AVX2 (4 lanes of `u64`; the missing 64×64 multiply is emulated
+//! from `_mm256_mul_epu32` cross products). The intrinsics live behind
+//! the `simd` cargo feature and a runtime `avx2` detection check; the
+//! scalar fallback below each dispatch point performs the *same*
+//! wrapping integer operations, so results are bit-for-bit identical —
+//! a property the workspace's scalar-equivalence suite pins under both
+//! feature configurations.
+//!
+//! [`set_force_scalar`] lets benchmarks and tests measure/compare both
+//! paths from one binary even when AVX2 is available.
+
+#![cfg_attr(feature = "simd", allow(unsafe_code))]
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+use crate::seed::mix64;
+
+/// When set, batch kernels take the scalar path even if the `simd`
+/// feature is enabled and the CPU supports it.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or un-forces) the scalar fallback at runtime.
+///
+/// Used by the equivalence suite and benchmarks to exercise both paths
+/// in one process; has no effect when the `simd` feature is disabled
+/// (the scalar path is then the only one compiled).
+pub fn set_force_scalar(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// Whether the vectorized kernels will actually run: the `simd` feature
+/// is compiled in, the CPU reports AVX2, and scalar mode is not forced.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        !FORCE_SCALAR.load(Ordering::Relaxed) && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        // Keep the flag "used" so the scalar-only build stays warning-free.
+        let _ = FORCE_SCALAR.load(Ordering::Relaxed);
+        false
+    }
+}
+
+/// Fills `out[i] = mix64(items[i] ^ key)` — the family-wide one-hash
+/// digest for a whole block.
+pub(crate) fn mix64_batch(key: u64, items: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(items.len(), out.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: guarded by the runtime AVX2 detection in `simd_active`.
+        unsafe { avx2::mix64_batch(key, items, out) };
+        return;
+    }
+    for (o, &x) in out.iter_mut().zip(items) {
+        *o = mix64(x ^ key);
+    }
+}
+
+/// Fills `out[i] = (a·digests[i] + b) >> shift` (wrapping), the
+/// multiply-shift bucket for one derived row. `shift` must be in
+/// `1..=63`; the degenerate one-bucket case (`shift == 64`) is handled
+/// by the caller.
+pub(crate) fn multiply_shift_batch(a: u64, b: u64, shift: u32, digests: &[u64], out: &mut [usize]) {
+    debug_assert_eq!(digests.len(), out.len());
+    debug_assert!((1..=63).contains(&shift));
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // usize is 64-bit on x86_64: reinterpret the output slice so the
+        // vector store writes bucket indices directly.
+        // SAFETY: same length, and u64/usize share size and alignment here.
+        let out64 =
+            unsafe { core::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u64>(), out.len()) };
+        // SAFETY: guarded by the runtime AVX2 detection in `simd_active`.
+        unsafe { avx2::multiply_shift_batch(a, b, shift, digests, out64) };
+        return;
+    }
+    for (o, &d) in out.iter_mut().zip(digests) {
+        *o = (a.wrapping_mul(d).wrapping_add(b) >> shift) as usize;
+    }
+}
+
+/// Fills `out[i] = sign(digests[i]) · deltas[i]` for one derived row,
+/// where the sign is the top bit of `sign_a · digest` — computed as a
+/// sign-bit XOR, which is bit-identical to multiplying by `±1.0` for
+/// every finite or infinite delta.
+pub(crate) fn signed_delta_batch(sign_a: u64, digests: &[u64], deltas: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(digests.len(), deltas.len());
+    debug_assert_eq!(digests.len(), out.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: guarded by the runtime AVX2 detection in `simd_active`.
+        unsafe { avx2::signed_delta_batch(sign_a, digests, deltas, out) };
+        return;
+    }
+    for ((o, &d), &delta) in out.iter_mut().zip(digests).zip(deltas) {
+        let sign_bit = sign_a.wrapping_mul(d) & (1u64 << 63);
+        *o = f64::from_bits(delta.to_bits() ^ sign_bit);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! AVX2 lane kernels. Every function here carries
+    //! `#[target_feature(enable = "avx2")]` and must only be reached
+    //! through the runtime-detected dispatch above.
+
+    use core::arch::x86_64::*;
+
+    use crate::seed::mix64;
+
+    /// Full 64×64→64 wrapping multiply per lane, emulated from the
+    /// 32×32→64 `vpmuludq` cross products (AVX2 has no `vpmullq`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul64(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let a_hi = _mm256_srli_epi64::<32>(a);
+        let b_hi = _mm256_srli_epi64::<32>(b);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mix64_batch(key: u64, items: &[u64], out: &mut [u64]) {
+        const GOLDEN: i64 = 0x9E37_79B9_7F4A_7C15_u64 as i64;
+        const M1: i64 = 0xBF58_476D_1CE4_E5B9_u64 as i64;
+        const M2: i64 = 0x94D0_49BB_1331_11EB_u64 as i64;
+        let golden = _mm256_set1_epi64x(GOLDEN);
+        let m1 = _mm256_set1_epi64x(M1);
+        let m2 = _mm256_set1_epi64x(M2);
+        let keyv = _mm256_set1_epi64x(key as i64);
+        let lanes = items.len() & !3;
+        let mut i = 0;
+        while i < lanes {
+            let x = _mm256_loadu_si256(items.as_ptr().add(i).cast());
+            let mut z = _mm256_add_epi64(_mm256_xor_si256(x, keyv), golden);
+            z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64::<30>(z)), m1);
+            z = mul64(_mm256_xor_si256(z, _mm256_srli_epi64::<27>(z)), m2);
+            z = _mm256_xor_si256(z, _mm256_srli_epi64::<31>(z));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), z);
+            i += 4;
+        }
+        for j in lanes..items.len() {
+            out[j] = mix64(items[j] ^ key);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn multiply_shift_batch(
+        a: u64,
+        b: u64,
+        shift: u32,
+        digests: &[u64],
+        out: &mut [u64],
+    ) {
+        let av = _mm256_set1_epi64x(a as i64);
+        let bv = _mm256_set1_epi64x(b as i64);
+        let sh = _mm_cvtsi32_si128(shift as i32);
+        let lanes = digests.len() & !3;
+        let mut i = 0;
+        while i < lanes {
+            let d = _mm256_loadu_si256(digests.as_ptr().add(i).cast());
+            let h = _mm256_srl_epi64(_mm256_add_epi64(mul64(av, d), bv), sh);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), h);
+            i += 4;
+        }
+        for j in lanes..digests.len() {
+            out[j] = a.wrapping_mul(digests[j]).wrapping_add(b) >> shift;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn signed_delta_batch(
+        sign_a: u64,
+        digests: &[u64],
+        deltas: &[f64],
+        out: &mut [f64],
+    ) {
+        let sv = _mm256_set1_epi64x(sign_a as i64);
+        let sign_mask = _mm256_set1_epi64x(i64::MIN);
+        let lanes = digests.len() & !3;
+        let mut i = 0;
+        while i < lanes {
+            let d = _mm256_loadu_si256(digests.as_ptr().add(i).cast());
+            let bits = _mm256_and_si256(mul64(sv, d), sign_mask);
+            let v = _mm256_loadu_si256(deltas.as_ptr().add(i).cast());
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), _mm256_xor_si256(v, bits));
+            i += 4;
+        }
+        for j in lanes..digests.len() {
+            let sign_bit = sign_a.wrapping_mul(digests[j]) & (1u64 << 63);
+            out[j] = f64::from_bits(deltas[j].to_bits() ^ sign_bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_digests(n: usize) -> Vec<u64> {
+        let mut g = crate::SplitMix64::new(0xD1D1);
+        (0..n).map(|_| g.next_u64()).collect()
+    }
+
+    #[test]
+    fn mix64_batch_matches_scalar_mix() {
+        let items: Vec<u64> = (0..261).map(|i| i * i * 2_654_435_761 + 17).collect();
+        let mut out = vec![0u64; items.len()];
+        mix64_batch(0xC0FFEE, &items, &mut out);
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(out[i], mix64(x ^ 0xC0FFEE), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn multiply_shift_batch_matches_scalar() {
+        let digests = sample_digests(259);
+        let (a, b, shift) = (0x9E37_79B9_7F4A_7C15 | 1, 0x1234_5678_9ABC_DEF0, 54u32);
+        let mut out = vec![0usize; digests.len()];
+        multiply_shift_batch(a, b, shift, &digests, &mut out);
+        for (i, &d) in digests.iter().enumerate() {
+            assert_eq!(
+                out[i],
+                (a.wrapping_mul(d).wrapping_add(b) >> shift) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn signed_delta_batch_matches_sign_multiplication() {
+        let digests = sample_digests(258);
+        let sign_a = 0xABCD_EF01_2345_6789 | 1;
+        let deltas: Vec<f64> = (0..digests.len()).map(|i| (i as f64) - 100.5).collect();
+        let mut out = vec![0f64; digests.len()];
+        signed_delta_batch(sign_a, &digests, &deltas, &mut out);
+        for i in 0..digests.len() {
+            let sign = if sign_a.wrapping_mul(digests[i]) >> 63 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            assert_eq!(out[i].to_bits(), (sign * deltas[i]).to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn forced_scalar_is_bit_identical_to_dispatch() {
+        let digests = sample_digests(300);
+        let items: Vec<u64> = (0..300).map(|i| i * 7 + 3).collect();
+        let deltas: Vec<f64> = (0..300).map(|i| 0.25 * i as f64 - 31.0).collect();
+        let (a, b, shift, sign_a, key) = (21u64 | 1, 99u64, 40u32, 77u64 | 1, 0xFEED_u64);
+
+        let mut dig_a = vec![0u64; 300];
+        let mut buck_a = vec![0usize; 300];
+        let mut val_a = vec![0f64; 300];
+        mix64_batch(key, &items, &mut dig_a);
+        multiply_shift_batch(a, b, shift, &digests, &mut buck_a);
+        signed_delta_batch(sign_a, &digests, &deltas, &mut val_a);
+
+        set_force_scalar(true);
+        let mut dig_b = vec![0u64; 300];
+        let mut buck_b = vec![0usize; 300];
+        let mut val_b = vec![0f64; 300];
+        mix64_batch(key, &items, &mut dig_b);
+        multiply_shift_batch(a, b, shift, &digests, &mut buck_b);
+        signed_delta_batch(sign_a, &digests, &deltas, &mut val_b);
+        set_force_scalar(false);
+
+        assert_eq!(dig_a, dig_b);
+        assert_eq!(buck_a, buck_b);
+        assert_eq!(
+            val_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            val_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

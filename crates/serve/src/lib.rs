@@ -153,6 +153,13 @@ fn scan_heavy_hitters<S: Snapshottable>(
 /// clones are the multi-consumer read side (hand one to each reader
 /// thread). Readers never block writers: snapshot pins retry across
 /// in-flight flushes instead of locking them out.
+///
+/// When building the underlying sketch for a **new** engine, prefer
+/// `SketchParams` with `HashKind::OneHash`: the batch kernels the
+/// flush path runs hoist its single digest out of the row loop, which
+/// is where serving throughput comes from. The classical kinds remain
+/// the right choice for paper-conformance experiments and for engines
+/// that must answer bit-for-bit like existing serialized sketches.
 #[derive(Debug)]
 pub struct QueryEngine<
     S: SharedSketch + Snapshottable + Reseedable + Send,

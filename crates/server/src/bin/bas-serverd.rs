@@ -21,6 +21,7 @@
 //! stdout (with `--listen host:0`, the OS-assigned port included), so
 //! wrappers can parse where to connect.
 
+use bas_hash::HashKind;
 use bas_server::{persist, Daemon, DaemonConfig, Deadlines, Fabric, FabricConfig, Journal};
 use bas_sketch::SketchParams;
 use std::io::{BufRead, Write};
@@ -44,11 +45,21 @@ options:
   --universe N         sketch universe size       (default 4096)
   --width W            sketch width (columns)     (default 128)
   --depth D            sketch depth (rows)        (default 5)
+  --hash KIND          row-hash family: onehash | carter-wegman |
+                       multiply-shift | tabulation (default onehash —
+                       one digest per item, rows re-keyed from it, so
+                       the batch kernels hoist the hash out of the row
+                       loop; carter-wegman matches the paper analysis
+                       and supports non-power-of-two widths)
   --workers K          ingest workers per tenant  (default 1)
   --read-ms MS         mid-frame read deadline    (default 10000)
   --write-ms MS        response write deadline    (default 10000)
   --idle-ms MS         between-frames idle cutoff (default 300000)
   --max-frame BYTES    per-frame byte cap         (default 16 MiB)
+  --compact-records N  compact the journal once N records accumulate
+                       since the last compaction (default: only at
+                       shutdown)
+  --compact-bytes N    compact once the journal file reaches N bytes
 
 The daemon serves until stdin closes or a line `shutdown` arrives,
 then drains, seals open intervals, and compacts the journal.";
@@ -61,11 +72,26 @@ struct Args {
     universe: u64,
     width: usize,
     depth: usize,
+    hash: HashKind,
     workers: usize,
     read_ms: u64,
     write_ms: u64,
     idle_ms: u64,
     max_frame: usize,
+    compact_records: Option<u64>,
+    compact_bytes: Option<u64>,
+}
+
+fn parse_hash(s: &str) -> Result<HashKind, String> {
+    match s {
+        "onehash" | "one-hash" => Ok(HashKind::OneHash),
+        "carter-wegman" => Ok(HashKind::CarterWegman),
+        "multiply-shift" => Ok(HashKind::MultiplyShift),
+        "tabulation" => Ok(HashKind::Tabulation),
+        other => Err(format!(
+            "--hash wants onehash | carter-wegman | multiply-shift | tabulation, got {other:?}"
+        )),
+    }
 }
 
 fn parse_shard(s: &str) -> Result<(u64, f64), String> {
@@ -88,11 +114,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         universe: 4_096,
         width: 128,
         depth: 5,
+        hash: HashKind::OneHash,
         workers: 1,
         read_ms: 10_000,
         write_ms: 10_000,
         idle_ms: 300_000,
         max_frame: bas_server::MAX_FRAME_BYTES,
+        compact_records: None,
+        compact_bytes: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -109,11 +138,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--universe" => args.universe = value()?.parse().map_err(|e| format!("{e}"))?,
             "--width" => args.width = value()?.parse().map_err(|e| format!("{e}"))?,
             "--depth" => args.depth = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--hash" => args.hash = parse_hash(&value()?)?,
             "--workers" => args.workers = value()?.parse().map_err(|e| format!("{e}"))?,
             "--read-ms" => args.read_ms = value()?.parse().map_err(|e| format!("{e}"))?,
             "--write-ms" => args.write_ms = value()?.parse().map_err(|e| format!("{e}"))?,
             "--idle-ms" => args.idle_ms = value()?.parse().map_err(|e| format!("{e}"))?,
             "--max-frame" => args.max_frame = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--compact-records" => {
+                args.compact_records = Some(value()?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--compact-bytes" => {
+                args.compact_bytes = Some(value()?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
@@ -130,7 +166,7 @@ fn deadline(ms: u64) -> Option<Duration> {
 }
 
 fn run(args: Args) -> Result<(), String> {
-    let params = SketchParams::new(args.universe, args.width, args.depth);
+    let params = SketchParams::new(args.universe, args.width, args.depth).with_hash_kind(args.hash);
     let config = FabricConfig::new(params).with_workers(args.workers.max(1));
 
     // Recover topology from the journal (empty fabric on first boot),
@@ -162,6 +198,8 @@ fn run(args: Args) -> Result<(), String> {
 
     let daemon_config = DaemonConfig::new()
         .with_max_frame_bytes(args.max_frame)
+        .with_compact_after_records(args.compact_records)
+        .with_compact_after_bytes(args.compact_bytes)
         .with_deadlines(
             Deadlines::new()
                 .with_read(deadline(args.read_ms))

@@ -9,7 +9,9 @@
 //! sync; only truncation and I/O failures drop the connection.
 
 use crate::fabric::Fabric;
-use crate::wire::{read_frame, write_frame, ErrorReply, Request, Response, WireError};
+use crate::wire::{
+    read_frame, write_frame, ErrorReply, IngestFrame, Request, Response, TenantRef, WireError,
+};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -266,4 +268,121 @@ pub fn call_with_retry<S: Read + Write, F: FnMut() -> io::Result<S>>(
     max_frame_bytes: usize,
 ) -> Result<Response, RetryError> {
     Client::new(connect, policy, max_frame_bytes).call(req)
+}
+
+/// Client-side ingest batching for one tenant: buffers `(item, delta)`
+/// updates and ships them as **one [`Request::Ingest`] frame per
+/// `max_batch` updates**, so a live stream pays one request/response
+/// round trip per batch instead of per arrival. Bigger frames also
+/// reach the server as bigger batches, which its engines apply through
+/// the blocked batch kernels — the wire tax and the per-update
+/// dispatch tax amortize together.
+///
+/// Backpressure policy: a [`Response::Busy`] answer (the tenant's
+/// ingest queue is full) triggers one [`Request::Flush`] followed by a
+/// single resend — the flush drains the queue, so the retry normally
+/// lands. A second `Busy`, and any [`Response::Shed`] (interval quota;
+/// only the next interval clears it), are returned to the caller
+/// unretried: nothing was admitted, and only the caller knows whether
+/// waiting or dropping is right.
+#[derive(Debug)]
+pub struct IngestBatcher {
+    tenant: u64,
+    max_batch: usize,
+    buf: Vec<(u64, f64)>,
+}
+
+impl IngestBatcher {
+    /// A batcher for `tenant`, shipping a frame every `max_batch`
+    /// updates (0 behaves as 1).
+    pub fn new(tenant: u64, max_batch: usize) -> Self {
+        let max_batch = max_batch.max(1);
+        Self {
+            tenant,
+            max_batch,
+            buf: Vec::with_capacity(max_batch),
+        }
+    }
+
+    /// The tenant this batcher feeds.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Updates buffered but not yet shipped.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Buffers `updates`, shipping a full frame through `client` each
+    /// time the buffer reaches `max_batch`. Returns the server's
+    /// answers for the frames shipped (empty while everything is still
+    /// buffered); an un-admitted answer ([`Response::Busy`] after the
+    /// flush-and-retry, [`Response::Shed`], [`Response::Error`]) stops
+    /// the shipping early with the unadmitted updates still buffered.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn extend<S: Read + Write, F: FnMut() -> io::Result<S>>(
+        &mut self,
+        client: &mut Client<S, F>,
+        updates: &[(u64, f64)],
+    ) -> Result<Vec<Response>, RetryError> {
+        let mut answers = Vec::new();
+        let mut rest = updates;
+        while !rest.is_empty() {
+            let take = (self.max_batch - self.buf.len()).min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() < self.max_batch {
+                break;
+            }
+            let resp = self.ship(client)?;
+            let admitted = matches!(resp, Response::Admitted(_));
+            answers.push(resp);
+            if !admitted {
+                break;
+            }
+        }
+        Ok(answers)
+    }
+
+    /// Ships the buffered partial frame, if any. Call at end of stream
+    /// (and check the answer) — dropping the batcher discards whatever
+    /// is still buffered.
+    ///
+    /// # Errors
+    /// See [`Client::call`].
+    pub fn finish<S: Read + Write, F: FnMut() -> io::Result<S>>(
+        &mut self,
+        client: &mut Client<S, F>,
+    ) -> Result<Option<Response>, RetryError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        self.ship(client).map(Some)
+    }
+
+    /// One frame out of the buffer, with the Busy → flush → resend
+    /// step. The buffer is cleared only on admission.
+    fn ship<S: Read + Write, F: FnMut() -> io::Result<S>>(
+        &mut self,
+        client: &mut Client<S, F>,
+    ) -> Result<Response, RetryError> {
+        let req = Request::Ingest(IngestFrame {
+            tenant: self.tenant,
+            updates: self.buf.clone(),
+        });
+        let mut resp = client.call(&req)?;
+        if matches!(resp, Response::Busy(_)) {
+            client.call(&Request::Flush(TenantRef {
+                tenant: self.tenant,
+            }))?;
+            resp = client.call(&req)?;
+        }
+        if matches!(resp, Response::Admitted(_)) {
+            self.buf.clear();
+        }
+        Ok(resp)
+    }
 }

@@ -30,6 +30,14 @@ use bas_sketch::SketchParams;
 use std::collections::BTreeMap;
 
 /// Fabric-wide configuration shared by every tenant engine.
+///
+/// For new deployments, build the template with
+/// [`HashKind::OneHash`](bas_hash::HashKind::OneHash) — one digest per
+/// item with rows re-keyed from it, so the batch kernels on the ingest
+/// path hoist the hash out of the row loop (`bas-serverd` defaults to
+/// it). The classical kinds stay available for paper-conformance runs
+/// and for fabrics that must stay bit-for-bit with existing journals
+/// and golden vectors.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
     /// Sketch shape template. Each tenant's engine is built from this

@@ -47,7 +47,9 @@ pub mod persist;
 pub mod placement;
 pub mod wire;
 
-pub use connection::{call, call_with_retry, serve_connection, Client, RetryError, RetryPolicy};
+pub use connection::{
+    call, call_with_retry, serve_connection, Client, IngestBatcher, RetryError, RetryPolicy,
+};
 pub use fabric::{Fabric, FabricConfig, FabricError, RebalanceReport, TenantMove};
 pub use listener::{
     ConnectionError, Daemon, DaemonConfig, Deadlines, SharedFabric, ShutdownReport,

@@ -103,7 +103,8 @@ impl Default for Deadlines {
     }
 }
 
-/// Daemon configuration: frame cap, deadlines, poll quantum.
+/// Daemon configuration: frame cap, deadlines, poll quantum, journal
+/// compaction thresholds.
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Per-frame byte cap handed to the wire layer.
@@ -113,15 +114,24 @@ pub struct DaemonConfig {
     /// How often idle connections and the accept loop re-check the
     /// shutdown flag (also the granularity of the idle deadline).
     pub poll_interval: Duration,
+    /// Compact the journal once it holds this many records beyond the
+    /// last compaction (`None` = compact only at graceful shutdown).
+    pub compact_after_records: Option<u64>,
+    /// Compact the journal once it grows this many bytes beyond the
+    /// last compaction (`None` = compact only at graceful shutdown).
+    pub compact_after_bytes: Option<u64>,
 }
 
 impl DaemonConfig {
-    /// Defaults: the wire frame cap, default deadlines, 20 ms polls.
+    /// Defaults: the wire frame cap, default deadlines, 20 ms polls,
+    /// shutdown-only compaction.
     pub fn new() -> Self {
         Self {
             max_frame_bytes: wire::MAX_FRAME_BYTES,
             deadlines: Deadlines::new(),
             poll_interval: Duration::from_millis(20),
+            compact_after_records: None,
+            compact_after_bytes: None,
         }
     }
 
@@ -140,6 +150,18 @@ impl DaemonConfig {
     /// Sets the poll quantum.
     pub fn with_poll_interval(mut self, poll: Duration) -> Self {
         self.poll_interval = poll;
+        self
+    }
+
+    /// Compacts the journal after this many appended records.
+    pub fn with_compact_after_records(mut self, records: Option<u64>) -> Self {
+        self.compact_after_records = records;
+        self
+    }
+
+    /// Compacts the journal after this many appended bytes.
+    pub fn with_compact_after_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.compact_after_bytes = bytes;
         self
     }
 }
@@ -237,11 +259,18 @@ impl SharedFabric {
 struct Service {
     fabric: SharedFabric,
     journal: Option<Mutex<Journal>>,
+    compact_after_records: Option<u64>,
+    compact_after_bytes: Option<u64>,
 }
 
 impl Service {
     /// Dispatches one request and journals its durable effect (tenant
     /// registration / installation, interval advance) on success.
+    /// When the journal crosses a compaction threshold the append also
+    /// triggers an inline [`Journal::compact`] — the lock order
+    /// (journal, then fabric) matches [`Daemon::shutdown`], and
+    /// `compact` is atomic (write-to-temp + rename), so a kill at any
+    /// point leaves a recoverable journal on disk.
     fn handle(&self, req: Request) -> Response {
         let record = match &req {
             Request::Register(spec) => Some(JournalRecord::TenantRegistered(*spec)),
@@ -258,6 +287,15 @@ impl Service {
                 // path; the daemon keeps answering and the operator
                 // sees the failure at shutdown/compaction.
                 let _ = journal.append(&record);
+                let over_records = self
+                    .compact_after_records
+                    .is_some_and(|limit| journal.records() >= limit);
+                let over_bytes = self
+                    .compact_after_bytes
+                    .is_some_and(|limit| journal.bytes() >= limit);
+                if over_records || over_bytes {
+                    let _ = self.fabric.with(|f| journal.compact(f));
+                }
             }
         }
         resp
@@ -570,6 +608,8 @@ impl Daemon {
         let service = Arc::new(Service {
             fabric: fabric.clone(),
             journal: journal.map(Mutex::new),
+            compact_after_records: config.compact_after_records,
+            compact_after_bytes: config.compact_after_bytes,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let frames = Arc::new(AtomicU64::new(0));

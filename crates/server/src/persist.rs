@@ -70,16 +70,36 @@ pub enum JournalRecord {
 pub struct Journal {
     path: PathBuf,
     writer: BufWriter<File>,
+    /// Records on disk since the last [`compact`](Self::compact)
+    /// (seeded from the existing file on open, so a restarted daemon
+    /// with a long journal compacts promptly).
+    records: u64,
+    /// Bytes on disk since the last compaction (same seeding rule).
+    bytes: u64,
 }
 
 impl Journal {
     /// Opens (creating if absent) the journal at `path` for appending.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
+        // Seed the growth counters from whatever is already on disk:
+        // the thresholds measure distance from the last compaction,
+        // and an uncompacted pre-existing file is all distance.
+        let (records, bytes) = match File::open(&path) {
+            Ok(f) => {
+                let bytes = f.metadata()?.len();
+                let records = BufReader::new(f).lines().count() as u64;
+                (records, bytes)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (0, 0),
+            Err(e) => return Err(e),
+        };
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Self {
             path,
             writer: BufWriter::new(file),
+            records,
+            bytes,
         })
     }
 
@@ -88,12 +108,27 @@ impl Journal {
         &self.path
     }
 
+    /// Records appended since the last compaction (seeded from the
+    /// file's line count on open).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes appended since the last compaction (seeded from the
+    /// file's length on open).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
     /// Appends one record and flushes it to the OS.
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
         let line = serde_json::to_string(record).map_err(io::Error::other)?;
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()
+        self.writer.flush()?;
+        self.records += 1;
+        self.bytes += line.len() as u64 + 1;
+        Ok(())
     }
 
     /// Rewrites the journal as the **current** fabric state: shard
@@ -117,6 +152,10 @@ impl Journal {
         std::fs::rename(&tmp, &self.path)?;
         let file = OpenOptions::new().append(true).open(&self.path)?;
         self.writer = BufWriter::new(file);
+        // The compacted snapshot is the new baseline: the growth
+        // counters measure appends since this point.
+        self.records = 0;
+        self.bytes = 0;
         Ok(())
     }
 }
@@ -376,6 +415,82 @@ mod tests {
             };
             assert_eq!(a.to_bits(), b.to_bits(), "item {item}");
         }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn growth_counters_track_appends_and_reset_on_compact() {
+        let p = temp_path("counters");
+        let mut journal = Journal::open(&p).unwrap();
+        assert_eq!((journal.records(), journal.bytes()), (0, 0));
+        journal
+            .append(&JournalRecord::ShardAdded(ShardRecord {
+                shard: 0,
+                weight: 1.0,
+            }))
+            .unwrap();
+        journal
+            .append(&JournalRecord::TenantRegistered(TenantSpec::frequency(
+                1, 11,
+            )))
+            .unwrap();
+        assert_eq!(journal.records(), 2);
+        assert_eq!(journal.bytes(), std::fs::metadata(&p).unwrap().len());
+        drop(journal);
+
+        // Reopening seeds the counters from what is on disk.
+        let mut journal = Journal::open(&p).unwrap();
+        assert_eq!(journal.records(), 2);
+        assert_eq!(journal.bytes(), std::fs::metadata(&p).unwrap().len());
+
+        // Compaction resets them: the snapshot is the new baseline.
+        let mut fabric = recover(&p, config()).unwrap();
+        journal.compact(&mut fabric).unwrap();
+        assert_eq!((journal.records(), journal.bytes()), (0, 0));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    /// Kill-during-compaction: a crash after the temp snapshot was
+    /// started but before the rename leaves a stale `.journal.tmp`
+    /// next to an intact journal. Recovery must read the old journal
+    /// untouched, and the next compaction must overwrite the stale
+    /// temp and succeed.
+    #[test]
+    fn stale_compaction_temp_never_corrupts_recovery() {
+        let p = temp_path("kill-mid-compact");
+        let mut journal = Journal::open(&p).unwrap();
+        journal
+            .append(&JournalRecord::ShardAdded(ShardRecord {
+                shard: 0,
+                weight: 1.0,
+            }))
+            .unwrap();
+        let spec = TenantSpec::frequency(4, 44);
+        journal
+            .append(&JournalRecord::TenantRegistered(spec))
+            .unwrap();
+        journal
+            .append(&JournalRecord::IntervalAdvanced(TenantRef { tenant: 4 }))
+            .unwrap();
+        drop(journal);
+
+        // Simulate the kill: a half-written snapshot temp on disk.
+        let tmp = p.with_extension("journal.tmp");
+        std::fs::write(&tmp, "{\"ShardAdded\":{\"shard\":9,\"wei").unwrap();
+
+        let mut recovered = recover(&p, config()).unwrap();
+        assert_eq!(recovered.tenant_spec(4), Some(spec));
+        match recovered.handle(Request::Stats(TenantRef { tenant: 4 })) {
+            Response::Stats(s) => assert_eq!(s.interval, 1),
+            other => panic!("{other:?}"),
+        }
+
+        // The stale temp does not block the next compaction cycle.
+        let mut journal = Journal::open(&p).unwrap();
+        journal.compact(&mut recovered).unwrap();
+        assert!(!tmp.exists(), "compaction must consume the temp file");
+        let after = recover(&p, config()).unwrap();
+        assert_eq!(after.tenant_spec(4), Some(spec));
         std::fs::remove_file(&p).unwrap();
     }
 

@@ -1,7 +1,7 @@
 //! Count-Median: CM-matrix sketching with median recovery.
 
 use crate::snapshot::Snapshottable;
-use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::storage::{CellGrid, CounterBackend, CounterMatrix, Dense, SharedBackend};
 use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
@@ -43,7 +43,7 @@ use bas_hash::{AnyBucketHasher, BucketHasher, HashFamily, RowDeriver, SplitMix64
 #[derive(Debug, Clone)]
 pub struct CountMedian<B: CounterBackend = Dense> {
     params: SketchParams,
-    grid: CounterMatrix<f64, B>,
+    grid: CellGrid<B>,
     hashers: Vec<AnyBucketHasher>,
 }
 
@@ -75,7 +75,7 @@ impl<B: CounterBackend> CountMedian<B> {
         params.width = width; // multiply-shift may round up
         Self {
             params,
-            grid: CounterMatrix::new(width, params.depth),
+            grid: CellGrid::new(width, params.depth, params.cell),
             hashers,
         }
     }
@@ -90,7 +90,7 @@ impl<B: CounterBackend> CountMedian<B> {
     /// bias-aware recovery needs direct access to de-bias buckets.
     #[inline]
     pub fn bucket_value(&self, row: usize, bucket: usize) -> f64 {
-        self.grid.get(row, bucket)
+        self.grid.get_f64(row, bucket)
     }
 
     /// The bucket the item hashes to in a given row.
@@ -102,7 +102,7 @@ impl<B: CounterBackend> CountMedian<B> {
     /// A dense copy of one row of bucket sums, read through the matrix
     /// API (backend-independent; the storage layout stays private).
     pub fn row_snapshot(&self, row: usize) -> Vec<f64> {
-        self.grid.row_snapshot(row)
+        self.grid.row_snapshot_f64(row)
     }
 
     /// Per-bucket column counts `π_i` of each CM-matrix: `π_i[b]` is the
@@ -135,40 +135,39 @@ impl<B: CounterBackend> PointQuerySketch for CountMedian<B> {
     fn update(&mut self, item: u64, delta: f64) {
         debug_assert!(item < self.params.n, "item outside universe");
         for (row, h) in self.hashers.iter().enumerate() {
-            self.grid.add(row, h.bucket(item), delta);
+            self.grid.add_f64(row, h.bucket(item), delta);
         }
     }
 
     /// Batched update. One-hash rows ([`bas_hash::HashKind::OneHash`])
-    /// route through the row-major kernel
-    /// [`CounterMatrix::apply_rows`]: one digest per item, all `d`
-    /// bucket indices derived up front, counter writes swept row by
-    /// row per block. Every other family goes through
-    /// [`bas_hash::bucket_rows_each`] — family dispatched once for the
-    /// whole batch, inner item×row loop fully monomorphized. Both
-    /// paths are bit-for-bit identical to the one-by-one loop (each
-    /// cell receives the same increments in item order).
+    /// route through the blocked row-major kernel
+    /// [`CellGrid::apply_rows_blocked_f64`]: one digest per item (SIMD
+    /// batch lane when active), all `d` bucket indices derived up
+    /// front, counter writes swept row by row per block. Every other
+    /// family goes through [`bas_hash::bucket_rows_each`] — family
+    /// dispatched once for the whole batch, inner item×row loop fully
+    /// monomorphized. Both paths are bit-for-bit identical to the
+    /// one-by-one loop (each cell receives the same increments in item
+    /// order).
     fn update_batch(&mut self, items: &[(u64, f64)]) {
         #[cfg(debug_assertions)]
         for &(item, _) in items {
             debug_assert!(item < self.params.n, "item outside universe");
         }
         if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
-            self.grid.apply_rows(items, |x, delta, cols, vals| {
-                rd.buckets_into(x, cols);
-                vals.fill(delta);
-            });
+            let derive = crate::util::onehash_block_derive(&rd, self.params.depth);
+            self.grid.apply_rows_blocked_f64(items, derive);
             return;
         }
         let grid = &mut self.grid;
         bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
-            grid.add(row, b, delta);
+            grid.add_f64(row, b, delta);
         });
     }
 
     fn estimate(&self, item: u64) -> f64 {
         median_of_rows(self.params.depth, |row| {
-            self.grid.get(row, self.hashers[row].bucket(item))
+            self.grid.get_f64(row, self.hashers[row].bucket(item))
         })
     }
 
@@ -185,27 +184,32 @@ impl<B: CounterBackend> PointQuerySketch for CountMedian<B> {
     }
 }
 
-impl<B: CounterBackend> SharedSketch for CountMedian<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> SharedSketch for CountMedian<B> {
     #[inline]
     fn update_shared(&self, item: u64, delta: f64) {
         debug_assert!(item < self.params.n, "item outside universe");
         for (row, h) in self.hashers.iter().enumerate() {
-            self.grid.add_shared(row, h.bucket(item), delta);
+            self.grid.add_shared_f64(row, h.bucket(item), delta);
         }
     }
 
+    /// Shared batched update through the coalescing kernel
+    /// [`CellGrid::apply_rows_shared_f64`]: per block, duplicate hits
+    /// on the same cell collapse into **one** atomic RMW (summed in
+    /// item order — bit-for-bit with sequential ingest for integer
+    /// deltas).
     fn update_batch_shared(&self, items: &[(u64, f64)]) {
         #[cfg(debug_assertions)]
         for &(item, _) in items {
             debug_assert!(item < self.params.n, "item outside universe");
         }
-        let grid = &self.grid;
-        bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
-            grid.add_shared(row, b, delta);
-        });
+        if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
+            let derive = crate::util::onehash_block_derive(&rd, self.params.depth);
+            self.grid.apply_rows_shared_f64(items, derive);
+            return;
+        }
+        let derive = crate::util::hashed_block_derive(&self.hashers);
+        self.grid.apply_rows_shared_f64(items, derive);
     }
 }
 
@@ -217,7 +221,7 @@ impl<B: CounterBackend> Snapshottable for CountMedian<B> {
     }
 
     fn snapshot_into(&self, snap: &mut Self::Snapshot) {
-        self.grid.snapshot_into(snap);
+        self.grid.snapshot_into_f64(snap);
     }
 
     fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
@@ -249,12 +253,9 @@ impl<B: CounterBackend> Snapshottable for CountMedian<B> {
 
 /// Count-Median is linear: a shipped plane adds straight into the
 /// live grid, so a tenant rebuilt from seed + plane is bit-for-bit.
-impl<B: CounterBackend> crate::snapshot::AbsorbPlane for CountMedian<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> crate::snapshot::AbsorbPlane for CountMedian<B> {
     fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
-        self.grid.add_matrix_shared(plane);
+        self.grid.add_plane_shared(plane);
         Ok(())
     }
 }
@@ -269,6 +270,11 @@ impl<B: CounterBackend> CountMedian<B> {
         if self.params.n != other.params.n {
             return Err(MergeError::ShapeMismatch { what: "universes" });
         }
+        if self.params.cell != other.params.cell {
+            return Err(MergeError::ShapeMismatch {
+                what: "cell widths",
+            });
+        }
         if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
         {
             return Err(MergeError::SeedMismatch);
@@ -280,14 +286,14 @@ impl<B: CounterBackend> CountMedian<B> {
 impl<B: CounterBackend> MergeableSketch for CountMedian<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         self.check_compatible(other)?;
-        self.grid.add_matrix(&other.grid);
+        self.grid.add_grid(&other.grid);
         Ok(())
     }
 
     /// Exact counter subtraction (Count-Median is linear).
     fn subtract_from(&mut self, other: &Self) -> Result<(), MergeError> {
         self.check_compatible(other)?;
-        self.grid.sub_matrix(&other.grid);
+        self.grid.sub_grid(&other.grid);
         Ok(())
     }
 }

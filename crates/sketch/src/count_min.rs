@@ -1,7 +1,7 @@
 //! Count-Min with plain and conservative update policies.
 
 use crate::snapshot::Snapshottable;
-use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::storage::{CellGrid, CounterBackend, CounterMatrix, Dense, SharedBackend};
 use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
@@ -59,7 +59,7 @@ pub enum UpdatePolicy {
 pub struct CountMin<B: CounterBackend = Dense> {
     params: SketchParams,
     policy: UpdatePolicy,
-    grid: CounterMatrix<f64, B>,
+    grid: CellGrid<B>,
     hashers: Vec<AnyBucketHasher>,
 }
 
@@ -97,7 +97,7 @@ impl<B: CounterBackend> CountMin<B> {
         Self {
             params,
             policy,
-            grid: CounterMatrix::new(width, params.depth),
+            grid: CellGrid::new(width, params.depth, params.cell),
             hashers,
         }
     }
@@ -132,12 +132,17 @@ impl<B: CounterBackend> CountMin<B> {
                 what: "widths/depths",
             });
         }
+        if self.params.cell != other.params.cell {
+            return Err(MergeError::ShapeMismatch {
+                what: "cell widths",
+            });
+        }
         if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
         {
             return Err(MergeError::SeedMismatch);
         }
         let best = (0..self.params.depth)
-            .map(|row| self.grid.row_dot(&other.grid, row))
+            .map(|row| self.grid.row_dot_f64(&other.grid, row))
             .fold(f64::INFINITY, f64::min);
         Ok(best)
     }
@@ -146,7 +151,7 @@ impl<B: CounterBackend> CountMin<B> {
     fn min_over_rows(&self, item: u64) -> f64 {
         let mut best = f64::INFINITY;
         for (row, h) in self.hashers.iter().enumerate() {
-            let v = self.grid.get(row, h.bucket(item));
+            let v = self.grid.get_f64(row, h.bucket(item));
             if v < best {
                 best = v;
             }
@@ -182,7 +187,7 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
         match self.policy {
             UpdatePolicy::Plain => {
                 for (row, h) in self.hashers.iter().enumerate() {
-                    self.grid.add(row, h.bucket(item), delta);
+                    self.grid.add_f64(row, h.bucket(item), delta);
                 }
             }
             UpdatePolicy::Conservative => {
@@ -202,23 +207,24 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
                 for (row, h) in self.hashers.iter().enumerate() {
                     let b = h.bucket(item);
                     buckets[row] = b;
-                    let v = self.grid.get(row, b);
+                    let v = self.grid.get_f64(row, b);
                     if v < target {
                         target = v;
                     }
                 }
                 target += delta;
                 for (row, &b) in buckets.iter().enumerate() {
-                    if self.grid.get(row, b) < target {
-                        self.grid.set(row, b, target);
+                    if self.grid.get_f64(row, b) < target {
+                        self.grid.set_f64(row, b, target);
                     }
                 }
             }
         }
     }
 
-    /// Batch update. [`UpdatePolicy::Plain`] takes the row-major
-    /// kernel ([`CounterMatrix::apply_rows`]) on one-hash rows and the
+    /// Batch update. [`UpdatePolicy::Plain`] takes the blocked
+    /// row-major kernel ([`CellGrid::apply_rows_blocked_f64`], SIMD
+    /// batch lane when active) on one-hash rows and the
     /// dispatch-hoisted fast path of [`bas_hash::bucket_rows_each`]
     /// otherwise; [`UpdatePolicy::Conservative`] necessarily stays
     /// item-by-item because each bump depends on the pre-update
@@ -235,15 +241,13 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
         match self.policy {
             UpdatePolicy::Plain => {
                 if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
-                    self.grid.apply_rows(items, |x, delta, cols, vals| {
-                        rd.buckets_into(x, cols);
-                        vals.fill(delta);
-                    });
+                    let derive = crate::util::onehash_block_derive(&rd, self.params.depth);
+                    self.grid.apply_rows_blocked_f64(items, derive);
                     return;
                 }
                 let grid = &mut self.grid;
                 bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
-                    grid.add(row, b, delta);
+                    grid.add_f64(row, b, delta);
                 });
             }
             UpdatePolicy::Conservative => {
@@ -274,10 +278,7 @@ impl<B: CounterBackend> PointQuerySketch for CountMin<B> {
     }
 }
 
-impl<B: CounterBackend> SharedSketch for CountMin<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> SharedSketch for CountMin<B> {
     /// # Panics
     /// Panics for [`UpdatePolicy::Conservative`] — conservative update
     /// is a cross-counter read-modify-write and has no lock-free form.
@@ -290,10 +291,14 @@ where
             "conservative update is state-dependent and cannot be applied through a shared reference"
         );
         for (row, h) in self.hashers.iter().enumerate() {
-            self.grid.add_shared(row, h.bucket(item), delta);
+            self.grid.add_shared_f64(row, h.bucket(item), delta);
         }
     }
 
+    /// Shared batched update through the coalescing kernel
+    /// [`CellGrid::apply_rows_shared_f64`] (plain policy only):
+    /// duplicate hits on one cell collapse into a single atomic RMW
+    /// per block, summed in item order.
     fn update_batch_shared(&self, items: &[(u64, f64)]) {
         assert!(
             self.policy == UpdatePolicy::Plain,
@@ -303,10 +308,13 @@ where
             debug_assert!(item < self.params.n, "item outside universe");
             Self::validate_delta(delta);
         }
-        let grid = &self.grid;
-        bas_hash::bucket_rows_each(&self.hashers, items, |row, _, b, delta: f64| {
-            grid.add_shared(row, b, delta);
-        });
+        if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
+            let derive = crate::util::onehash_block_derive(&rd, self.params.depth);
+            self.grid.apply_rows_shared_f64(items, derive);
+            return;
+        }
+        let derive = crate::util::hashed_block_derive(&self.hashers);
+        self.grid.apply_rows_shared_f64(items, derive);
     }
 }
 
@@ -318,7 +326,7 @@ impl<B: CounterBackend> Snapshottable for CountMin<B> {
     }
 
     fn snapshot_into(&self, snap: &mut Self::Snapshot) {
-        self.grid.snapshot_into(snap);
+        self.grid.snapshot_into_f64(snap);
     }
 
     /// Min-over-rows from the frozen counters. Works for both update
@@ -373,17 +381,14 @@ impl<B: CounterBackend> Snapshottable for CountMin<B> {
 /// counters are running maxima, not sums, so a shipped CU plane cannot
 /// be reproduced by addition (mirrors
 /// [`merge_snapshot`](Snapshottable::merge_snapshot)).
-impl<B: CounterBackend> crate::snapshot::AbsorbPlane for CountMin<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> crate::snapshot::AbsorbPlane for CountMin<B> {
     fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
         if self.policy != UpdatePolicy::Plain {
             return Err(MergeError::ShapeMismatch {
                 what: "update policies (conservative update is not linear)",
             });
         }
-        self.grid.add_matrix_shared(plane);
+        self.grid.add_plane_shared(plane);
         Ok(())
     }
 }
@@ -397,6 +402,11 @@ impl<B: CounterBackend> CountMin<B> {
         }
         if self.params.n != other.params.n {
             return Err(MergeError::ShapeMismatch { what: "universes" });
+        }
+        if self.params.cell != other.params.cell {
+            return Err(MergeError::ShapeMismatch {
+                what: "cell widths",
+            });
         }
         if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
         {
@@ -417,7 +427,7 @@ impl<B: CounterBackend> MergeableSketch for CountMin<B> {
             });
         }
         self.check_compatible(other)?;
-        self.grid.add_matrix(&other.grid);
+        self.grid.add_grid(&other.grid);
         Ok(())
     }
 
@@ -432,7 +442,7 @@ impl<B: CounterBackend> MergeableSketch for CountMin<B> {
             });
         }
         self.check_compatible(other)?;
-        self.grid.sub_matrix(&other.grid);
+        self.grid.sub_grid(&other.grid);
         Ok(())
     }
 }

@@ -1,7 +1,7 @@
 //! Count-Sketch: CS-matrix sketching with signed median recovery.
 
 use crate::snapshot::Snapshottable;
-use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::storage::{CellGrid, CounterBackend, CounterMatrix, Dense, SharedBackend};
 use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
@@ -57,7 +57,7 @@ fn row_sign(hasher: &AnyBucketHasher, sign: &SignHash, item: u64) -> i8 {
 #[derive(Debug, Clone)]
 pub struct CountSketch<B: CounterBackend = Dense> {
     params: SketchParams,
-    grid: CounterMatrix<f64, B>,
+    grid: CellGrid<B>,
     hashers: Vec<AnyBucketHasher>,
     signs: Vec<SignHash>,
 }
@@ -93,7 +93,7 @@ impl<B: CounterBackend> CountSketch<B> {
         params.width = width;
         Self {
             params,
-            grid: CounterMatrix::new(width, params.depth),
+            grid: CellGrid::new(width, params.depth, params.cell),
             hashers,
             signs,
         }
@@ -107,7 +107,7 @@ impl<B: CounterBackend> CountSketch<B> {
     /// Raw signed bucket sum `(Ψ(h_row, r_row)·x)[bucket]`.
     #[inline]
     pub fn bucket_value(&self, row: usize, bucket: usize) -> f64 {
-        self.grid.get(row, bucket)
+        self.grid.get_f64(row, bucket)
     }
 
     /// The bucket the item hashes to in a given row.
@@ -136,12 +136,17 @@ impl<B: CounterBackend> CountSketch<B> {
                 what: "widths/depths",
             });
         }
+        if self.params.cell != other.params.cell {
+            return Err(MergeError::ShapeMismatch {
+                what: "cell widths",
+            });
+        }
         if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
         {
             return Err(MergeError::SeedMismatch);
         }
         Ok(median_of_rows(self.params.depth, |row| {
-            self.grid.row_dot(&other.grid, row)
+            self.grid.row_dot_f64(&other.grid, row)
         }))
     }
 
@@ -216,14 +221,15 @@ impl<B: CounterBackend> PointQuerySketch for CountSketch<B> {
         for row in 0..self.params.depth {
             let b = self.hashers[row].bucket(item);
             let s = row_sign(&self.hashers[row], &self.signs[row], item) as f64;
-            self.grid.add(row, b, s * delta);
+            self.grid.add_f64(row, b, s * delta);
         }
     }
 
-    /// Batched update. One-hash rows route through the row-major
-    /// kernel [`CounterMatrix::apply_rows`] — one digest per item
-    /// yields every row's bucket *and* sign, then the signed writes
-    /// sweep row by row per block. Other families go through
+    /// Batched update. One-hash rows route through the blocked
+    /// row-major kernel [`CellGrid::apply_rows_blocked_f64`] — one
+    /// digest per item (SIMD batch lane when active) yields every
+    /// row's bucket *and* sign, then the signed writes sweep row by
+    /// row per block. Other families go through
     /// [`bas_hash::bucket_rows_each`]: family dispatched once for the
     /// whole batch, inner item×row loop (bucket hash + sign flip +
     /// add) fully monomorphized. Both paths are bit-for-bit identical
@@ -234,20 +240,15 @@ impl<B: CounterBackend> PointQuerySketch for CountSketch<B> {
             debug_assert!(item < self.params.n, "item outside universe");
         }
         if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
-            self.grid.apply_rows(items, |x, delta, cols, vals| {
-                let digest = rd.digest(x);
-                for row in 0..cols.len() {
-                    cols[row] = rd.bucket_of_digest(row, digest);
-                    vals[row] = rd.sign_of_digest(row, digest) as f64 * delta;
-                }
-            });
+            let derive = crate::util::onehash_signed_block_derive(&rd, self.params.depth);
+            self.grid.apply_rows_blocked_f64(items, derive);
             return;
         }
         let grid = &mut self.grid;
         let hashers = &self.hashers;
         let signs = &self.signs;
         bas_hash::bucket_rows_each(hashers, items, |row, item, b, delta: f64| {
-            grid.add(
+            grid.add_f64(
                 row,
                 b,
                 row_sign(&hashers[row], &signs[row], item) as f64 * delta,
@@ -258,7 +259,7 @@ impl<B: CounterBackend> PointQuerySketch for CountSketch<B> {
     fn estimate(&self, item: u64) -> f64 {
         median_of_rows(self.params.depth, |row| {
             let b = self.hashers[row].bucket(item);
-            row_sign(&self.hashers[row], &self.signs[row], item) as f64 * self.grid.get(row, b)
+            row_sign(&self.hashers[row], &self.signs[row], item) as f64 * self.grid.get_f64(row, b)
         })
     }
 
@@ -275,34 +276,42 @@ impl<B: CounterBackend> PointQuerySketch for CountSketch<B> {
     }
 }
 
-impl<B: CounterBackend> SharedSketch for CountSketch<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> SharedSketch for CountSketch<B> {
     #[inline]
     fn update_shared(&self, item: u64, delta: f64) {
         debug_assert!(item < self.params.n, "item outside universe");
         for row in 0..self.params.depth {
             let b = self.hashers[row].bucket(item);
             let s = row_sign(&self.hashers[row], &self.signs[row], item) as f64;
-            self.grid.add_shared(row, b, s * delta);
+            self.grid.add_shared_f64(row, b, s * delta);
         }
     }
 
+    /// Shared batched update through the coalescing kernel
+    /// [`CellGrid::apply_rows_shared_f64`]: duplicate hits on one cell
+    /// collapse into a single atomic RMW per block (signed deltas
+    /// summed in item order — bit-for-bit with sequential ingest for
+    /// integer deltas).
     fn update_batch_shared(&self, items: &[(u64, f64)]) {
         #[cfg(debug_assertions)]
         for &(item, _) in items {
             debug_assert!(item < self.params.n, "item outside universe");
         }
-        let grid = &self.grid;
+        if let Some(rd) = RowDeriver::from_hashers(&self.hashers) {
+            let derive = crate::util::onehash_signed_block_derive(&rd, self.params.depth);
+            self.grid.apply_rows_shared_f64(items, derive);
+            return;
+        }
         let hashers = &self.hashers;
         let signs = &self.signs;
-        bas_hash::bucket_rows_each(hashers, items, |row, item, b, delta: f64| {
-            grid.add_shared(
-                row,
-                b,
-                row_sign(&hashers[row], &signs[row], item) as f64 * delta,
-            );
+        self.grid.apply_rows_shared_f64(items, |block, cols, vals| {
+            let n = block.len();
+            for (i, &(x, delta)) in block.iter().enumerate() {
+                for (row, h) in hashers.iter().enumerate() {
+                    cols[row * n + i] = h.bucket(x);
+                    vals[row * n + i] = row_sign(h, &signs[row], x) as f64 * delta;
+                }
+            }
         });
     }
 }
@@ -315,7 +324,7 @@ impl<B: CounterBackend> Snapshottable for CountSketch<B> {
     }
 
     fn snapshot_into(&self, snap: &mut Self::Snapshot) {
-        self.grid.snapshot_into(snap);
+        self.grid.snapshot_into_f64(snap);
     }
 
     fn estimate_in(&self, snap: &Self::Snapshot, item: u64) -> f64 {
@@ -348,12 +357,9 @@ impl<B: CounterBackend> Snapshottable for CountSketch<B> {
 
 /// Count-Sketch is linear: a shipped plane adds straight into the
 /// live grid (signs live in the hashers, which the seed rebuilds).
-impl<B: CounterBackend> crate::snapshot::AbsorbPlane for CountSketch<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> crate::snapshot::AbsorbPlane for CountSketch<B> {
     fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
-        self.grid.add_matrix_shared(plane);
+        self.grid.add_plane_shared(plane);
         Ok(())
     }
 }
@@ -368,6 +374,11 @@ impl<B: CounterBackend> CountSketch<B> {
         if self.params.n != other.params.n {
             return Err(MergeError::ShapeMismatch { what: "universes" });
         }
+        if self.params.cell != other.params.cell {
+            return Err(MergeError::ShapeMismatch {
+                what: "cell widths",
+            });
+        }
         if self.params.seed != other.params.seed || self.params.hash_kind != other.params.hash_kind
         {
             return Err(MergeError::SeedMismatch);
@@ -379,14 +390,14 @@ impl<B: CounterBackend> CountSketch<B> {
 impl<B: CounterBackend> MergeableSketch for CountSketch<B> {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError> {
         self.check_compatible(other)?;
-        self.grid.add_matrix(&other.grid);
+        self.grid.add_grid(&other.grid);
         Ok(())
     }
 
     /// Exact counter subtraction (Count-Sketch is linear).
     fn subtract_from(&mut self, other: &Self) -> Result<(), MergeError> {
         self.check_compatible(other)?;
-        self.grid.sub_matrix(&other.grid);
+        self.grid.sub_grid(&other.grid);
         Ok(())
     }
 }

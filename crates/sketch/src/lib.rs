@@ -118,8 +118,8 @@ pub use heavy_hitters::{HeavyHitter, HeavyHitters};
 pub use range_sum::RangeSumSketch;
 pub use snapshot::{AbsorbPlane, Snapshottable};
 pub use storage::{
-    Atomic, CounterBackend, CounterMatrix, CounterValue, Dense, EpochCounter, PlaneBank,
-    SealedPlane,
+    Atomic, CellGrid, CellValue, CellWidth, CounterBackend, CounterMatrix, CounterValue, Dense,
+    EpochCounter, PlaneBank, SealedPlane, SharedBackend,
 };
 pub use traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,

@@ -8,7 +8,7 @@
 
 use crate::count_median::CountMedian;
 use crate::snapshot::{AbsorbPlane, Snapshottable};
-use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedCounterStore};
+use crate::storage::{CounterBackend, CounterMatrix, Dense, SharedBackend};
 use crate::traits::{
     MergeError, MergeableSketch, PointQuerySketch, Reseedable, SharedSketch, SketchParams,
 };
@@ -272,10 +272,7 @@ impl<B: CounterBackend> MergeableSketch for RangeSumSketch<B> {
     }
 }
 
-impl<B: CounterBackend> SharedSketch for RangeSumSketch<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> SharedSketch for RangeSumSketch<B> {
     /// Applies `x_item ← x_item + delta` through a **shared** reference,
     /// lock-free — one shared update per dyadic level.
     fn update_shared(&self, item: u64, delta: f64) {
@@ -360,10 +357,7 @@ impl<B: CounterBackend> Snapshottable for RangeSumSketch<B> {
 /// The dyadic stack absorbs level by level — each level is a linear
 /// Count-Median, so a shipped stack of planes rebuilds the whole
 /// hierarchy exactly.
-impl<B: CounterBackend> AbsorbPlane for RangeSumSketch<B>
-where
-    B::Store<f64>: SharedCounterStore<f64>,
-{
+impl<B: SharedBackend> AbsorbPlane for RangeSumSketch<B> {
     fn absorb_plane_shared(&self, plane: &Self::Snapshot) -> Result<(), MergeError> {
         if plane.len() != self.levels.len() {
             return Err(MergeError::ShapeMismatch {

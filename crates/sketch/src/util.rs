@@ -1,7 +1,92 @@
-//! Small numeric helpers shared by the sketches: medians over rows.
+//! Small helpers shared by the sketches: medians over rows, and the
+//! block-derive closures the grid sketches hand to the blocked/shared
+//! batch kernels.
 //!
 //! (Counter storage lives in [`crate::storage`]; this module keeps the
-//! pure numeric routines.)
+//! pure numeric routines and the kernel glue.)
+
+use bas_hash::{AnyBucketHasher, BucketHasher, RowDeriver};
+
+/// Builds a block-derive closure for the blocked batch kernels
+/// ([`crate::CellGrid::apply_rows_blocked_f64`] /
+/// [`crate::CellGrid::apply_rows_shared_f64`]) over **one-hash** rows,
+/// broadcasting each item's delta to every row (the unsigned sketches:
+/// Count-Median, plain Count-Min).
+///
+/// Kernel contract: for a block of `n` items the closure fills
+/// `cols[row·n + i]` / `vals[row·n + i]`, deriving through the
+/// SIMD-dispatched batch helpers of [`RowDeriver`] — one `mix64`
+/// digest per item, one multiply-shift lane sweep per row.
+pub(crate) fn onehash_block_derive(
+    rd: &RowDeriver,
+    depth: usize,
+) -> impl FnMut(&[(u64, f64)], &mut [usize], &mut [f64]) + '_ {
+    let mut keys: Vec<u64> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    move |block, cols, vals| {
+        let n = block.len();
+        keys.clear();
+        keys.extend(block.iter().map(|&(x, _)| x));
+        digests.resize(n, 0);
+        rd.digests_into(&keys, &mut digests);
+        for row in 0..depth {
+            rd.buckets_of_digests(row, &digests, &mut cols[row * n..(row + 1) * n]);
+        }
+        for (slot, &(_, delta)) in vals[..n].iter_mut().zip(block) {
+            *slot = delta;
+        }
+        let (first, rest) = vals.split_at_mut(n);
+        for lane in rest.chunks_exact_mut(n) {
+            lane.copy_from_slice(first);
+        }
+    }
+}
+
+/// One-hash block-derive with **signs**: the Count-Sketch variant of
+/// [`onehash_block_derive`], filling `vals[row·n + i]` with
+/// `σ_row(x_i)·δ_i` through the sign-bit XOR lane
+/// ([`RowDeriver::signed_deltas_of_digests`]).
+pub(crate) fn onehash_signed_block_derive(
+    rd: &RowDeriver,
+    depth: usize,
+) -> impl FnMut(&[(u64, f64)], &mut [usize], &mut [f64]) + '_ {
+    let mut keys: Vec<u64> = Vec::new();
+    let mut deltas: Vec<f64> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    move |block, cols, vals| {
+        let n = block.len();
+        keys.clear();
+        deltas.clear();
+        for &(x, d) in block {
+            keys.push(x);
+            deltas.push(d);
+        }
+        digests.resize(n, 0);
+        rd.digests_into(&keys, &mut digests);
+        for row in 0..depth {
+            rd.buckets_of_digests(row, &digests, &mut cols[row * n..(row + 1) * n]);
+            rd.signed_deltas_of_digests(row, &digests, &deltas, &mut vals[row * n..(row + 1) * n]);
+        }
+    }
+}
+
+/// Block-derive over arbitrary row hashers (the classical families,
+/// which have no shared digest): per-item dynamic dispatch fills the
+/// row-major scratch so even non-one-hash sketches ride the shared
+/// coalescing kernel.
+pub(crate) fn hashed_block_derive(
+    hashers: &[AnyBucketHasher],
+) -> impl FnMut(&[(u64, f64)], &mut [usize], &mut [f64]) + '_ {
+    move |block, cols, vals| {
+        let n = block.len();
+        for (i, &(x, delta)) in block.iter().enumerate() {
+            for (row, h) in hashers.iter().enumerate() {
+                cols[row * n + i] = h.bucket(x);
+                vals[row * n + i] = delta;
+            }
+        }
+    }
+}
 
 /// Returns the median of a slice, averaging the two central elements for
 /// even lengths — the `median(x)` of the paper's notation table.

@@ -10,8 +10,9 @@
 use bias_aware_sketches::prelude::*;
 use bias_aware_sketches::server::wire::{IngestFrame, PointQuery, TenantRef};
 use bias_aware_sketches::server::{
-    read_frame, write_frame, Client, Daemon, DaemonConfig, Deadlines, Fabric, FabricConfig,
-    Request, Response, RetryPolicy, TenantSpec, MAX_FRAME_BYTES,
+    read_frame, recover, write_frame, Client, Daemon, DaemonConfig, Deadlines, Fabric,
+    FabricConfig, IngestBatcher, Journal, Request, Response, RetryPolicy, TenantSpec,
+    MAX_FRAME_BYTES,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -26,6 +27,15 @@ fn params() -> SketchParams {
 
 fn config() -> FabricConfig {
     FabricConfig::new(params()).with_workers(2)
+}
+
+/// The template `bas-serverd` builds when no `--hash` flag is given:
+/// same geometry as [`config`], but one-hash rows (the daemon's
+/// documented default, so its reference fabric must match to stay
+/// bit-for-bit).
+fn serverd_config() -> FabricConfig {
+    let kind = bias_aware_sketches::hashing::HashKind::OneHash;
+    FabricConfig::new(params().with_hash_kind(kind)).with_workers(2)
 }
 
 /// Snappy deadlines for tests: 300 ms progress gaps, 10 s idle, 5 ms
@@ -326,6 +336,159 @@ fn graceful_shutdown_drains_in_flight_frames_and_seals_intervals() {
     }
 }
 
+/// The client-side [`IngestBatcher`] coalesces a live stream into
+/// `max_batch`-sized ingest frames: every update lands (including the
+/// partial tail at `finish`), backpressure is absorbed by the
+/// flush-and-resend step, and the served sketch is bit-for-bit the
+/// sketch of the same stream fed frame-per-chunk.
+#[test]
+fn ingest_batcher_ships_full_frames_and_absorbs_backpressure() {
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    let daemon = Daemon::bind_tcp("127.0.0.1:0", fabric, None, daemon_config()).unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let mut client = tcp_client(addr);
+
+    // A deliberately tight queue (1 000) under a 640-update batch:
+    // a second in-flight batch overflows it, so the batcher must take
+    // the Busy → Flush → resend path to get everything admitted.
+    let spec = TenantSpec::frequency(8, 88).with_queue_capacity(1_000);
+    match client.call(&Request::Register(spec)).unwrap() {
+        Response::Installed(_) => {}
+        other => panic!("{other:?}"),
+    }
+    let updates = stream(8, 10_000);
+    let mut batcher = IngestBatcher::new(8, 640);
+    let mut shipped = 0usize;
+    for chunk in updates.chunks(97) {
+        for resp in batcher.extend(&mut client, chunk).unwrap() {
+            match resp {
+                Response::Admitted(_) => shipped += 1,
+                other => panic!("batch not admitted: {other:?}"),
+            }
+        }
+    }
+    match batcher.finish(&mut client).unwrap() {
+        Some(Response::Admitted(_)) => shipped += 1,
+        other => panic!("tail not admitted: {other:?}"),
+    }
+    assert_eq!(shipped, updates.len().div_ceil(640));
+    assert_eq!(batcher.pending(), 0);
+    client
+        .call(&Request::Flush(TenantRef { tenant: 8 }))
+        .unwrap();
+
+    // Reference: the same stream frame-per-chunk into an in-process
+    // fabric with an open queue.
+    let mut reference = Fabric::new(config());
+    reference.add_shard(0, 1.0).unwrap();
+    reference
+        .register_tenant(TenantSpec::frequency(8, 88))
+        .unwrap();
+    for chunk in updates.chunks(97) {
+        reference.handle(Request::Ingest(IngestFrame {
+            tenant: 8,
+            updates: chunk.to_vec(),
+        }));
+    }
+    reference.handle(Request::Flush(TenantRef { tenant: 8 }));
+    for item in (0..N).step_by(89) {
+        let wire = expect_value(
+            client
+                .call(&Request::Point(PointQuery { tenant: 8, item }))
+                .unwrap(),
+        );
+        let local = expect_value(reference.handle(Request::Point(PointQuery { tenant: 8, item })));
+        assert_eq!(wire.to_bits(), local.to_bits(), "item {item}");
+    }
+    drop(client);
+    daemon.shutdown().unwrap();
+}
+
+/// Periodic compaction: with a record threshold configured, the
+/// serving path itself rewrites the journal as a snapshot — the file
+/// stays bounded while the daemon runs, and a copy taken mid-flight
+/// (exactly what a crash would leave) recovers the full topology,
+/// interval positions, and checkpointed counters.
+#[test]
+fn journal_compacts_at_the_record_threshold_while_serving() {
+    let journal_path =
+        std::env::temp_dir().join(format!("bas-daemon-compact-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let journal = Journal::open(&journal_path).unwrap();
+
+    let mut fabric = Fabric::new(config());
+    fabric.add_shard(0, 1.0).unwrap();
+    let daemon = Daemon::bind_tcp(
+        "127.0.0.1:0",
+        fabric,
+        Some(journal),
+        daemon_config().with_compact_after_records(Some(3)),
+    )
+    .unwrap();
+    let addr = daemon.local_addr().unwrap();
+
+    let mut client = tcp_client(addr);
+    let spec = TenantSpec::frequency(6, 66);
+    match client.call(&Request::Register(spec)).unwrap() {
+        Response::Installed(_) => {}
+        other => panic!("{other:?}"),
+    }
+    client
+        .call(&Request::Ingest(IngestFrame {
+            tenant: 6,
+            updates: stream(6, 800),
+        }))
+        .unwrap();
+    client
+        .call(&Request::Flush(TenantRef { tenant: 6 }))
+        .unwrap();
+    let advances = 12u64;
+    for _ in 0..advances {
+        client
+            .call(&Request::AdvanceInterval(TenantRef { tenant: 6 }))
+            .unwrap();
+    }
+
+    // Without compaction the journal would hold 13 appended records;
+    // the threshold keeps it at snapshot + a short tail.
+    let on_disk = std::fs::read_to_string(&journal_path).unwrap();
+    let lines = on_disk.lines().count();
+    assert!(
+        lines <= 5,
+        "journal not compacted: {lines} lines on disk\n{on_disk}"
+    );
+
+    // A mid-flight copy (what kill -9 would leave) recovers tenant,
+    // interval position, and the checkpointed counters bit-for-bit.
+    let copy = journal_path.with_extension("copy.jsonl");
+    std::fs::copy(&journal_path, &copy).unwrap();
+    let mut recovered = recover(&copy, config()).unwrap();
+    assert_eq!(recovered.tenant_spec(6), Some(spec));
+    match recovered.handle(Request::Stats(TenantRef { tenant: 6 })) {
+        Response::Stats(s) => {
+            assert_eq!(s.interval, advances);
+            assert_eq!(s.applied, 800);
+        }
+        other => panic!("{other:?}"),
+    }
+    for item in (0..N).step_by(173) {
+        let live = expect_value(
+            client
+                .call(&Request::Point(PointQuery { tenant: 6, item }))
+                .unwrap(),
+        );
+        let replayed =
+            expect_value(recovered.handle(Request::Point(PointQuery { tenant: 6, item })));
+        assert_eq!(live.to_bits(), replayed.to_bits(), "item {item}");
+    }
+
+    drop(client);
+    daemon.shutdown().unwrap();
+    std::fs::remove_file(&journal_path).ok();
+    std::fs::remove_file(&copy).ok();
+}
+
 /// Locates the `bas-serverd` binary next to the test executable
 /// (`target/<profile>/bas-serverd`) — built by the same `cargo test`
 /// invocation that built this suite.
@@ -437,7 +600,7 @@ fn kill_and_restart_recovers_tenant_topology() {
     // Topology recovered: same placement as a never-killed fabric,
     // same specs (duplicate registration answers tenant_exists), same
     // interval positions.
-    let mut reference = Fabric::new(config());
+    let mut reference = Fabric::new(serverd_config());
     reference.add_shard(0, 1.0).unwrap();
     reference.add_shard(1, 1.0).unwrap();
     for spec in specs {

@@ -157,15 +157,76 @@ proptest! {
         }
     }
 
-    /// The shared-reference batch path under OneHash (dispatch-hoisted
-    /// digest reuse, no kernel — writes are CAS) against the exclusive
-    /// loop, exact on integer deltas.
+    /// The shared-reference batch kernel (`apply_rows_shared`: per
+    /// block, duplicate hits on one cell coalesce into a single atomic
+    /// RMW) against the exclusive loop, exact on integer deltas —
+    /// for every sketch the kernel serves over the Atomic backend.
     #[test]
     fn shared_batch_equals_loop_on_integer_deltas(
         updates in arrivals(),
         seed in 0u64..500,
     ) {
         let p = one_hash_params(seed);
+
+        let shared = AtomicCountMedian::with_backend(&p);
+        shared.update_batch_shared(&updates);
+        let mut looped = AtomicCountMedian::with_backend(&p);
+        for &(i, d) in &updates { looped.update(i, d); }
+        assert_estimates_equal(&shared, &looped)?;
+
+        let shared = AtomicCountSketch::with_backend(&p);
+        shared.update_batch_shared(&updates);
+        let mut looped = AtomicCountSketch::with_backend(&p);
+        for &(i, d) in &updates { looped.update(i, d); }
+        assert_estimates_equal(&shared, &looped)?;
+
+        let shared = AtomicCountMin::with_backend(&p, UpdatePolicy::Plain);
+        shared.update_batch_shared(&updates);
+        let mut looped = AtomicCountMin::with_backend(&p, UpdatePolicy::Plain);
+        for &(i, d) in &updates { looped.update(i, d); }
+        assert_estimates_equal(&shared, &looped)?;
+
+        let shared = RangeSumSketch::<Atomic>::with_backend(&p);
+        shared.update_batch_shared(&updates);
+        let mut looped = RangeSumSketch::<Atomic>::with_backend(&p);
+        for &(i, d) in &updates { looped.update(i, d); }
+        assert_estimates_equal(&shared, &looped)?;
+        for (a, z) in [(0u64, N - 1), (3, 90), (64, 64)] {
+            prop_assert_eq!(shared.query(a, z), looped.query(a, z));
+        }
+    }
+
+    /// The shared kernel stays exact when the same sketch is fed from
+    /// several threads at once: integer deltas make f64 atomic adds
+    /// order-independent, so any interleaving of per-thread blocks
+    /// must land bit-for-bit on the sequential loop's counters.
+    #[test]
+    fn shared_batch_is_exact_across_thread_counts(
+        updates in arrivals(),
+        seed in 0u64..500,
+        threads in 2usize..5,
+    ) {
+        let p = one_hash_params(seed);
+        let shared = AtomicCountMedian::with_backend(&p);
+        let chunk = updates.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in updates.chunks(chunk) {
+                scope.spawn(|| shared.update_batch_shared(part));
+            }
+        });
+        let mut looped = AtomicCountMedian::with_backend(&p);
+        for &(i, d) in &updates { looped.update(i, d); }
+        assert_estimates_equal(&shared, &looped)?;
+    }
+
+    /// Compact cells take the same shared kernel: a `U32` atomic grid
+    /// coalesces identically to the loop on in-range integer deltas.
+    #[test]
+    fn shared_batch_equals_loop_on_compact_cells(
+        updates in arrivals(),
+        seed in 0u64..500,
+    ) {
+        let p = one_hash_params(seed).with_cell(storage::CellWidth::U32);
         let shared = AtomicCountMedian::with_backend(&p);
         shared.update_batch_shared(&updates);
         let mut looped = AtomicCountMedian::with_backend(&p);
